@@ -1,0 +1,217 @@
+//! Configuration of the GPU-ABiSort stream implementation.
+//!
+//! The knobs correspond to the design alternatives the paper evaluates or
+//! describes:
+//!
+//! * **layout** — row-wise (Section 6.2.1) vs Z-order (Section 6.2.2)
+//!   1D→2D mapping; the a/b split of Table 2;
+//! * **overlapped steps** — sequential phase execution (`O(log³ n)` stream
+//!   operations, Section 5.3 / Appendix A) vs partially overlapped stages
+//!   (`O(log² n)` stream operations, Section 5.4);
+//! * **local sort optimization** — replace recursion levels 1–3 with an
+//!   8-element odd-even transition sort kernel plus a tree-build kernel
+//!   (Section 7.1);
+//! * **fixed merge optimization** — replace the last 4 stages of every
+//!   merge with a non-adaptive 16-element bitonic merge (Section 7.2);
+//! * **transfer accounting** — include the host↔GPU transfer of Section 8
+//!   in the simulated time.
+
+use serde::{Deserialize, Serialize};
+use stream_arch::Layout;
+
+/// Which 1D→2D stream layout to use (Section 6.2).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayoutChoice {
+    /// Row-wise mapping with the given power-of-two row width
+    /// (GPU-ABiSort variant (a) of Table 2).
+    RowWise {
+        /// Row width in elements (power of two; the paper's GPUs allow up
+        /// to 2048 or 4096).
+        width: u32,
+    },
+    /// Z-order / Morton mapping (variant (b) of Table 2, the default).
+    ZOrder,
+}
+
+impl LayoutChoice {
+    /// Convert to the stream-arch layout type.
+    pub fn to_layout(self) -> Layout {
+        match self {
+            LayoutChoice::RowWise { width } => Layout::RowMajor { width },
+            LayoutChoice::ZOrder => Layout::ZOrder,
+        }
+    }
+
+    /// Name used in reports ("row-wise" / "z-order").
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutChoice::RowWise { .. } => "row-wise",
+            LayoutChoice::ZOrder => "z-order",
+        }
+    }
+}
+
+impl Default for LayoutChoice {
+    fn default() -> Self {
+        LayoutChoice::ZOrder
+    }
+}
+
+/// Configuration of a GPU-ABiSort run.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SortConfig {
+    /// 1D→2D stream layout.
+    pub layout: LayoutChoice,
+    /// Execute the merge stages partially overlapped (Section 5.4),
+    /// reducing the number of stream operations per recursion level from
+    /// `O(log² n)` to `O(log n)`.
+    pub overlapped_steps: bool,
+    /// Replace recursion levels 1–3 by the local odd-even sort of
+    /// Section 7.1.
+    pub local_sort_optimization: bool,
+    /// Replace the last 4 stages of every merge by the fixed 16-element
+    /// bitonic merge of Section 7.2.
+    pub fixed_merge_optimization: bool,
+    /// Charge the host↔device transfer of the input and output arrays
+    /// (Section 8). Off by default, matching the paper's main timings
+    /// ("the timings of the GPU approaches assume that the input data is
+    /// given in GPU memory").
+    pub include_transfer: bool,
+}
+
+impl Default for SortConfig {
+    /// The configuration the paper's headline numbers use: Z-order layout,
+    /// overlapped stages, both Section-7 optimizations, no transfer.
+    fn default() -> Self {
+        SortConfig {
+            layout: LayoutChoice::ZOrder,
+            overlapped_steps: true,
+            local_sort_optimization: true,
+            fixed_merge_optimization: true,
+            include_transfer: false,
+        }
+    }
+}
+
+impl SortConfig {
+    /// The paper's GPU-ABiSort variant (a): row-wise layout, everything
+    /// else as in the default configuration.
+    pub fn row_wise(width: u32) -> Self {
+        SortConfig {
+            layout: LayoutChoice::RowWise { width },
+            ..SortConfig::default()
+        }
+    }
+
+    /// The paper's GPU-ABiSort variant (b): Z-order layout (same as
+    /// `default`).
+    pub fn z_order() -> Self {
+        SortConfig::default()
+    }
+
+    /// The unoptimized baseline of Appendix A: sequential phase execution,
+    /// no small-input optimizations. Used by the stream-operation-count and
+    /// ablation experiments.
+    pub fn unoptimized() -> Self {
+        SortConfig {
+            layout: LayoutChoice::ZOrder,
+            overlapped_steps: false,
+            local_sort_optimization: false,
+            fixed_merge_optimization: false,
+            include_transfer: false,
+        }
+    }
+
+    /// Builder-style: set the layout.
+    pub fn with_layout(mut self, layout: LayoutChoice) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Builder-style: enable/disable overlapped stage execution.
+    pub fn with_overlapped_steps(mut self, enabled: bool) -> Self {
+        self.overlapped_steps = enabled;
+        self
+    }
+
+    /// Builder-style: enable/disable the Section 7.1 local sort.
+    pub fn with_local_sort(mut self, enabled: bool) -> Self {
+        self.local_sort_optimization = enabled;
+        self
+    }
+
+    /// Builder-style: enable/disable the Section 7.2 fixed merge.
+    pub fn with_fixed_merge(mut self, enabled: bool) -> Self {
+        self.fixed_merge_optimization = enabled;
+        self
+    }
+
+    /// Builder-style: include host↔device transfer in the cost.
+    pub fn with_transfer(mut self, enabled: bool) -> Self {
+        self.include_transfer = enabled;
+        self
+    }
+
+    /// Short human-readable description for reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}{}{}{}",
+            self.layout.name(),
+            if self.overlapped_steps { ", overlapped" } else { ", sequential-phases" },
+            if self.local_sort_optimization { ", local-sort" } else { "" },
+            if self.fixed_merge_optimization { ", fixed-merge" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_headline_configuration() {
+        let c = SortConfig::default();
+        assert_eq!(c.layout, LayoutChoice::ZOrder);
+        assert!(c.overlapped_steps);
+        assert!(c.local_sort_optimization);
+        assert!(c.fixed_merge_optimization);
+        assert!(!c.include_transfer);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SortConfig::unoptimized()
+            .with_layout(LayoutChoice::RowWise { width: 1024 })
+            .with_overlapped_steps(true)
+            .with_local_sort(true)
+            .with_fixed_merge(false)
+            .with_transfer(true);
+        assert_eq!(c.layout, LayoutChoice::RowWise { width: 1024 });
+        assert!(c.overlapped_steps);
+        assert!(c.local_sort_optimization);
+        assert!(!c.fixed_merge_optimization);
+        assert!(c.include_transfer);
+    }
+
+    #[test]
+    fn layout_choice_maps_to_stream_arch_layout() {
+        assert_eq!(LayoutChoice::ZOrder.to_layout(), Layout::ZOrder);
+        assert_eq!(
+            LayoutChoice::RowWise { width: 256 }.to_layout(),
+            Layout::RowMajor { width: 256 }
+        );
+        assert_eq!(LayoutChoice::ZOrder.name(), "z-order");
+        assert_eq!(LayoutChoice::RowWise { width: 2 }.name(), "row-wise");
+    }
+
+    #[test]
+    fn describe_mentions_the_active_options() {
+        let d = SortConfig::default().describe();
+        assert!(d.contains("z-order"));
+        assert!(d.contains("overlapped"));
+        assert!(d.contains("local-sort"));
+        let u = SortConfig::unoptimized().describe();
+        assert!(u.contains("sequential-phases"));
+        assert!(!u.contains("local-sort"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The classic adaptive min/max determination and adaptive bitonic merge
+//! (Section 4.1 of the paper, following Bilardi & Nicolau 1989).
+//!
+//! Given a bitonic tree (root + spare) the *adaptive min/max determination*
+//! computes, in `log n` comparisons and fewer than `2 log n` exchanges, the
+//! component-wise minimum sequence `p′` and maximum sequence `q′` of the
+//! two halves of the represented bitonic sequence — in place, by walking a
+//! single root-to-leaf path and swapping node values and child pointers.
+//! Applied recursively down the tree this yields the *adaptive bitonic
+//! merge* in `O(n)` sequential time.
+
+use super::{out_of_order, sort::SortStats};
+use stream_arch::Node;
+
+/// One complete adaptive min/max determination (phases `0 … levels−1`) on
+/// the subtree rooted at `root` with spare node `spare`, distinguishing the
+/// paper's cases (a) and (b).
+///
+/// `levels` is the number of phases, i.e. `log₂` of the length of the
+/// bitonic sequence represented by the subtree plus spare.
+pub fn min_max_determination(
+    nodes: &mut [Node],
+    root: usize,
+    spare: usize,
+    levels: u32,
+    ascending: bool,
+    stats: &mut SortStats,
+) {
+    // Phase 0: determine which case applies.
+    stats.comparisons += 1;
+    let case_b = out_of_order(&nodes[root].value, &nodes[spare].value, ascending);
+    if case_b {
+        // Only in case (b): exchange the values of root and spare.
+        let tmp = nodes[root].value;
+        nodes[root].value = nodes[spare].value;
+        nodes[spare].value = tmp;
+        stats.value_swaps += 1;
+    }
+    if levels <= 1 {
+        return;
+    }
+
+    let mut p = nodes[root].left as usize;
+    let mut q = nodes[root].right as usize;
+
+    for _phase in 1..levels {
+        stats.comparisons += 1;
+        let cond = out_of_order(&nodes[p].value, &nodes[q].value, ascending); // (**)
+        if cond {
+            // Exchange the values of p and q …
+            let tmp = nodes[p].value;
+            nodes[p].value = nodes[q].value;
+            nodes[q].value = tmp;
+            stats.value_swaps += 1;
+            // … as well as, in case (a), the left sons, in case (b), the
+            // right sons.
+            if !case_b {
+                let tmp = nodes[p].left;
+                nodes[p].left = nodes[q].left;
+                nodes[q].left = tmp;
+            } else {
+                let tmp = nodes[p].right;
+                nodes[p].right = nodes[q].right;
+                nodes[q].right = tmp;
+            }
+            stats.pointer_swaps += 1;
+        }
+        // Descend: left sons iff (case (a) and not (**)) or (case (b) and
+        // (**)); otherwise right sons.
+        let go_left = (!case_b && !cond) || (case_b && cond);
+        if go_left {
+            p = nodes[p].left as usize;
+            q = nodes[q].left as usize;
+        } else {
+            p = nodes[p].right as usize;
+            q = nodes[q].right as usize;
+        }
+    }
+}
+
+/// The classic adaptive bitonic merge: run the min/max determination on the
+/// root, then recurse into both halves (Section 4.1).
+pub fn merge(
+    nodes: &mut [Node],
+    root: usize,
+    spare: usize,
+    levels: u32,
+    ascending: bool,
+    stats: &mut SortStats,
+) {
+    min_max_determination(nodes, root, spare, levels, ascending, stats);
+    if levels > 1 {
+        let left = nodes[root].left as usize;
+        let right = nodes[root].right as usize;
+        // 1. root's left son as new root, root as new spare node.
+        merge(nodes, left, root, levels - 1, ascending, stats);
+        // 2. root's right son as new root, spare as new spare node.
+        merge(nodes, right, spare, levels - 1, ascending, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BitonicTree;
+    use crate::verify::{is_permutation, is_sorted, is_sorted_descending};
+    use stream_arch::Value;
+
+    fn vals(keys: &[f32]) -> Vec<Value> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Value::new(k, i as u32))
+            .collect()
+    }
+
+    /// The 16-value bitonic sequence of the paper's Figure 1.
+    fn figure1_input() -> Vec<Value> {
+        vals(&[
+            0.0, 2.0, 3.0, 5.0, 7.0, 10.0, 11.0, 13.0, 15.0, 14.0, 12.0, 9.0, 8.0, 6.0, 4.0, 1.0,
+        ])
+    }
+
+    #[test]
+    fn figure1_first_stage_produces_expected_halves() {
+        // Figure 1, second row: after the first min/max determination the
+        // halves are (0 2 3 5 7 6 4 1) and (15 14 12 9 8 10 11 13).
+        let input = figure1_input();
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        min_max_determination(tree.nodes_mut(), 7, 15, 4, true, &mut stats);
+        let p = tree.in_order_of(tree.nodes()[7].left as usize, 7, 3);
+        let q = tree.in_order_of(tree.nodes()[7].right as usize, 15, 3);
+        let keys =
+            |v: &[Value]| -> Vec<f32> { v.iter().map(|x| x.key).collect() };
+        assert_eq!(keys(&p), vec![0.0, 2.0, 3.0, 5.0, 7.0, 6.0, 4.0, 1.0]);
+        assert_eq!(keys(&q), vec![15.0, 14.0, 12.0, 9.0, 8.0, 10.0, 11.0, 13.0]);
+        // Exactly log n = 4 comparisons were used.
+        assert_eq!(stats.comparisons, 4);
+    }
+
+    #[test]
+    fn figure1_full_merge_sorts_the_sequence() {
+        let input = figure1_input();
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 7, 15, 4, true, &mut stats);
+        let result = tree.to_sequence();
+        assert!(is_sorted(&result));
+        assert!(is_permutation(&input, &result));
+        let keys: Vec<f32> = result.iter().map(|x| x.key).collect();
+        assert_eq!(keys, (0..16).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_comparison_count_is_linear() {
+        // Per Section 4.1 the merge of n values needs 2n − log n − 2
+        // comparisons.
+        for log_n in 1..=10u32 {
+            let n = 1usize << log_n;
+            let input = workloads::bitonic(n.max(2), 7 + log_n as u64);
+            let mut tree = BitonicTree::from_values(&input);
+            let mut stats = SortStats::default();
+            let (root, spare) = (tree.root_index(), tree.spare_index());
+            merge(tree.nodes_mut(), root, spare, log_n, true, &mut stats);
+            assert_eq!(stats.comparisons, (2 * n) as u64 - log_n as u64 - 2, "n={n}");
+            assert!(is_sorted(&tree.to_sequence()));
+        }
+    }
+
+    #[test]
+    fn merge_descending_direction() {
+        let input = workloads::bitonic(64, 3);
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 31, 63, 6, false, &mut stats);
+        let result = tree.to_sequence();
+        assert!(is_sorted_descending(&result));
+        assert!(is_permutation(&input, &result));
+    }
+
+    #[test]
+    fn merge_of_two_element_sequence() {
+        let input = vals(&[5.0, 1.0]);
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 0, 1, 1, true, &mut stats);
+        let result = tree.to_sequence();
+        assert_eq!(result[0].key, 1.0);
+        assert_eq!(result[1].key, 5.0);
+        assert_eq!(stats.comparisons, 1);
+    }
+
+    #[test]
+    fn merge_handles_already_sorted_bitonic_input() {
+        let mut input = workloads::uniform(128, 5);
+        input.sort();
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 63, 127, 7, true, &mut stats);
+        assert_eq!(tree.to_sequence(), input);
+    }
+
+    #[test]
+    fn merge_keeps_block_membership() {
+        // Pointer swaps must never leak nodes out of the merged block.
+        let input = workloads::bitonic(32, 11);
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 15, 31, 5, true, &mut stats);
+        let reach = tree.reachable_from(15, 5);
+        assert_eq!(reach, (0..31).collect::<Vec<_>>());
+    }
+}

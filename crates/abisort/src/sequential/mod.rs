@@ -1,0 +1,52 @@
+//! Sequential adaptive bitonic sorting (Section 4 of the paper).
+//!
+//! This module implements the classic Bilardi–Nicolau algorithm as the
+//! paper recaps it (Section 4.1), the paper's own *simplified* variant of
+//! the adaptive min/max determination (Section 4.2), and the merge-sort
+//! driver that combines them into a complete `O(n log n)` sort.
+//!
+//! The sequential implementation serves three purposes:
+//!
+//! 1. it is the reference the stream implementation is validated against,
+//! 2. it provides the comparison/operation counts for the work-complexity
+//!    experiment (E13: fewer than `2 n log n` comparisons in total),
+//! 3. it is a usable CPU sorter in its own right (the paper cites the
+//!    original result that sequential adaptive bitonic sort is within a
+//!    small factor of quicksort).
+
+pub mod classic;
+pub mod simplified;
+mod sort;
+
+pub use sort::{
+    adaptive_bitonic_merge, adaptive_bitonic_sort, adaptive_bitonic_sort_with, MergeVariant,
+    SortStats,
+};
+
+use stream_arch::Value;
+
+/// Compare two values under the merge direction: "out of order" means
+/// `a` should come after `b`.
+///
+/// For an ascending merge this is `a > b` (the paper's `(**)` condition);
+/// for a descending merge the comparison is inverted, which is exactly the
+/// `(... > ...) != reverseSortDir` test of the paper's kernels (Listing 3/4).
+#[inline]
+pub(crate) fn out_of_order(a: &Value, b: &Value, ascending: bool) -> bool {
+    a.gt(b) == ascending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_respects_direction() {
+        let small = Value::new(1.0, 0);
+        let big = Value::new(2.0, 0);
+        assert!(out_of_order(&big, &small, true));
+        assert!(!out_of_order(&small, &big, true));
+        assert!(out_of_order(&small, &big, false));
+        assert!(!out_of_order(&big, &small, false));
+    }
+}

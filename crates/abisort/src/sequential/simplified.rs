@@ -1,0 +1,171 @@
+//! The paper's simplified adaptive min/max determination (Section 4.2).
+//!
+//! Exploiting that minimum and maximum are commutative, the two halves of
+//! the bitonic sequence can be swapped up front whenever case (b) would
+//! apply, reducing the algorithm to case (a) only. Compared to the classic
+//! version a single pointer exchange was added (the sons of the root are
+//! swapped along with the root/spare values), and the case distinction in
+//! every later phase disappears — which is what makes the stream-kernel
+//! implementation (Listing 3/4) small and branch-friendly.
+
+use super::{out_of_order, sort::SortStats};
+use stream_arch::Node;
+
+/// One complete simplified adaptive min/max determination (phases
+/// `0 … levels−1`) on the subtree rooted at `root` with spare `spare`.
+pub fn min_max_determination(
+    nodes: &mut [Node],
+    root: usize,
+    spare: usize,
+    levels: u32,
+    ascending: bool,
+    stats: &mut SortStats,
+) {
+    // Phase 0: if root value > spare value, exchange the values of root and
+    // spare as well as the two sons of root with each other.
+    stats.comparisons += 1;
+    if out_of_order(&nodes[root].value, &nodes[spare].value, ascending) {
+        let tmp = nodes[root].value;
+        nodes[root].value = nodes[spare].value;
+        nodes[spare].value = tmp;
+        let node = &mut nodes[root];
+        std::mem::swap(&mut node.left, &mut node.right);
+        stats.value_swaps += 1;
+        stats.pointer_swaps += 1;
+    }
+    if levels <= 1 {
+        return;
+    }
+
+    let mut p = nodes[root].left as usize;
+    let mut q = nodes[root].right as usize;
+
+    for _phase in 1..levels {
+        stats.comparisons += 1;
+        if out_of_order(&nodes[p].value, &nodes[q].value, ascending) {
+            // Exchange the values of p and q as well as the left sons.
+            let tmp = nodes[p].value;
+            nodes[p].value = nodes[q].value;
+            nodes[q].value = tmp;
+            let tmp = nodes[p].left;
+            nodes[p].left = nodes[q].left;
+            nodes[q].left = tmp;
+            stats.value_swaps += 1;
+            stats.pointer_swaps += 1;
+            // Assign the right sons of p, q to p, q.
+            p = nodes[p].right as usize;
+            q = nodes[q].right as usize;
+        } else {
+            // Assign the left sons of p, q to p, q.
+            p = nodes[p].left as usize;
+            q = nodes[q].left as usize;
+        }
+    }
+}
+
+/// The adaptive bitonic merge built on the simplified min/max
+/// determination.
+pub fn merge(
+    nodes: &mut [Node],
+    root: usize,
+    spare: usize,
+    levels: u32,
+    ascending: bool,
+    stats: &mut SortStats,
+) {
+    min_max_determination(nodes, root, spare, levels, ascending, stats);
+    if levels > 1 {
+        let left = nodes[root].left as usize;
+        let right = nodes[root].right as usize;
+        merge(nodes, left, root, levels - 1, ascending, stats);
+        merge(nodes, right, spare, levels - 1, ascending, stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::classic;
+    use crate::tree::BitonicTree;
+    use crate::verify::{is_permutation, is_sorted, is_sorted_descending};
+
+    #[test]
+    fn simplified_merge_sorts_bitonic_sequences() {
+        for log_n in 1..=12u32 {
+            let n = 1usize << log_n;
+            let input = workloads::bitonic(n.max(2), 100 + log_n as u64);
+            let mut tree = BitonicTree::from_values(&input);
+            let mut stats = SortStats::default();
+            let (root, spare) = (tree.root_index(), tree.spare_index());
+            merge(tree.nodes_mut(), root, spare, log_n, true, &mut stats);
+            let result = tree.to_sequence();
+            assert!(is_sorted(&result), "n={n}");
+            assert!(is_permutation(&input, &result), "n={n}");
+        }
+    }
+
+    #[test]
+    fn simplified_and_classic_produce_the_same_sequence() {
+        for seed in 0..20u64 {
+            let n = 256;
+            let input = workloads::bitonic(n, seed);
+            for ascending in [true, false] {
+                let mut t1 = BitonicTree::from_values(&input);
+                let mut t2 = BitonicTree::from_values(&input);
+                let mut s1 = SortStats::default();
+                let mut s2 = SortStats::default();
+                classic::merge(t1.nodes_mut(), 127, 255, 8, ascending, &mut s1);
+                merge(t2.nodes_mut(), 127, 255, 8, ascending, &mut s2);
+                assert_eq!(t1.to_sequence(), t2.to_sequence(), "seed={seed}");
+                // Both variants use exactly the same number of comparisons.
+                assert_eq!(s1.comparisons, s2.comparisons);
+            }
+        }
+    }
+
+    #[test]
+    fn simplified_merge_descending() {
+        let input = workloads::bitonic(128, 77);
+        let mut tree = BitonicTree::from_values(&input);
+        let mut stats = SortStats::default();
+        merge(tree.nodes_mut(), 63, 127, 7, false, &mut stats);
+        let result = tree.to_sequence();
+        assert!(is_sorted_descending(&result));
+        assert!(is_permutation(&input, &result));
+    }
+
+    #[test]
+    fn simplified_comparison_count_matches_closed_form() {
+        // 2n − log n − 2 comparisons for one merge (Section 4.1).
+        for log_n in 1..=10u32 {
+            let n = 1usize << log_n;
+            let input = workloads::bitonic(n.max(2), log_n as u64);
+            let mut tree = BitonicTree::from_values(&input);
+            let mut stats = SortStats::default();
+            let (root, spare) = (tree.root_index(), tree.spare_index());
+            merge(tree.nodes_mut(), root, spare, log_n, true, &mut stats);
+            assert_eq!(stats.comparisons, (2 * n) as u64 - log_n as u64 - 2);
+        }
+    }
+
+    #[test]
+    fn phase_zero_swaps_sons_when_out_of_order() {
+        // Construct a 4-element bitonic sequence where root > spare so the
+        // simplified phase 0 must swap the sons.
+        let input = vec![
+            stream_arch::Value::new(2.0, 0),
+            stream_arch::Value::new(9.0, 1),
+            stream_arch::Value::new(7.0, 2),
+            stream_arch::Value::new(1.0, 3),
+        ];
+        let mut tree = BitonicTree::from_values(&input);
+        let before = tree.nodes()[1];
+        let mut stats = SortStats::default();
+        min_max_determination(tree.nodes_mut(), 1, 3, 2, true, &mut stats);
+        let after = tree.nodes()[1];
+        assert_eq!(after.left, before.right);
+        assert_eq!(after.right, before.left);
+        assert_eq!(after.value.key, 1.0);
+        assert_eq!(tree.nodes()[3].value.key, 9.0);
+    }
+}

@@ -1,0 +1,637 @@
+//! The output-stream memory layout (Table 1) and the stage/phase schedules
+//! (Sections 5.3, 5.4 and 7.2), including generators for the layout tables
+//! shown in Figures 4–7 of the paper.
+//!
+//! On recursion level `j` of the sort, `numTrees = n / 2^j` bitonic trees
+//! of `2^j` nodes are merged simultaneously. The merge runs in stages
+//! `k = 0 … j−1`; stage `k` runs phases `i = 0 … j−k−1`; every phase writes
+//! exactly `2^k · numTrees` node pairs. Table 1 assigns each phase a
+//! contiguous block of the `n/2`-pair output stream such that a block only
+//! ever overwrites node pairs that are no longer needed:
+//!
+//! | phase | start (pairs)                       | end (pairs)                          |
+//! |-------|-------------------------------------|--------------------------------------|
+//! | 0     | `0`                                 | `2^k · numTrees`                     |
+//! | 1     | `2^k · numTrees`                    | `2^{k+1} · numTrees`                 |
+//! | i > 1 | `(2^{k+i−1} + 2^k) · numTrees`      | `(2^{k+i−1} + 2^{k+1}) · numTrees`   |
+//!
+//! The *overlapped* schedule (Section 5.4) starts stage `k` at step `2k`
+//! and lets it proceed one phase per step, so that a whole merge takes
+//! `2j − 1` steps; when the last `s` stages are replaced by the fixed merge
+//! of Section 7.2 the step count drops to `2j − 1 − s`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one phase of one merge stage.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PhaseRef {
+    /// Merge stage `k` (0-based).
+    pub stage: u32,
+    /// Phase `i` within the stage (0-based).
+    pub phase: u32,
+}
+
+/// Table 1: the output block of phase `i` of stage `k`, in **node pairs**,
+/// for a merge of `num_trees` simultaneous bitonic trees.
+///
+/// Returns `(start, len)`; the length is always `2^k · num_trees`.
+pub fn table1_pair_block(stage: u32, phase: u32, num_trees: usize) -> (usize, usize) {
+    let len = (1usize << stage) * num_trees;
+    let start = match phase {
+        0 => 0,
+        1 => (1usize << stage) * num_trees,
+        i => ((1usize << (stage + i - 1)) + (1usize << stage)) * num_trees,
+    };
+    (start, len)
+}
+
+/// Table 1 in **node elements** (two elements per pair).
+pub fn table1_element_block(stage: u32, phase: u32, num_trees: usize) -> (usize, usize) {
+    let (start, len) = table1_pair_block(stage, phase, num_trees);
+    (2 * start, 2 * len)
+}
+
+/// The phases of one merge at recursion level `j`, in the fully sequential
+/// order of Section 5.3 / Listing 5 (stage-major).
+pub fn sequential_schedule(j: u32) -> Vec<PhaseRef> {
+    let mut out = Vec::new();
+    for stage in 0..j {
+        for phase in 0..(j - stage) {
+            out.push(PhaseRef { stage, phase });
+        }
+    }
+    out
+}
+
+/// The partially overlapped schedule of Section 5.4: step `s` executes
+/// phase `s − 2k` of every active stage `k`. `skip_last_stages` drops the
+/// final stages for the Section 7.2 optimization (the dropped stages'
+/// subtrees are handled by the fixed 16-element merge instead).
+///
+/// Returns one `Vec<PhaseRef>` per step; within a step the phases are
+/// ordered by increasing stage.
+pub fn overlapped_schedule(j: u32, skip_last_stages: u32) -> Vec<Vec<PhaseRef>> {
+    if skip_last_stages >= j {
+        return Vec::new();
+    }
+    let last_stage = j - 1 - skip_last_stages;
+    let num_steps = j + last_stage; // = 2j − 1 − skip
+    let mut steps = Vec::with_capacity(num_steps as usize);
+    for s in 0..num_steps {
+        let k_min = (s + 1).saturating_sub(j);
+        let k_max = (s / 2).min(last_stage);
+        let mut step = Vec::new();
+        for k in k_min..=k_max {
+            let phase = s - 2 * k;
+            debug_assert!(phase < j - k);
+            step.push(PhaseRef { stage: k, phase });
+        }
+        steps.push(step);
+    }
+    steps
+}
+
+/// Number of phases of one merge at level `j` (Section 5.4:
+/// `½ j² + ½ j` in total).
+pub fn phases_per_level(j: u32) -> u64 {
+    (u64::from(j) * u64::from(j) + u64::from(j)) / 2
+}
+
+/// Number of steps of one merge at level `j` under the overlapped schedule
+/// (`2j − 1`, Section 5.4), optionally with the last stages skipped.
+pub fn steps_per_level(j: u32, skip_last_stages: u32) -> u64 {
+    if skip_last_stages >= j {
+        0
+    } else {
+        u64::from(2 * j - 1 - skip_last_stages)
+    }
+}
+
+/// Total phases of the whole (unoptimized) sort of `n = 2^log_n` values —
+/// the `O(log³ n)` stream-operation count of Section 5.3.
+pub fn total_phases(log_n: u32) -> u64 {
+    (1..=log_n).map(phases_per_level).sum()
+}
+
+/// Total steps of the whole sort under the overlapped schedule — the
+/// `O(log² n)` stream-operation count of Section 5.4.
+pub fn total_steps(log_n: u32) -> u64 {
+    (1..=log_n).map(|j| steps_per_level(j, 0)).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4–7 layout tables
+// ---------------------------------------------------------------------------
+
+/// What one node of a written pair is, in the figures' notation: a tree
+/// level (0 = root) or the spare node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeTag {
+    /// A node of the given tree level.
+    Level(u32),
+    /// The spare node of the bitonic tree.
+    Spare,
+}
+
+impl NodeTag {
+    fn symbol(&self) -> String {
+        match self {
+            NodeTag::Level(l) => l.to_string(),
+            NodeTag::Spare => "s".to_string(),
+        }
+    }
+}
+
+/// The label of one node-pair cell in a layout figure.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellLabel {
+    /// Tag of the first node of the pair.
+    pub first: NodeTag,
+    /// Tag of the second node of the pair.
+    pub second: NodeTag,
+    /// Which of the simultaneously merged bitonic trees the pair belongs to
+    /// (the red/black distinction of Figure 5).
+    pub tree: usize,
+}
+
+impl CellLabel {
+    /// The two-character cell text used in the paper's figures, e.g. `"0s"`,
+    /// `"21"`, `"33"`.
+    pub fn text(&self) -> String {
+        format!("{}{}", self.first.symbol(), self.second.symbol())
+    }
+}
+
+/// One row of a layout figure: the phases executed in this row and the
+/// resulting stream contents.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayoutRow {
+    /// Row label (e.g. `"stage 1 phase 2"` or `"step 4 (stages 1,2)"`).
+    pub label: String,
+    /// The pairs newly written in this row (pair position → label).
+    pub written: Vec<(usize, CellLabel)>,
+    /// The full stream contents after this row (None = never written).
+    pub cells: Vec<Option<CellLabel>>,
+}
+
+impl LayoutRow {
+    /// The non-empty cells in stream order — the sequence of two-character
+    /// labels the paper's figures print (empty positions are skipped there).
+    pub fn non_empty_cell_text(&self) -> Vec<String> {
+        self.cells
+            .iter()
+            .flatten()
+            .map(|c| c.text())
+            .collect()
+    }
+}
+
+/// A complete layout table (one of Figures 4–7).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LayoutTable {
+    /// Recursion level `j` of the merge.
+    pub j: u32,
+    /// Number of simultaneously merged trees.
+    pub num_trees: usize,
+    /// Rows in execution order.
+    pub rows: Vec<LayoutRow>,
+}
+
+impl LayoutTable {
+    /// Render the table as fixed-width text resembling the paper's figures.
+    pub fn render(&self) -> String {
+        let pairs = self.num_trees << (self.j - 1);
+        let mut out = String::new();
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(12);
+        out.push_str(&format!("{:label_width$} |", "stage/phase"));
+        for p in 0..pairs {
+            out.push_str(&format!(" {p:>2}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:label_width$} |", row.label));
+            for cell in &row.cells {
+                match cell {
+                    Some(c) => out.push_str(&format!(" {:>2}", c.text())),
+                    None => out.push_str("  ."),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The cell labels written by one phase, in pair order within its block.
+fn phase_cells(stage: u32, phase: u32, num_trees: usize) -> Vec<CellLabel> {
+    let per_tree = 1usize << stage;
+    let mut cells = Vec::with_capacity(per_tree * num_trees);
+    for tree in 0..num_trees {
+        for m in 0..per_tree {
+            let label = if phase == 0 {
+                // Pair = (subtree root of level k, its spare). The spare of
+                // the m-th subtree (in in-order order) is the upper-level
+                // node that follows the subtree in the in-order traversal:
+                // level k − 1 − trailing_ones(m), or the tree's spare node.
+                let trailing_ones = (!(m as u64)).trailing_zeros();
+                let spare = if m == per_tree - 1 {
+                    NodeTag::Spare
+                } else {
+                    NodeTag::Level(stage - 1 - trailing_ones)
+                };
+                CellLabel {
+                    first: NodeTag::Level(stage),
+                    second: spare,
+                    tree,
+                }
+            } else {
+                let level = NodeTag::Level(stage + phase);
+                CellLabel {
+                    first: level,
+                    second: level,
+                    tree,
+                }
+            };
+            cells.push(label);
+        }
+    }
+    cells
+}
+
+fn apply_phases(
+    rows: &mut Vec<LayoutRow>,
+    cells: &mut Vec<Option<CellLabel>>,
+    label: String,
+    phases: &[PhaseRef],
+    num_trees: usize,
+) {
+    let mut written = Vec::new();
+    for pr in phases {
+        let (start, len) = table1_pair_block(pr.stage, pr.phase, num_trees);
+        let labels = phase_cells(pr.stage, pr.phase, num_trees);
+        debug_assert_eq!(labels.len(), len);
+        for (offset, label) in labels.into_iter().enumerate() {
+            cells[start + offset] = Some(label);
+            written.push((start + offset, label));
+        }
+    }
+    rows.push(LayoutRow {
+        label,
+        written,
+        cells: cells.clone(),
+    });
+}
+
+/// The layout table for a merge at level `j` of sorting `2^log_n` values
+/// with sequential phase execution — Figure 4 (`j = log_n = 4`) and
+/// Figure 5 (`j = 4`, `log_n = 5`).
+pub fn figure_table_sequential(j: u32, log_n: u32) -> LayoutTable {
+    assert!(j >= 1 && j <= log_n);
+    let num_trees = 1usize << (log_n - j);
+    let pairs = num_trees << (j - 1);
+    let mut cells = vec![None; pairs];
+    let mut rows = Vec::new();
+    for pr in sequential_schedule(j) {
+        apply_phases(
+            &mut rows,
+            &mut cells,
+            format!("stage {} phase {}", pr.stage, pr.phase),
+            &[pr],
+            num_trees,
+        );
+    }
+    LayoutTable { j, num_trees, rows }
+}
+
+/// The layout table for a merge at level `j` of sorting `2^log_n` values
+/// with overlapped stage execution — Figure 6 (`j = 4`, `log_n = 5`,
+/// no skipping) and Figure 7 (`j = 6`, `log_n = 6`, last 4 stages skipped).
+pub fn figure_table_overlapped(j: u32, log_n: u32, skip_last_stages: u32) -> LayoutTable {
+    assert!(j >= 1 && j <= log_n);
+    let num_trees = 1usize << (log_n - j);
+    let pairs = num_trees << (j - 1);
+    let mut cells = vec![None; pairs];
+    let mut rows = Vec::new();
+    for (s, step) in overlapped_schedule(j, skip_last_stages).iter().enumerate() {
+        let stages: Vec<String> = step.iter().map(|p| p.stage.to_string()).collect();
+        apply_phases(
+            &mut rows,
+            &mut cells,
+            format!("step {s} (stages {})", stages.join(",")),
+            step,
+            num_trees,
+        );
+    }
+    LayoutTable { j, num_trees, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_formulas() {
+        // Level j = 4, one tree (Figure 4).
+        assert_eq!(table1_pair_block(0, 0, 1), (0, 1));
+        assert_eq!(table1_pair_block(0, 1, 1), (1, 1));
+        assert_eq!(table1_pair_block(0, 2, 1), (3, 1));
+        assert_eq!(table1_pair_block(0, 3, 1), (5, 1));
+        assert_eq!(table1_pair_block(1, 0, 1), (0, 2));
+        assert_eq!(table1_pair_block(1, 1, 1), (2, 2));
+        assert_eq!(table1_pair_block(1, 2, 1), (6, 2));
+        assert_eq!(table1_pair_block(2, 0, 1), (0, 4));
+        assert_eq!(table1_pair_block(2, 1, 1), (4, 4));
+        assert_eq!(table1_pair_block(3, 0, 1), (0, 8));
+        // Two trees (Figure 5) scale every block by numTrees.
+        assert_eq!(table1_pair_block(1, 2, 2), (12, 4));
+        // Element blocks are twice the pair blocks.
+        assert_eq!(table1_element_block(1, 1, 2), (8, 8));
+    }
+
+    #[test]
+    fn every_block_fits_in_the_output_stream() {
+        for log_n in 1..=16u32 {
+            for j in 1..=log_n {
+                let num_trees = 1usize << (log_n - j);
+                let pairs = num_trees << (j - 1);
+                for pr in sequential_schedule(j) {
+                    let (start, len) = table1_pair_block(pr.stage, pr.phase, num_trees);
+                    assert!(
+                        start + len <= pairs,
+                        "block out of range: log_n={log_n} j={j} {pr:?}"
+                    );
+                    assert_eq!(len, (1usize << pr.stage) * num_trees);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_has_the_expected_phase_count() {
+        for j in 1..=20u32 {
+            let sched = sequential_schedule(j);
+            assert_eq!(sched.len() as u64, phases_per_level(j));
+            // Every stage k appears with phases 0..j-k in order.
+            let mut expected = Vec::new();
+            for stage in 0..j {
+                for phase in 0..(j - stage) {
+                    expected.push(PhaseRef { stage, phase });
+                }
+            }
+            assert_eq!(sched, expected);
+        }
+    }
+
+    #[test]
+    fn overlapped_schedule_runs_every_phase_exactly_once() {
+        for j in 1..=16u32 {
+            let steps = overlapped_schedule(j, 0);
+            assert_eq!(steps.len() as u64, steps_per_level(j, 0));
+            let mut seen = std::collections::HashSet::new();
+            for (s, step) in steps.iter().enumerate() {
+                assert!(!step.is_empty(), "empty step {s} for j={j}");
+                for pr in step {
+                    assert_eq!(pr.phase, s as u32 - 2 * pr.stage);
+                    assert!(seen.insert(*pr), "phase executed twice: {pr:?}");
+                }
+            }
+            assert_eq!(seen.len() as u64, phases_per_level(j));
+        }
+    }
+
+    #[test]
+    fn overlapped_schedule_respects_phase_dependencies() {
+        // Phase i of stage k may run only after phase i+1 of stage k−1
+        // (Section 5.4) and after phase i−1 of the same stage.
+        for j in 1..=12u32 {
+            let steps = overlapped_schedule(j, 0);
+            let step_of = |target: PhaseRef| {
+                steps
+                    .iter()
+                    .position(|s| s.contains(&target))
+                    .unwrap_or(usize::MAX)
+            };
+            for (s, step) in steps.iter().enumerate() {
+                for pr in step {
+                    if pr.phase > 0 {
+                        let prev = PhaseRef {
+                            stage: pr.stage,
+                            phase: pr.phase - 1,
+                        };
+                        assert!(step_of(prev) < s);
+                    }
+                    if pr.stage > 0 {
+                        let parent = PhaseRef {
+                            stage: pr.stage - 1,
+                            phase: pr.phase + 1,
+                        };
+                        assert!(step_of(parent) < s, "j={j} {pr:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_within_one_step_do_not_overlap() {
+        // Section 5.4: "the memory blocks belonging to a single step of the
+        // algorithm do not overlap."
+        for log_n in 2..=14u32 {
+            for j in 1..=log_n {
+                let num_trees = 1usize << (log_n - j);
+                for step in overlapped_schedule(j, 0) {
+                    for a in 0..step.len() {
+                        for b in a + 1..step.len() {
+                            let (s1, l1) =
+                                table1_pair_block(step[a].stage, step[a].phase, num_trees);
+                            let (s2, l2) =
+                                table1_pair_block(step[b].stage, step[b].phase, num_trees);
+                            assert!(
+                                s1 + l1 <= s2 || s2 + l2 <= s1,
+                                "overlap at j={j}: {:?} {:?}",
+                                step[a],
+                                step[b]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The central safety property of Section 5.3: when a phase writes its
+    /// block, that block contains no node pair that any *later* phase still
+    /// needs to read. We verify the equivalent statement that the figures
+    /// illustrate: once stage k phase 0 has written a subtree root/spare
+    /// pair, the locations holding tree levels 0..k are never read again —
+    /// by checking that the roots each phase-0 consumes were written by the
+    /// immediately preceding phase 1 (stage k−1), whose block is disjoint
+    /// from everything written in between.
+    #[test]
+    fn phase0_inputs_are_the_previous_stages_outputs() {
+        for j in 2..=10u32 {
+            let num_trees = 3; // arbitrary; formulas are linear in numTrees
+            for k in 1..j {
+                let (root_start, root_len) = table1_pair_block(k - 1, 1, num_trees);
+                let (spare_start, spare_len) = table1_pair_block(k - 1, 0, num_trees);
+                // Roots of stage k are read from elements [2^k·nT, 2^{k+1}·nT)
+                // = pairs [2^{k-1}·nT, 2^k·nT) = the stage k−1 phase-1 block.
+                assert_eq!(root_start, (1 << (k - 1)) * num_trees);
+                assert_eq!(root_len, (1 << (k - 1)) * num_trees);
+                // Spares are read from pairs [0, 2^{k-1}·nT) = the stage k−1
+                // phase-0 block.
+                assert_eq!(spare_start, 0);
+                assert_eq!(spare_len, (1 << (k - 1)) * num_trees);
+            }
+        }
+    }
+
+    #[test]
+    fn step_and_phase_totals_have_the_right_asymptotics() {
+        assert_eq!(phases_per_level(4), 10);
+        assert_eq!(steps_per_level(4, 0), 7);
+        assert_eq!(steps_per_level(6, 4), 7); // Figure 7: 2·6 − 5 = 7 steps
+        // O(log² n) vs O(log³ n): the ratio grows roughly like log n / 4.
+        let log_n = 20;
+        assert!(total_phases(log_n) > 3 * total_steps(log_n));
+        assert!(total_phases(40) > 6 * total_steps(40));
+        assert_eq!(total_steps(log_n), (1..=log_n).map(|j| 2 * j as u64 - 1).sum::<u64>());
+    }
+
+    // --- Figure golden tests -------------------------------------------
+
+    fn row_text(table: &LayoutTable, row: usize) -> Vec<String> {
+        table.rows[row].non_empty_cell_text()
+    }
+
+    fn split(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    /// Figure 4: output stream layout for the last recursion level (j = 4)
+    /// of sorting n = 2^4 values.
+    #[test]
+    fn figure4_golden() {
+        let t = figure_table_sequential(4, 4);
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(row_text(&t, 0), split("0s"));
+        assert_eq!(row_text(&t, 1), split("0s 11"));
+        assert_eq!(row_text(&t, 2), split("0s 11 22"));
+        assert_eq!(row_text(&t, 3), split("0s 11 22 33"));
+        assert_eq!(row_text(&t, 4), split("10 1s 22 33"));
+        assert_eq!(row_text(&t, 5), split("10 1s 22 22 33"));
+        assert_eq!(row_text(&t, 6), split("10 1s 22 22 33 33 33"));
+        assert_eq!(row_text(&t, 7), split("21 20 21 2s 33 33 33"));
+        assert_eq!(row_text(&t, 8), split("21 20 21 2s 33 33 33 33"));
+        assert_eq!(row_text(&t, 9), split("32 31 32 30 32 31 32 3s"));
+    }
+
+    /// Figure 5: layout for recursion level j = 4 of sorting n = 2^5 values
+    /// (two bitonic trees merged simultaneously).
+    #[test]
+    fn figure5_golden() {
+        let t = figure_table_sequential(4, 5);
+        assert_eq!(t.num_trees, 2);
+        assert_eq!(t.rows.len(), 10);
+        assert_eq!(row_text(&t, 0), split("0s 0s"));
+        assert_eq!(row_text(&t, 1), split("0s 0s 11 11"));
+        assert_eq!(row_text(&t, 2), split("0s 0s 11 11 22 22"));
+        assert_eq!(row_text(&t, 3), split("0s 0s 11 11 22 22 33 33"));
+        assert_eq!(row_text(&t, 4), split("10 1s 10 1s 22 22 33 33"));
+        assert_eq!(row_text(&t, 5), split("10 1s 10 1s 22 22 22 22 33 33"));
+        assert_eq!(
+            row_text(&t, 6),
+            split("10 1s 10 1s 22 22 22 22 33 33 33 33 33 33")
+        );
+        assert_eq!(
+            row_text(&t, 7),
+            split("21 20 21 2s 21 20 21 2s 33 33 33 33 33 33")
+        );
+        assert_eq!(
+            row_text(&t, 8),
+            split("21 20 21 2s 21 20 21 2s 33 33 33 33 33 33 33 33")
+        );
+        assert_eq!(
+            row_text(&t, 9),
+            split("32 31 32 30 32 31 32 3s 32 31 32 30 32 31 32 3s")
+        );
+        // Second half of the final row belongs to the second tree
+        // (the red nodes of the figure).
+        let final_row = &t.rows[9];
+        assert!(final_row.cells[..8].iter().all(|c| c.unwrap().tree == 0));
+        assert!(final_row.cells[8..].iter().all(|c| c.unwrap().tree == 1));
+    }
+
+    /// Figure 6: overlapped execution of the Figure 5 merge.
+    #[test]
+    fn figure6_golden() {
+        let t = figure_table_overlapped(4, 5, 0);
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(row_text(&t, 0), split("0s 0s"));
+        assert_eq!(row_text(&t, 1), split("0s 0s 11 11"));
+        assert_eq!(row_text(&t, 2), split("10 1s 10 1s 22 22"));
+        assert_eq!(row_text(&t, 3), split("10 1s 10 1s 22 22 22 22 33 33"));
+        assert_eq!(
+            row_text(&t, 4),
+            split("21 20 21 2s 21 20 21 2s 33 33 33 33 33 33")
+        );
+        assert_eq!(
+            row_text(&t, 5),
+            split("21 20 21 2s 21 20 21 2s 33 33 33 33 33 33 33 33")
+        );
+        assert_eq!(
+            row_text(&t, 6),
+            split("32 31 32 30 32 31 32 3s 32 31 32 30 32 31 32 3s")
+        );
+    }
+
+    /// Figure 7: adaptive bitonic merging of 2^6 values when the optimized
+    /// bitonic merge of 2^4 values is applied afterwards (last 4 stages
+    /// skipped).
+    #[test]
+    fn figure7_golden() {
+        let t = figure_table_overlapped(6, 6, 4);
+        assert_eq!(t.rows.len(), 7); // 2·6 − 5 steps
+        assert_eq!(row_text(&t, 0), split("0s"));
+        assert_eq!(row_text(&t, 1), split("0s 11"));
+        assert_eq!(row_text(&t, 2), split("10 1s 22"));
+        assert_eq!(row_text(&t, 3), split("10 1s 22 22 33"));
+        assert_eq!(row_text(&t, 4), split("10 1s 22 22 33 33 33 44"));
+        assert_eq!(row_text(&t, 5), split("10 1s 22 22 33 33 33 44 44 44 55"));
+        assert_eq!(
+            row_text(&t, 6),
+            split("10 1s 22 22 33 33 33 44 44 44 55 55 55")
+        );
+        // The written positions of the last rows match the paper's columns:
+        // 44 at pairs 9..12, 55 at pairs 17..20.
+        let row4: Vec<usize> = t.rows[4].written.iter().map(|(p, _)| *p).collect();
+        assert!(row4.contains(&9));
+        let row6: Vec<usize> = t.rows[6].written.iter().map(|(p, _)| *p).collect();
+        assert_eq!(row6, vec![18, 19]);
+    }
+
+    #[test]
+    fn render_produces_a_row_per_phase_and_marks_empty_cells() {
+        let t = figure_table_sequential(3, 3);
+        let text = t.render();
+        assert_eq!(text.lines().count(), 1 + t.rows.len());
+        assert!(text.contains(" ."));
+        assert!(text.contains("0s"));
+        // Overlapped render too.
+        let t = figure_table_overlapped(3, 4, 0);
+        assert!(t.render().contains("step 2"));
+    }
+
+    #[test]
+    fn skipping_all_stages_yields_empty_schedule() {
+        assert!(overlapped_schedule(4, 4).is_empty());
+        assert!(overlapped_schedule(4, 7).is_empty());
+        assert_eq!(steps_per_level(4, 4), 0);
+    }
+}

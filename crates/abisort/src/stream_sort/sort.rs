@@ -1,0 +1,425 @@
+//! `GPUABiSort` — the complete sort (Listing 2) with the Section 7
+//! optimizations, wrapped in the [`GpuAbiSorter`] API.
+//!
+//! The driver allocates the streams, optionally performs the Section 7.1
+//! local sort, runs the recursion levels (each a [`super::merge`] call),
+//! and applies either the Listing-2 commit or the Section 7.2 fixed-merge
+//! pipeline at the end of every level. The sorted result is read back from
+//! the input half of the node stream, where every level leaves its output
+//! in in-order storage.
+
+use super::kernels;
+use super::merge::{merge_level, MergeOutcome, MergeStreams};
+use crate::config::SortConfig;
+use stream_arch::{
+    Counters, Node, Result, SimTime, Stream, StreamProcessor, Value,
+};
+
+/// The GPU-ABiSort sorter: a [`SortConfig`] plus the logic to run it on a
+/// [`StreamProcessor`].
+#[derive(Clone, Debug, Default)]
+pub struct GpuAbiSorter {
+    config: SortConfig,
+}
+
+/// The outcome of one sort run: the sorted data plus the cost-accounting
+/// artefacts the experiments report.
+#[derive(Clone, Debug)]
+pub struct SortRun {
+    /// The sorted values (same length as the input).
+    pub output: Vec<Value>,
+    /// Event counters accumulated by this run (the processor is reset at
+    /// the start of the run).
+    pub counters: Counters,
+    /// Simulated running time under the processor's hardware profile.
+    pub sim_time: SimTime,
+    /// Host wall-clock time spent executing the run.
+    pub wall_time: std::time::Duration,
+    /// The padded power-of-two problem size the stream program operated on.
+    pub padded_len: usize,
+}
+
+impl GpuAbiSorter {
+    /// Create a sorter with the given configuration.
+    pub fn new(config: SortConfig) -> Self {
+        GpuAbiSorter { config }
+    }
+
+    /// The configuration of this sorter.
+    pub fn config(&self) -> &SortConfig {
+        &self.config
+    }
+
+    /// Sort `values` ascending, returning just the sorted data.
+    ///
+    /// Arbitrary input lengths are supported: non-power-of-two inputs are
+    /// padded with maximum-key sentinels (the paper’s padding remark in
+    /// Section 4) which are cut off again before returning.
+    pub fn sort(&self, proc: &mut StreamProcessor, values: &[Value]) -> Result<Vec<Value>> {
+        Ok(self.sort_run(proc, values)?.output)
+    }
+
+    /// Sort `values` ascending and return the full [`SortRun`] record.
+    pub fn sort_run(&self, proc: &mut StreamProcessor, values: &[Value]) -> Result<SortRun> {
+        let started = std::time::Instant::now();
+        proc.reset();
+
+        let original_len = values.len();
+        if original_len <= 1 {
+            return Ok(SortRun {
+                output: values.to_vec(),
+                counters: proc.counters(),
+                sim_time: proc.simulated_time(),
+                wall_time: started.elapsed(),
+                padded_len: original_len,
+            });
+        }
+
+        // Pad to a power of two (Section 4) with maximum-key sentinels that keep all
+        // elements distinct.
+        let n = original_len.next_power_of_two();
+        let mut padded = values.to_vec();
+        for i in 0..(n - original_len) {
+            padded.push(Value::padding_sentinel(i));
+        }
+
+        proc.check_stream_size::<Node>(2 * n)?;
+        let layout = self.config.layout.to_layout();
+        let log_n = n.trailing_zeros();
+
+        // The Section 7 optimizations assume at least 16 elements (8-element
+        // local-sort blocks, 16-element fixed merges); below that the plain
+        // algorithm runs.
+        let local_sort = self.config.local_sort_optimization && n >= 16;
+        let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
+
+        if self.config.include_transfer {
+            // Upload of the input pairs and readback of the sorted output
+            // (Section 8).
+            proc.charge_transfer(2 * (n as u64) * 8);
+        }
+
+        let mut streams = MergeStreams {
+            trees_a: Stream::new("trees-a", 2 * n, layout),
+            trees_b: Stream::new("trees-b", 2 * n, layout),
+            pq: [
+                Stream::new("pq-a", 2 * n, layout),
+                Stream::new("pq-b", 2 * n, layout),
+            ],
+        };
+        // Value streams used by the Section 7 kernels.
+        let mut scratch_values: Stream<Value> = Stream::new("scratch-values", n, layout);
+        let mut merged_values: Stream<Value> = Stream::new("merged-values", n, layout);
+
+        // --- Input setup -------------------------------------------------
+        let first_level;
+        if local_sort {
+            // Section 7.1: local sort of 8 value/pointer pairs per kernel
+            // instance, then conversion to bitonic trees of 16 nodes.
+            let source = Stream::from_vec("source-values", padded.clone(), layout);
+            kernels::local_sort8(proc, &source, &mut scratch_values, n)?;
+            proc.record_step();
+            kernels::build_trees16(proc, &scratch_values, &mut streams.trees_b, n)?;
+            kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
+            proc.record_step();
+            first_level = 4;
+        } else {
+            // Listing 2: the input half of the node stream holds the source
+            // data with the fixed in-order child indices (host-side
+            // initialization / data upload).
+            kernels::init_input_trees(&mut streams.trees_a, &padded);
+            first_level = 1;
+        }
+
+        // --- Recursion levels (Listing 2 main loop) -----------------------
+        for j in first_level..=log_n {
+            let skip = if fixed_merge && j >= 4 { 4.min(j) } else { 0 };
+            let outcome = merge_level(
+                proc,
+                &mut streams,
+                n,
+                j,
+                self.config.overlapped_steps,
+                skip,
+            )?;
+            match outcome {
+                MergeOutcome::Complete => {
+                    // Reinterpret the merged in-order values as the input
+                    // bitonic trees of the next level (Listing 2).
+                    kernels::commit_level(proc, &streams.trees_a, &mut streams.trees_b, n)?;
+                    kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
+                    proc.record_step();
+                }
+                MergeOutcome::Truncated { roots_start } => {
+                    self.fixed_merge_tail(
+                        proc,
+                        &mut streams,
+                        &mut scratch_values,
+                        &mut merged_values,
+                        n,
+                        j,
+                        kernels::GroupSource::WorkspaceSubtrees { roots_start },
+                    )?;
+                }
+                MergeOutcome::Skipped => {
+                    self.fixed_merge_tail(
+                        proc,
+                        &mut streams,
+                        &mut scratch_values,
+                        &mut merged_values,
+                        n,
+                        j,
+                        kernels::GroupSource::InputTrees { n },
+                    )?;
+                }
+            }
+        }
+
+        let mut output = kernels::read_back_values(&streams.trees_a, n);
+        output.truncate(original_len);
+
+        let counters = proc.counters();
+        Ok(SortRun {
+            output,
+            sim_time: proc.simulated_time(),
+            counters,
+            wall_time: started.elapsed(),
+            padded_len: n,
+        })
+    }
+
+    /// The Section 7.2 tail of an (optionally truncated) level merge:
+    /// extract the 16-value bitonic sequences by in-order traversal, merge
+    /// them with the non-adaptive bitonic merge, and convert the result
+    /// back to bitonic trees for the next level.
+    #[allow(clippy::too_many_arguments)]
+    fn fixed_merge_tail(
+        &self,
+        proc: &mut StreamProcessor,
+        streams: &mut MergeStreams,
+        scratch_values: &mut Stream<Value>,
+        merged_values: &mut Stream<Value>,
+        n: usize,
+        j: u32,
+        source: kernels::GroupSource,
+    ) -> Result<()> {
+        let groups = n / 16;
+        let groups_per_tree = 1usize << (j - 4);
+        kernels::traverse16(proc, &streams.trees_a, scratch_values, groups, source)?;
+        proc.record_step();
+        kernels::fixed_merge16(proc, scratch_values, merged_values, groups, groups_per_tree)?;
+        proc.record_step();
+        kernels::build_trees16(proc, merged_values, &mut streams.trees_b, n)?;
+        kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
+        proc.record_step();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LayoutChoice, SortConfig};
+    use crate::verify::check_sorts;
+    use stream_arch::GpuProfile;
+    use workloads::Distribution;
+
+    fn run(config: SortConfig, n: usize, seed: u64) -> SortRun {
+        let input = workloads::uniform(n, seed);
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let sorter = GpuAbiSorter::new(config);
+        let run = sorter.sort_run(&mut proc, &input).expect("sort failed");
+        check_sorts(&input, &run.output).expect("incorrect sort");
+        run
+    }
+
+    #[test]
+    fn default_configuration_sorts_various_sizes() {
+        for &n in &[16usize, 32, 64, 128, 256, 512, 1024, 4096] {
+            run(SortConfig::default(), n, n as u64);
+        }
+    }
+
+    #[test]
+    fn unoptimized_configuration_sorts_various_sizes() {
+        for &n in &[2usize, 4, 8, 16, 64, 256, 1024] {
+            run(SortConfig::unoptimized(), n, n as u64);
+        }
+    }
+
+    #[test]
+    fn every_configuration_combination_sorts_correctly() {
+        let n = 256;
+        for overlapped in [false, true] {
+            for local in [false, true] {
+                for fixed in [false, true] {
+                    for layout in [LayoutChoice::ZOrder, LayoutChoice::RowWise { width: 64 }] {
+                        let config = SortConfig {
+                            layout,
+                            overlapped_steps: overlapped,
+                            local_sort_optimization: local,
+                            fixed_merge_optimization: fixed,
+                            include_transfer: false,
+                        };
+                        let input = workloads::uniform(n, 7);
+                        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                        let out = GpuAbiSorter::new(config).sort(&mut proc, &input).unwrap();
+                        check_sorts(&input, &out)
+                            .unwrap_or_else(|e| panic!("{}: {e}", config.describe()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_lengths_are_padded() {
+        for &n in &[1usize, 3, 17, 100, 1000, 1023] {
+            let input = workloads::uniform(n, n as u64);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+            let out = GpuAbiSorter::new(SortConfig::default())
+                .sort(&mut proc, &input)
+                .unwrap();
+            assert_eq!(out.len(), n);
+            if n > 1 {
+                check_sorts(&input, &out).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_the_plain_algorithm() {
+        // n < 16 cannot use the Section 7 optimizations; the sorter must
+        // still work with the default (optimized) configuration.
+        for &n in &[2usize, 4, 8] {
+            run(SortConfig::default(), n, 5);
+        }
+    }
+
+    #[test]
+    fn adversarial_distributions_are_sorted() {
+        for dist in Distribution::all_for_data_dependence() {
+            let input = workloads::generate(dist, 512, 3);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let out = GpuAbiSorter::new(SortConfig::default())
+                .sort(&mut proc, &input)
+                .unwrap();
+            check_sorts(&input, &out).unwrap_or_else(|e| panic!("{}: {e}", dist.name()));
+        }
+    }
+
+    #[test]
+    fn comparison_count_is_data_independent() {
+        let n = 1024;
+        let mut counts = std::collections::HashSet::new();
+        for dist in Distribution::all_for_data_dependence() {
+            let input = workloads::generate(dist, n, 11);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .sort_run(&mut proc, &input)
+                .unwrap();
+            counts.insert(run.counters.comparisons);
+        }
+        assert_eq!(counts.len(), 1, "comparison counts varied: {counts:?}");
+    }
+
+    #[test]
+    fn stream_and_sequential_sorts_agree() {
+        for seed in 0..5u64 {
+            let input = workloads::uniform(512, seed);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let stream_out = GpuAbiSorter::new(SortConfig::default())
+                .sort(&mut proc, &input)
+                .unwrap();
+            let seq_out = crate::sequential::adaptive_bitonic_sort(&input);
+            assert_eq!(stream_out, seq_out);
+        }
+    }
+
+    #[test]
+    fn overlapped_steps_reduce_stream_operations() {
+        let n = 4096;
+        let overlapped = run(SortConfig::unoptimized().with_overlapped_steps(true), n, 1);
+        let sequential = run(SortConfig::unoptimized(), n, 1);
+        assert!(overlapped.counters.steps < sequential.counters.steps);
+        assert_eq!(overlapped.counters.comparisons, sequential.counters.comparisons);
+    }
+
+    #[test]
+    fn optimizations_reduce_steps_and_comparisons_stay_bounded() {
+        let n = 4096;
+        let optimized = run(SortConfig::default(), n, 2);
+        let plain = run(
+            SortConfig::default().with_local_sort(false).with_fixed_merge(false),
+            n,
+            2,
+        );
+        assert!(optimized.counters.steps < plain.counters.steps);
+        // The plain adaptive sort stays under the 2 n log n comparison bound
+        // cited in Section 2.1. The Section 7 optimizations trade a few
+        // extra comparisons (the fixed merge is non-adaptive) for far fewer
+        // stream operations, so its bound is slightly looser.
+        let n_log_n = (n as u64) * 12;
+        assert!(plain.counters.comparisons < 2 * n_log_n);
+        assert!(optimized.counters.comparisons < 3 * n_log_n);
+    }
+
+    #[test]
+    fn z_order_layout_beats_row_wise_in_simulated_time() {
+        let n = 8192;
+        let z = run(SortConfig::z_order(), n, 9);
+        let row = run(SortConfig::row_wise(2048), n, 9);
+        assert!(
+            z.sim_time.total_ms < row.sim_time.total_ms,
+            "z-order {:.2} ms vs row-wise {:.2} ms",
+            z.sim_time.total_ms,
+            row.sim_time.total_ms
+        );
+        assert!(z.counters.bytes_read < row.counters.bytes_read);
+    }
+
+    #[test]
+    fn transfer_charge_is_optional_and_additive() {
+        let n = 1024;
+        let without = run(SortConfig::default(), n, 4);
+        let with = run(SortConfig::default().with_transfer(true), n, 4);
+        assert_eq!(without.counters.transfer_bytes, 0);
+        assert_eq!(with.counters.transfer_bytes, 2 * 1024 * 8);
+        assert!(with.sim_time.total_ms > without.sim_time.total_ms);
+    }
+
+    #[test]
+    fn sort_run_reports_padded_length_and_wall_time() {
+        let input = workloads::uniform(100, 0);
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let run = GpuAbiSorter::new(SortConfig::default())
+            .sort_run(&mut proc, &input)
+            .unwrap();
+        assert_eq!(run.padded_len, 128);
+        assert_eq!(run.output.len(), 100);
+        assert!(run.wall_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn empty_and_single_element_inputs() {
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        assert!(sorter.sort(&mut proc, &[]).unwrap().is_empty());
+        let one = vec![Value::new(2.0, 7)];
+        assert_eq!(sorter.sort(&mut proc, &one).unwrap(), one);
+    }
+
+    #[test]
+    fn stream_size_limit_is_enforced() {
+        // A profile with a tiny maximum texture dimension must reject
+        // oversized inputs instead of producing wrong results.
+        let mut profile = GpuProfile::geforce_6800();
+        profile.max_texture_dim = 8; // max 64 elements per stream
+        let mut proc = StreamProcessor::new(profile);
+        let input = workloads::uniform(64, 0); // needs a 128-node stream
+        let err = GpuAbiSorter::new(SortConfig::default())
+            .sort(&mut proc, &input)
+            .unwrap_err();
+        assert!(matches!(err, stream_arch::StreamError::StreamTooLarge { .. }));
+    }
+}

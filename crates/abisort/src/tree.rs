@@ -1,0 +1,307 @@
+//! Bitonic trees (Section 4.1 of the paper).
+//!
+//! A bitonic sequence `a₀ … a_{n−1}` of power-of-two length is stored as a
+//! fully balanced binary tree of `n − 1` nodes whose in-order traversal
+//! yields `a₀ … a_{n−2}`, plus a separately kept *spare* node holding
+//! `a_{n−1}`. The benefit is that a whole subtree (and with it a block of
+//! `2^k − 1` consecutive sequence elements) can be exchanged with a single
+//! pointer swap — the operation that makes the bitonic merge *adaptive*.
+//!
+//! [`BitonicTree`] stores the nodes of one or several such trees in a flat
+//! array ("instead of real pointers we use indexes", Listing 1). The
+//! *in-order storage* convention of Listing 2 is used throughout: the node
+//! holding in-order element `i` initially sits at array position `i`, and
+//! its children are found at the fixed offsets computed by
+//! [`fixed_children`]. After adaptive merges have swapped child pointers the
+//! array order no longer matches the in-order order; the logical sequence is
+//! recovered by [`BitonicTree::in_order_of`].
+
+use stream_arch::{Node, Value, NULL_INDEX};
+
+/// The fixed child indices of the node at array position `index` in an
+/// in-order-stored fully balanced tree (Listing 2):
+///
+/// ```text
+/// left  = i − ((i+1) & !i) / 2
+/// right = i + ((i+1) & !i) / 2
+/// ```
+///
+/// `(i+1) & !i` isolates the lowest zero bit of `i`, i.e. `2^t` where `t`
+/// is the number of trailing one bits — which is exactly the height of the
+/// node above the leaf level, so the children sit `2^{t−1}` positions away.
+/// Leaf positions (even `i`) map to themselves; their child indices are
+/// never dereferenced.
+///
+/// The formula is valid for global indices too: adding a power-of-two base
+/// offset that is larger than the tree does not change the trailing one
+/// bits of the local index.
+#[inline]
+pub fn fixed_children(index: usize) -> (u32, u32) {
+    let i = index as u64;
+    let step = ((i + 1) & !i) / 2;
+    ((i - step) as u32, (i + step) as u32)
+}
+
+/// Position of the root node of the `t`-th block of length `block_len`
+/// (both in elements) in an in-order-stored tree.
+#[inline]
+pub fn block_root_index(t: usize, block_len: usize) -> usize {
+    t * block_len + block_len / 2 - 1
+}
+
+/// Position of the spare node of the `t`-th block of length `block_len`.
+#[inline]
+pub fn block_spare_index(t: usize, block_len: usize) -> usize {
+    (t + 1) * block_len - 1
+}
+
+/// A flat pool of bitonic-tree nodes covering a sequence of power-of-two
+/// length `n`: array positions `0 ‥ n−2` form the tree, position `n−1` is
+/// the spare node.
+#[derive(Clone, Debug)]
+pub struct BitonicTree {
+    nodes: Vec<Node>,
+    len: usize,
+}
+
+impl BitonicTree {
+    /// Build the in-order-stored tree over `values`
+    /// (`values.len()` must be a power of two ≥ 2).
+    pub fn from_values(values: &[Value]) -> Self {
+        let n = values.len();
+        assert!(n >= 2 && n.is_power_of_two(), "sequence length must be a power of two >= 2");
+        let nodes = values
+            .iter()
+            .enumerate()
+            .map(|(i, &value)| {
+                if i == n - 1 {
+                    Node::leaf(value)
+                } else {
+                    let (left, right) = fixed_children(i);
+                    // Leaves point at themselves under the fixed formula;
+                    // mark them with the sentinel instead.
+                    if left as usize == i {
+                        Node::leaf(value)
+                    } else {
+                        Node::new(value, left, right)
+                    }
+                }
+            })
+            .collect();
+        BitonicTree { nodes, len: n }
+    }
+
+    /// Sequence length `n` covered by this pool.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the pool is empty (never the case for a constructed tree).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Array position of the root of the whole tree.
+    pub fn root_index(&self) -> usize {
+        self.len / 2 - 1
+    }
+
+    /// Array position of the spare node of the whole tree.
+    pub fn spare_index(&self) -> usize {
+        self.len - 1
+    }
+
+    /// Shared access to the node pool.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access to the node pool (used by the sequential merge).
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// Value stored at array position `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        self.nodes[i].value
+    }
+
+    /// The sequence represented by the subtree rooted at `root` followed by
+    /// the value of `spare`: an in-order traversal following the (possibly
+    /// swapped) child pointers.
+    ///
+    /// `height` is the number of tree levels below and including `root`
+    /// (1 for a single leaf). The subtree then holds `2^height − 1` nodes
+    /// and the returned sequence has `2^height` elements.
+    pub fn in_order_of(&self, root: usize, spare: usize, height: u32) -> Vec<Value> {
+        let mut out = Vec::with_capacity(1 << height);
+        self.in_order_rec(root, height, &mut out);
+        out.push(self.nodes[spare].value);
+        out
+    }
+
+    fn in_order_rec(&self, node: usize, height: u32, out: &mut Vec<Value>) {
+        let n = &self.nodes[node];
+        if height <= 1 {
+            out.push(n.value);
+            return;
+        }
+        debug_assert_ne!(n.left, NULL_INDEX, "internal node with sentinel child");
+        self.in_order_rec(n.left as usize, height - 1, out);
+        out.push(n.value);
+        self.in_order_rec(n.right as usize, height - 1, out);
+    }
+
+    /// The full sequence represented by the pool: in-order traversal of the
+    /// whole tree followed by the spare value.
+    pub fn to_sequence(&self) -> Vec<Value> {
+        let height = self.len.trailing_zeros();
+        self.in_order_of(self.root_index(), self.spare_index(), height)
+    }
+
+    /// Check the structural invariant of an in-order-stored pool *before*
+    /// any merge has run: node at position `i` has the fixed children.
+    pub fn has_fixed_structure(&self) -> bool {
+        (0..self.len - 1).all(|i| {
+            let (l, r) = fixed_children(i);
+            let node = &self.nodes[i];
+            if l as usize == i {
+                node.left == NULL_INDEX && node.right == NULL_INDEX
+            } else {
+                node.left == l && node.right == r
+            }
+        })
+    }
+
+    /// Collect the set of array positions reachable from `root` (including
+    /// `root`) given the subtree height. Used by tests to verify that
+    /// pointer swaps never leak nodes across block boundaries.
+    pub fn reachable_from(&self, root: usize, height: u32) -> Vec<usize> {
+        let mut out = Vec::with_capacity((1 << height) - 1);
+        self.reachable_rec(root, height, &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn reachable_rec(&self, node: usize, height: u32, out: &mut Vec<usize>) {
+        out.push(node);
+        if height <= 1 {
+            return;
+        }
+        let n = &self.nodes[node];
+        self.reachable_rec(n.left as usize, height - 1, out);
+        self.reachable_rec(n.right as usize, height - 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(n: usize) -> Vec<Value> {
+        (0..n).map(|i| Value::new(i as f32, i as u32)).collect()
+    }
+
+    #[test]
+    fn fixed_children_formula_matches_known_tree() {
+        // For n = 8 (positions 0..6 tree, 7 spare): root 3 has children 1,5;
+        // 1 has 0,2; 5 has 4,6; leaves 0,2,4,6 point at themselves.
+        assert_eq!(fixed_children(3), (1, 5));
+        assert_eq!(fixed_children(1), (0, 2));
+        assert_eq!(fixed_children(5), (4, 6));
+        assert_eq!(fixed_children(0), (0, 0));
+        assert_eq!(fixed_children(2), (2, 2));
+        // Larger tree: root of n=16 at 7 has children 3 and 11.
+        assert_eq!(fixed_children(7), (3, 11));
+        assert_eq!(fixed_children(11), (9, 13));
+    }
+
+    #[test]
+    fn fixed_children_valid_with_power_of_two_base_offset() {
+        // The same structure must hold when indices are offset by n
+        // (Listing 2 initialises the second half of the node stream).
+        let n = 16usize;
+        for local in 0..n - 1 {
+            let (l, r) = fixed_children(local);
+            let (gl, gr) = fixed_children(n + local);
+            if l as usize == local {
+                assert_eq!(gl as usize, n + local);
+                assert_eq!(gr as usize, n + local);
+            } else {
+                assert_eq!(gl as usize, n + l as usize);
+                assert_eq!(gr as usize, n + r as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn block_root_and_spare_positions() {
+        // Level j=1 blocks of length 2: roots 0,2,4,..., spares 1,3,5,...
+        assert_eq!(block_root_index(0, 2), 0);
+        assert_eq!(block_spare_index(0, 2), 1);
+        assert_eq!(block_root_index(3, 2), 6);
+        // Level j=2 blocks of length 4: roots 1,5,..., spares 3,7,...
+        assert_eq!(block_root_index(0, 4), 1);
+        assert_eq!(block_spare_index(0, 4), 3);
+        assert_eq!(block_root_index(1, 4), 5);
+        assert_eq!(block_spare_index(1, 4), 7);
+        // Whole tree of 16: root 7, spare 15.
+        assert_eq!(block_root_index(0, 16), 7);
+        assert_eq!(block_spare_index(0, 16), 15);
+    }
+
+    #[test]
+    fn tree_from_values_has_in_order_traversal_equal_to_input() {
+        for log_n in 1..=8u32 {
+            let n = 1usize << log_n;
+            let values = seq(n);
+            let tree = BitonicTree::from_values(&values);
+            assert_eq!(tree.len(), n);
+            assert!(!tree.is_empty());
+            assert!(tree.has_fixed_structure());
+            assert_eq!(tree.to_sequence(), values, "n={n}");
+        }
+    }
+
+    #[test]
+    fn subtree_traversal_covers_blocks() {
+        let n = 16usize;
+        let tree = BitonicTree::from_values(&seq(n));
+        // Level j=2: block 1 covers elements 4..8.
+        let sub = tree.in_order_of(block_root_index(1, 4), block_spare_index(1, 4), 2);
+        assert_eq!(sub, seq(16)[4..8].to_vec());
+        // Level j=3: block 0 covers elements 0..8.
+        let sub = tree.in_order_of(block_root_index(0, 8), block_spare_index(0, 8), 3);
+        assert_eq!(sub, seq(16)[0..8].to_vec());
+    }
+
+    #[test]
+    fn reachable_sets_are_the_block_positions() {
+        let n = 32usize;
+        let tree = BitonicTree::from_values(&seq(n));
+        for j in 1..=5u32 {
+            let block = 1usize << j;
+            for t in 0..n / block {
+                let root = block_root_index(t, block);
+                let reach = tree.reachable_from(root, j);
+                let expected: Vec<usize> = (t * block..(t + 1) * block - 1).collect();
+                assert_eq!(reach, expected, "j={j} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = BitonicTree::from_values(&seq(6));
+    }
+
+    #[test]
+    fn value_at_reads_array_position() {
+        let tree = BitonicTree::from_values(&seq(8));
+        assert_eq!(tree.value_at(5), Value::new(5.0, 5));
+        assert_eq!(tree.root_index(), 3);
+        assert_eq!(tree.spare_index(), 7);
+        assert_eq!(tree.nodes().len(), 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Correctness checkers used by tests, property tests and the benchmark
+//! harness.
+//!
+//! Every sorter in this repository is validated with the same two
+//! predicates — the output must be *sorted* under the total order of
+//! [`Value`] and must be a *permutation* of the input — plus the
+//! bitonic-specific invariants ([`is_bitonic`], [`count_direction_changes`])
+//! that the merge algorithms rely on.
+
+use stream_arch::Value;
+
+/// True if `values` is sorted ascending under the total order
+/// (key, then id).
+pub fn is_sorted(values: &[Value]) -> bool {
+    values.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// True if `values` is sorted descending under the total order.
+pub fn is_sorted_descending(values: &[Value]) -> bool {
+    values.windows(2).all(|w| w[0] >= w[1])
+}
+
+/// True if `a` is a permutation of `b` (same multiset of (key, id) pairs).
+pub fn is_permutation(a: &[Value], b: &[Value]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let canon = |v: &[Value]| {
+        let mut keys: Vec<(u32, u32)> = v.iter().map(|x| (x.key.to_bits(), x.id)).collect();
+        keys.sort_unstable();
+        keys
+    };
+    canon(a) == canon(b)
+}
+
+/// Number of *direction changes* in the circular sequence: positions `i`
+/// (taken cyclically) where the comparison sign of `(a[i], a[i+1])` differs
+/// from the sign at the previous non-equal comparison.
+///
+/// A sequence of distinct elements is bitonic — i.e. some rotation of it is
+/// ascending-then-descending (Section 4.1) — if and only if the circular
+/// sequence has at most two direction changes.
+pub fn count_direction_changes(values: &[Value]) -> usize {
+    let n = values.len();
+    if n < 3 {
+        return 0;
+    }
+    // Signs of all n circular comparisons, equal pairs skipped.
+    let signs: Vec<i8> = (0..n)
+        .filter_map(|i| match values[i].total_cmp(&values[(i + 1) % n]) {
+            std::cmp::Ordering::Less => Some(-1i8),
+            std::cmp::Ordering::Greater => Some(1),
+            std::cmp::Ordering::Equal => None,
+        })
+        .collect();
+    if signs.is_empty() {
+        return 0;
+    }
+    (0..signs.len())
+        .filter(|&i| signs[i] != signs[(i + 1) % signs.len()])
+        .count()
+}
+
+/// True if the sequence is bitonic in the paper's sense: after some
+/// rotation it is monotonically increasing then monotonically decreasing
+/// (either part may be empty). Assumes distinct elements.
+pub fn is_bitonic(values: &[Value]) -> bool {
+    count_direction_changes(values) <= 2
+}
+
+/// Assert (returning a descriptive error string) that `output` is the
+/// ascending sort of `input`. Used by the harness to fail loudly.
+pub fn check_sorts(input: &[Value], output: &[Value]) -> Result<(), String> {
+    if !is_sorted(output) {
+        let bad = output
+            .windows(2)
+            .position(|w| w[0] > w[1])
+            .unwrap_or_default();
+        return Err(format!(
+            "output is not sorted: positions {bad} and {} are out of order ({} > {})",
+            bad + 1,
+            output[bad],
+            output[bad + 1]
+        ));
+    }
+    if !is_permutation(input, output) {
+        return Err("output is not a permutation of the input".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(keys: &[f32]) -> Vec<Value> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| Value::new(k, i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn sortedness_checks() {
+        assert!(is_sorted(&vals(&[1.0, 2.0, 3.0])));
+        assert!(!is_sorted(&vals(&[1.0, 3.0, 2.0])));
+        assert!(is_sorted_descending(&vals(&[3.0, 2.0, 1.0])));
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&vals(&[1.0])));
+        // Equal keys: ascending ids keep it sorted.
+        assert!(is_sorted(&vals(&[1.0, 1.0])));
+    }
+
+    #[test]
+    fn permutation_checks() {
+        let a = vals(&[1.0, 2.0, 3.0]);
+        let mut b = a.clone();
+        b.reverse();
+        assert!(is_permutation(&a, &b));
+        assert!(!is_permutation(&a, &vals(&[1.0, 2.0])));
+        // Same keys but different ids is not a permutation.
+        let c = vec![Value::new(1.0, 9), Value::new(2.0, 1), Value::new(3.0, 2)];
+        assert!(!is_permutation(&a, &c));
+    }
+
+    #[test]
+    fn bitonic_checks() {
+        assert!(is_bitonic(&vals(&[1.0, 3.0, 4.0, 2.0]))); // up then down
+        assert!(is_bitonic(&vals(&[4.0, 2.0, 1.0, 3.0]))); // down then up (rotation)
+        assert!(is_bitonic(&vals(&[1.0, 2.0, 3.0, 4.0]))); // monotonic
+        assert!(is_bitonic(&vals(&[4.0, 3.0, 2.0, 1.0])));
+        assert!(!is_bitonic(&vals(&[1.0, 3.0, 2.0, 4.0, 0.0, 5.0])));
+        // The paper's Figure 1 example sequence is bitonic.
+        let fig1 = vals(&[
+            0.0, 2.0, 3.0, 5.0, 7.0, 10.0, 11.0, 13.0, 15.0, 14.0, 12.0, 9.0, 8.0, 6.0, 4.0, 1.0,
+        ]);
+        assert!(is_bitonic(&fig1));
+    }
+
+    #[test]
+    fn direction_change_counts() {
+        // The count is circular: a monotonic run changes direction twice
+        // around the wrap, a zig-zag four times.
+        assert_eq!(count_direction_changes(&vals(&[1.0, 2.0, 3.0])), 2);
+        assert_eq!(count_direction_changes(&vals(&[1.0, 3.0, 2.0])), 2);
+        assert_eq!(count_direction_changes(&vals(&[1.0, 3.0, 2.0, 4.0])), 4);
+        assert_eq!(count_direction_changes(&vals(&[1.0, 2.0])), 0);
+        // Truly identical elements (same key and id) produce no signs at all.
+        let same = vec![Value::new(2.0, 5); 3];
+        assert_eq!(count_direction_changes(&same), 0);
+    }
+
+    #[test]
+    fn check_sorts_reports_problems() {
+        let input = vals(&[3.0, 1.0, 2.0]);
+        let sorted = vals(&[1.0, 2.0, 3.0]); // ids differ from input permutation
+        let err = check_sorts(&input, &sorted).unwrap_err();
+        assert!(err.contains("permutation"));
+
+        let mut ok: Vec<Value> = input.clone();
+        ok.sort();
+        assert!(check_sorts(&input, &ok).is_ok());
+
+        let unsorted = input.clone();
+        let err = check_sorts(&input, &unsorted).unwrap_err();
+        assert!(err.contains("not sorted"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared infrastructure for sorting-network baselines on the stream
+//! simulator.
+//!
+//! A comparator network is executed as one stream operation per network
+//! *step* (the way every GPU sorting-network implementation the paper cites
+//! works, e.g. Purcell et al. 2003, Kipfer et al. 2004, Govindaraju et al.
+//! 2005): each kernel instance owns one output element, reads its own
+//! element linearly, gathers its comparator partner, and writes the minimum
+//! or maximum depending on its role in the compare-exchange. The element
+//! streams are ping-ponged because input and output must be distinct
+//! (Section 6.1).
+//!
+//! Because sorting networks are data independent, the pass structure is a
+//! pure function of the element index — [`run_network`] takes that function
+//! and handles the ping-pong, cost accounting and result read-back.
+
+use stream_arch::{
+    Counters, GatherView, GpuProfile, Layout, ReadView, Result, SimTime, Stream, StreamProcessor,
+    Value, WriteView,
+};
+
+/// The role of one element in one network step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Compare with `partner` and keep the minimum.
+    KeepMin {
+        /// The comparator partner's element index.
+        partner: usize,
+    },
+    /// Compare with `partner` and keep the maximum.
+    KeepMax {
+        /// The comparator partner's element index.
+        partner: usize,
+    },
+    /// Not part of any comparator in this step; copy the element through.
+    Copy,
+}
+
+/// Result of running a sorting network on the stream simulator.
+#[derive(Clone, Debug)]
+pub struct NetworkRun {
+    /// The sorted output.
+    pub output: Vec<Value>,
+    /// Event counters of the run.
+    pub counters: Counters,
+    /// Simulated running time under the processor's profile.
+    pub sim_time: SimTime,
+    /// Host wall-clock time of the run.
+    pub wall_time: std::time::Duration,
+    /// Number of network steps (stream operations) executed.
+    pub passes: usize,
+}
+
+/// Execute a comparator network described by `role(pass, element) -> Role`
+/// over `passes` steps.
+///
+/// The input length must be a power of two (all the networks implemented
+/// here are defined for power-of-two sizes; callers pad like the paper's
+/// GPU implementations do).
+pub fn run_network<F>(
+    proc: &mut StreamProcessor,
+    values: &[Value],
+    layout: Layout,
+    passes: usize,
+    role: F,
+) -> Result<NetworkRun>
+where
+    F: Fn(usize, usize) -> Role + Sync,
+{
+    let started = std::time::Instant::now();
+    proc.reset();
+    let n = values.len();
+    assert!(n.is_power_of_two(), "network sorters require a power-of-two length");
+    proc.check_stream_size::<Value>(n)?;
+
+    let mut current = Stream::from_vec("network-a", values.to_vec(), layout);
+    let mut next: Stream<Value> = Stream::new("network-b", n, layout);
+
+    for pass in 0..passes {
+        {
+            proc.check_distinct_io(
+                &[(current.id(), current.name())],
+                &[(next.id(), next.name())],
+            )?;
+            let own = ReadView::contiguous(&current, 0, n, 1)?;
+            let gather = GatherView::new(&current);
+            let out = WriteView::contiguous(&mut next, 0, n, 1)?;
+            let role = &role;
+            proc.launch("network-pass", n, |ctx| {
+                let i = ctx.instance_index();
+                let mine = own.get(ctx, 0);
+                let result = match role(pass, i) {
+                    Role::Copy => mine,
+                    Role::KeepMin { partner } => {
+                        let other = gather.gather(ctx, partner);
+                        ctx.count_comparisons(1);
+                        if other < mine {
+                            other
+                        } else {
+                            mine
+                        }
+                    }
+                    Role::KeepMax { partner } => {
+                        let other = gather.gather(ctx, partner);
+                        ctx.count_comparisons(1);
+                        if other > mine {
+                            other
+                        } else {
+                            mine
+                        }
+                    }
+                };
+                out.set(ctx, 0, result);
+            })?;
+        }
+        proc.record_step();
+        std::mem::swap(&mut current, &mut next);
+    }
+
+    Ok(NetworkRun {
+        output: current.as_slice().to_vec(),
+        counters: proc.counters(),
+        sim_time: proc.simulated_time(),
+        wall_time: started.elapsed(),
+        passes,
+    })
+}
+
+/// Pad to a power of two with maximum-key sentinels, run the network, and cut the
+/// sentinels off again. Used by the public sorter types.
+pub fn run_network_padded<F>(
+    proc: &mut StreamProcessor,
+    values: &[Value],
+    layout: Layout,
+    passes_for: impl Fn(usize) -> usize,
+    role: F,
+) -> Result<NetworkRun>
+where
+    F: Fn(usize, usize) -> Role + Sync,
+{
+    let original = values.len();
+    if original <= 1 {
+        proc.reset();
+        return Ok(NetworkRun {
+            output: values.to_vec(),
+            counters: proc.counters(),
+            sim_time: proc.simulated_time(),
+            wall_time: std::time::Duration::ZERO,
+            passes: 0,
+        });
+    }
+    let n = original.next_power_of_two();
+    let mut padded = values.to_vec();
+    for i in 0..(n - original) {
+        padded.push(Value::padding_sentinel(i));
+    }
+    let mut run = run_network(proc, &padded, layout, passes_for(n), role)?;
+    run.output.truncate(original);
+    Ok(run)
+}
+
+/// Convenience: a processor with the default GeForce 7800 profile, used by
+/// doc examples and tests.
+pub fn default_processor() -> StreamProcessor {
+    StreamProcessor::new(GpuProfile::geforce_7800())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial "network": one pass of adjacent compare-exchanges.
+    fn adjacent_role(_pass: usize, i: usize) -> Role {
+        if i % 2 == 0 {
+            Role::KeepMin { partner: i + 1 }
+        } else {
+            Role::KeepMax { partner: i - 1 }
+        }
+    }
+
+    #[test]
+    fn single_pass_compare_exchange_works() {
+        let input = vec![
+            Value::new(4.0, 0),
+            Value::new(1.0, 1),
+            Value::new(2.0, 2),
+            Value::new(3.0, 3),
+        ];
+        let mut proc = default_processor();
+        let run = run_network(&mut proc, &input, Layout::Linear, 1, adjacent_role).unwrap();
+        let keys: Vec<f32> = run.output.iter().map(|v| v.key).collect();
+        assert_eq!(keys, vec![1.0, 4.0, 2.0, 3.0]);
+        assert_eq!(run.passes, 1);
+        assert_eq!(run.counters.launches, 1);
+        assert_eq!(run.counters.kernel_instances, 4);
+        assert_eq!(run.counters.comparisons, 4);
+    }
+
+    #[test]
+    fn copy_role_passes_elements_through() {
+        let input = workloads::uniform(8, 1);
+        let mut proc = default_processor();
+        let run = run_network(&mut proc, &input, Layout::Linear, 3, |_, _| Role::Copy).unwrap();
+        assert_eq!(run.output, input);
+        assert_eq!(run.counters.comparisons, 0);
+        assert_eq!(run.counters.launches, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_is_rejected_by_the_core_runner() {
+        let input = workloads::uniform(6, 0);
+        let mut proc = default_processor();
+        let _ = run_network(&mut proc, &input, Layout::Linear, 1, adjacent_role);
+    }
+
+    #[test]
+    fn padded_runner_handles_arbitrary_lengths_and_tiny_inputs() {
+        let input = workloads::uniform(5, 2);
+        let mut proc = default_processor();
+        let run =
+            run_network_padded(&mut proc, &input, Layout::Linear, |_| 1, adjacent_role).unwrap();
+        assert_eq!(run.output.len(), 5);
+
+        let single = vec![Value::new(1.0, 0)];
+        let run = run_network_padded(&mut proc, &single, Layout::Linear, |_| 1, adjacent_role)
+            .unwrap();
+        assert_eq!(run.output, single);
+        assert_eq!(run.passes, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! E15 — ablation: the effect of each design choice (layout, overlapped
+//! stages, Section 7 optimizations) on the cost of a sort. The
+//! simulated-time version is `repro --experiment ablation`.
+
+use abisort::{GpuAbiSorter, LayoutChoice, SortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n = 1usize << 13;
+    let input = workloads::uniform(n, 13);
+
+    let configs: Vec<(&str, SortConfig)> = vec![
+        (
+            "baseline_rowwise_sequential",
+            SortConfig::unoptimized().with_layout(LayoutChoice::RowWise { width: 2048 }),
+        ),
+        ("zorder", SortConfig::unoptimized()),
+        ("zorder_overlapped", SortConfig::unoptimized().with_overlapped_steps(true)),
+        (
+            "zorder_overlapped_localsort",
+            SortConfig::unoptimized()
+                .with_overlapped_steps(true)
+                .with_local_sort(true),
+        ),
+        ("full_gpu_abisort", SortConfig::default()),
+    ];
+
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::new("config", name), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                GpuAbiSorter::new(config).sort_run(&mut proc, input).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E10 — data dependence: the CPU quicksort's wall-clock time varies with
+//! the input distribution while GPU-ABiSort's stays flat (its comparison
+//! count is data independent).
+
+use abisort::{GpuAbiSorter, SortConfig};
+use baselines::CpuSorter;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+use workloads::Distribution;
+
+fn bench_data_dependence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_dependence");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n = 1usize << 13;
+
+    for dist in Distribution::all_for_data_dependence() {
+        let input = workloads::generate(dist, n, 7);
+        group.bench_with_input(
+            BenchmarkId::new("cpu_quicksort", dist.name()),
+            &input,
+            |b, input| b.iter(|| CpuSorter.sort(input)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gpu_abisort", dist.name()),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                    GpuAbiSorter::new(SortConfig::default())
+                        .sort_run(&mut proc, input)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_data_dependence);
+criterion_main!(benches);

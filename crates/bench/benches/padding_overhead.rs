@@ -1,0 +1,29 @@
+//! E18 — cost of the power-of-two padding (Section 4) for non-power-of-two
+//! input lengths; the remedy (pruned bitonic trees) is the future work of
+//! Section 9. The simulated-time version is `repro --experiment padding`.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+
+fn bench_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding_overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let base = 1usize << 12;
+    for n in [base, base + 1, base + base / 2, 2 * base - 1] {
+        let input = workloads::uniform(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                GpuAbiSorter::new(SortConfig::default()).sort_run(&mut proc, input).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_padding);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E16 — the PRAM sorters of Section 2.1: Bilardi–Nicolau adaptive bitonic
+//! sort (EREW), Batcher's bitonic network (EREW) and the rank-based
+//! parallel merge sort (CREW) on the explicit PRAM simulator. The
+//! simulated-step version is `repro --experiment pram`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pram::sorters::{abisort_pram, bitonic_network, rank_merge};
+use std::time::Duration;
+
+fn bench_pram_sorters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pram_sorters");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for log_n in [10u32, 12] {
+        let n = 1usize << log_n;
+        let input = workloads::uniform(n, log_n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("abisort_overlapped", n), &input, |b, input| {
+            b.iter(|| abisort_pram::sort(input).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("abisort_sequential_stages", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    abisort_pram::sort_with_schedule(
+                        input,
+                        abisort_pram::Schedule::SequentialStages,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("bitonic_network", n), &input, |b, input| {
+            b.iter(|| bitonic_network::sort(input).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rank_merge", n), &input, |b, input| {
+            b.iter(|| rank_merge::sort(input).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pram_sorters);
+criterion_main!(benches);

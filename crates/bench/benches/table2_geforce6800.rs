@@ -1,0 +1,53 @@
+//! E8 — Table 2 (GeForce 6800 system): wall-clock benchmark of the four
+//! sorters the table compares, at simulator-friendly sizes.
+//!
+//! The full-size (up to n = 2^20) simulated-time table is produced by
+//! `cargo run --release -p bench --bin repro -- --table 2`; this Criterion
+//! bench measures the host wall-clock cost of the same code paths so that
+//! regressions in the implementation itself are visible.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use baselines::{CpuSorter, GpuSortBaseline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_geforce6800");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for log_n in [12u32, 14] {
+        let n = 1usize << log_n;
+        let input = workloads::uniform(n, 42);
+
+        group.bench_with_input(BenchmarkId::new("cpu_quicksort", n), &input, |b, input| {
+            b.iter(|| CpuSorter.sort(input))
+        });
+        group.bench_with_input(BenchmarkId::new("gpusort_bitonic_network", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                GpuSortBaseline::new().sort(&mut proc, input).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_abisort_rowwise", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                GpuAbiSorter::new(SortConfig::row_wise(2048))
+                    .sort_run(&mut proc, input)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_abisort_zorder", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                GpuAbiSorter::new(SortConfig::z_order())
+                    .sort_run(&mut proc, input)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E9 — Table 3 (GeForce 7800 system): wall-clock benchmark of the three
+//! sorters the table compares. See `repro --table 3` for the full-size
+//! simulated-time table.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use baselines::{CpuSorter, GpuSortBaseline};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_geforce7800");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for log_n in [12u32, 14] {
+        let n = 1usize << log_n;
+        let input = workloads::uniform(n, 42);
+
+        group.bench_with_input(BenchmarkId::new("cpu_quicksort", n), &input, |b, input| {
+            b.iter(|| CpuSorter.sort(input))
+        });
+        group.bench_with_input(BenchmarkId::new("gpusort_bitonic_network", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                GpuSortBaseline::new().sort(&mut proc, input).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gpu_abisort_zorder", n), &input, |b, input| {
+            b.iter(|| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                GpuAbiSorter::new(SortConfig::z_order())
+                    .sort_run(&mut proc, input)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E17 — the hybrid out-of-core pipeline (GPUTeraSort scenario, Section
+//! 2.2) with the three in-core sorters. The simulated-time version is
+//! `repro --experiment terasort`.
+
+use abisort::SortConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use terasort::{
+    disk::{DiskProfile, SimulatedDisk},
+    pipeline::{CoreSorter, TeraSortConfig, TeraSorter},
+    record,
+};
+
+fn bench_terasort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("terasort_pipeline");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let records = record::generate(16_384, 7);
+    group.throughput(Throughput::Elements(records.len() as u64));
+
+    let sorters: Vec<(&str, CoreSorter)> = vec![
+        ("gpu_abisort", CoreSorter::GpuAbiSort(SortConfig::default())),
+        ("gpusort_network", CoreSorter::GpuBitonicNetwork),
+        ("cpu_quicksort", CoreSorter::CpuQuicksort),
+    ];
+
+    for (name, core_sorter) in sorters {
+        group.bench_with_input(BenchmarkId::new("core_sorter", name), &records, |b, records| {
+            b.iter(|| {
+                let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+                let input = disk.create("table");
+                disk.append(input, records);
+                let config = TeraSortConfig {
+                    run_size: 4_096,
+                    core_sorter: core_sorter.clone(),
+                    ..TeraSortConfig::default()
+                };
+                TeraSorter::new(config).sort(&mut disk, input).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_terasort);
+criterion_main!(benches);

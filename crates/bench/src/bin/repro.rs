@@ -1,0 +1,209 @@
+//! `repro` — regenerate the paper's tables and figures on the simulator.
+//!
+//! ```text
+//! cargo run --release -p bench --bin repro -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --all                 run every experiment (default if nothing else is given)
+//!   --table 2|3           the timing tables (E8 / E9)
+//!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
+//!   --experiment NAME     data-dependence | transfer | stream-ops | work |
+//!                         scaling | ablation | pram | terasort | padding
+//!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
+//!                         for a quick run)
+//!   --json PATH           additionally write all collected results as JSON
+//! ```
+
+use bench::extended::{render_padding, render_pram, render_terasort};
+use bench::report::{
+    render_ablation, render_data_dependence, render_scaling, render_stream_ops, render_timing_table,
+    render_transfer, render_work,
+};
+use bench::{experiments, extended, Report};
+
+#[derive(Debug)]
+struct Options {
+    all: bool,
+    table2: bool,
+    table3: bool,
+    figures: bool,
+    experiments: Vec<String>,
+    max_log_n: u32,
+    json: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        all: false,
+        table2: false,
+        table3: false,
+        figures: false,
+        experiments: Vec::new(),
+        max_log_n: 20,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut any = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all" => {
+                opts.all = true;
+                any = true;
+            }
+            "--table" => {
+                match args.next().as_deref() {
+                    Some("2") => opts.table2 = true,
+                    Some("3") => opts.table3 = true,
+                    other => {
+                        eprintln!("unknown table {other:?} (expected 2 or 3)");
+                        std::process::exit(2);
+                    }
+                }
+                any = true;
+            }
+            "--figures" | "--figure" => {
+                opts.figures = true;
+                any = true;
+            }
+            "--experiment" => {
+                let name = args.next().unwrap_or_default();
+                opts.experiments.push(name);
+                any = true;
+            }
+            "--max-log-n" => {
+                opts.max_log_n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--max-log-n requires an integer argument");
+            }
+            "--json" => {
+                opts.json = Some(args.next().expect("--json requires a path"));
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of repro.rs");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if !any {
+        opts.all = true;
+    }
+    opts
+}
+
+fn print_figures() {
+    use abisort::stream_sort::layout_plan::{figure_table_overlapped, figure_table_sequential};
+    println!("Figure 4 — output stream layout, j = 4, n = 2^4");
+    println!("{}", figure_table_sequential(4, 4).render());
+    println!("Figure 5 — output stream layout, j = 4, n = 2^5 (two trees)");
+    println!("{}", figure_table_sequential(4, 5).render());
+    println!("Figure 6 — overlapped stages (Section 5.4), j = 4, n = 2^5");
+    println!("{}", figure_table_overlapped(4, 5, 0).render());
+    println!("Figure 7 — last 4 stages replaced by the fixed merge (Section 7.2), j = 6");
+    println!("{}", figure_table_overlapped(6, 6, 4).render());
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut report = Report::default();
+    let wants = |name: &str| opts.all || opts.experiments.iter().any(|e| e == name);
+
+    if opts.all || opts.figures {
+        print_figures();
+    }
+
+    if opts.all || opts.table2 {
+        eprintln!("running Table 2 (GeForce 6800 profile), n up to 2^{} …", opts.max_log_n);
+        report.table2 = experiments::table2_geforce_6800(opts.max_log_n);
+        println!(
+            "{}",
+            render_timing_table(
+                "Table 2 — GeForce 6800 Ultra / Athlon-XP 3000+ (simulated)",
+                &report.table2,
+                true
+            )
+        );
+        println!(
+            "{}",
+            bench::chart::timing_chart("Table 2 companion chart (time in ms)", &report.table2, true)
+        );
+    }
+    if opts.all || opts.table3 {
+        eprintln!("running Table 3 (GeForce 7800 profile), n up to 2^{} …", opts.max_log_n);
+        report.table3 = experiments::table3_geforce_7800(opts.max_log_n);
+        println!(
+            "{}",
+            render_timing_table(
+                "Table 3 — GeForce 7800 GTX / Athlon-64 4200+ (simulated)",
+                &report.table3,
+                false
+            )
+        );
+        println!(
+            "{}",
+            bench::chart::timing_chart("Table 3 companion chart (time in ms)", &report.table3, false)
+        );
+    }
+    if wants("data-dependence") {
+        let n = 1 << opts.max_log_n.min(18);
+        eprintln!("running data-dependence experiment (n = {n}) …");
+        report.data_dependence = experiments::data_dependence(n);
+        println!("{}", render_data_dependence(&report.data_dependence));
+    }
+    if wants("transfer") {
+        eprintln!("running transfer-overhead experiment …");
+        report.transfer = experiments::transfer_overhead(1 << 20);
+        println!("{}", render_transfer(&report.transfer));
+    }
+    if wants("stream-ops") {
+        let logs: Vec<u32> = (10..=opts.max_log_n.min(18)).step_by(2).collect();
+        eprintln!("running stream-operation-count experiment …");
+        report.stream_ops = experiments::stream_operation_counts(&logs);
+        println!("{}", render_stream_ops(&report.stream_ops));
+    }
+    if wants("work") {
+        let logs: Vec<u32> = (10..=opts.max_log_n.min(18)).step_by(2).collect();
+        eprintln!("running work-complexity experiment …");
+        report.work = experiments::work_complexity(&logs);
+        println!("{}", render_work(&report.work));
+    }
+    if wants("scaling") {
+        let n = 1 << opts.max_log_n.min(17);
+        eprintln!("running p-scaling experiment (n = {n}) …");
+        report.scaling = experiments::scaling_with_units(n, &[1, 2, 4, 8, 16, 24, 32, 64, 128]);
+        println!("{}", render_scaling(&report.scaling, n));
+    }
+    if wants("ablation") {
+        let n = 1 << opts.max_log_n.min(17);
+        eprintln!("running ablation experiment (n = {n}) …");
+        report.ablation = experiments::ablation(n);
+        println!("{}", render_ablation(&report.ablation, n));
+    }
+    if wants("pram") {
+        let logs: Vec<u32> = (10..=opts.max_log_n.min(16)).step_by(2).collect();
+        eprintln!("running PRAM-sorter experiment …");
+        report.pram = extended::pram_comparison(&logs);
+        println!("{}", render_pram(&report.pram));
+    }
+    if wants("terasort") {
+        let records = 1usize << opts.max_log_n.min(17);
+        eprintln!("running out-of-core pipeline experiment ({records} records) …");
+        report.terasort = extended::terasort_pipelines(records, records / 8);
+        println!("{}", render_terasort(&report.terasort));
+    }
+    if wants("padding") {
+        let log_n = opts.max_log_n.min(16);
+        eprintln!("running padding-overhead experiment (base 2^{log_n}) …");
+        report.padding = extended::padding_overhead(log_n);
+        println!("{}", render_padding(&report.padding));
+    }
+
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json()).expect("failed to write JSON report");
+        eprintln!("wrote JSON report to {path}");
+    }
+}

@@ -1,0 +1,227 @@
+//! ASCII charts for the timing series.
+//!
+//! The paper shows each timing table next to a line chart of the same data
+//! (time over sequence length, one curve per sorter). The `repro` binary
+//! reproduces those companion charts as ASCII plots so that the "figure"
+//! part of Tables 2 and 3 is regenerated along with the numbers.
+
+use crate::experiments::TimingRow;
+
+/// One curve of a chart: a label, a plotting marker and the data points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Single-character marker used for the curve's points.
+    pub marker: char,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render `series` into an ASCII chart of the given plot-area size.
+///
+/// The x axis is scaled logarithmically (the tables double `n` from row to
+/// row), the y axis linearly from zero to the largest value. Points that
+/// collide on the same character cell keep the marker drawn last.
+pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "chart area too small");
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if points.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let x_min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_max = points.iter().map(|p| p.0).fold(0.0f64, f64::max);
+    let y_max = points.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-12);
+
+    let x_pos = |x: f64| -> usize {
+        if x_max <= x_min {
+            return 0;
+        }
+        let t = (x.ln() - x_min.ln()) / (x_max.ln() - x_min.ln());
+        ((t * (width - 1) as f64).round() as usize).min(width - 1)
+    };
+    let y_pos = |y: f64| -> usize {
+        let t = y / y_max;
+        (height - 1) - ((t * (height - 1) as f64).round() as usize).min(height - 1)
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            grid[y_pos(y)][x_pos(x)] = s.marker;
+        }
+    }
+
+    let label_width = 10;
+    for (row_index, row) in grid.iter().enumerate() {
+        let label = if row_index == 0 {
+            format!("{y_max:9.0} ")
+        } else if row_index == height - 1 {
+            format!("{:9.0} ", 0.0)
+        } else {
+            " ".repeat(label_width)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_width));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<12}{:>width$}\n",
+        " ".repeat(label_width + 1),
+        format_n(x_min),
+        format_n(x_max),
+        width = width.saturating_sub(12),
+    ));
+    for s in series {
+        out.push_str(&format!("{}{}  {}\n", " ".repeat(label_width + 1), s.marker, s.label));
+    }
+    out
+}
+
+fn format_n(n: f64) -> String {
+    let n = n.round() as u64;
+    if n >= 1 << 20 && n % (1 << 20) == 0 {
+        format!("{}Mi", n >> 20)
+    } else if n >= 1 << 10 && n % (1 << 10) == 0 {
+        format!("{}Ki", n >> 10)
+    } else {
+        n.to_string()
+    }
+}
+
+/// The companion chart of a Table 2 / Table 3 timing table: time in ms over
+/// sequence length, one curve per sorter.
+pub fn timing_chart(title: &str, rows: &[TimingRow], with_rowwise: bool) -> String {
+    let xs: Vec<f64> = rows.iter().map(|r| r.n as f64).collect();
+    let mut series = vec![
+        Series {
+            label: "CPU sort (upper bound of the range)".into(),
+            marker: 'c',
+            points: xs.iter().zip(rows).map(|(&x, r)| (x, r.cpu_ms.1)).collect(),
+        },
+        Series {
+            label: "GPUSort (bitonic network)".into(),
+            marker: 'g',
+            points: xs.iter().zip(rows).map(|(&x, r)| (x, r.gpusort_ms)).collect(),
+        },
+    ];
+    if with_rowwise {
+        series.push(Series {
+            label: "GPU-ABiSort (a) row-wise".into(),
+            marker: 'a',
+            points: xs
+                .iter()
+                .zip(rows)
+                .filter_map(|(&x, r)| r.abisort_rowwise_ms.map(|y| (x, y)))
+                .collect(),
+        });
+    }
+    series.push(Series {
+        label: if with_rowwise { "GPU-ABiSort (b) Z-order" } else { "GPU-ABiSort" }.into(),
+        marker: 'b',
+        points: xs.iter().zip(rows).map(|(&x, r)| (x, r.abisort_zorder_ms)).collect(),
+    });
+    render_chart(title, &series, 60, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<TimingRow> {
+        (15..=20u32)
+            .map(|log_n| {
+                let n = 1usize << log_n;
+                let scale = (n as f64) / 32768.0;
+                TimingRow {
+                    n,
+                    cpu_ms: (12.0 * scale, 16.0 * scale),
+                    gpusort_ms: 13.0 * scale,
+                    abisort_rowwise_ms: Some(11.0 * scale),
+                    abisort_zorder_ms: 8.0 * scale,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chart_contains_axes_markers_and_legend() {
+        let text = timing_chart("Table 2 chart", &sample_rows(), true);
+        assert!(text.contains("Table 2 chart"));
+        for marker in ['c', 'g', 'a', 'b'] {
+            assert!(text.contains(marker), "missing marker {marker}");
+        }
+        assert!(text.contains("GPU-ABiSort (b) Z-order"));
+        assert!(text.contains("32Ki"));
+        assert!(text.contains("1Mi"));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn table3_chart_has_no_rowwise_series() {
+        let text = timing_chart("Table 3 chart", &sample_rows(), false);
+        assert!(!text.contains("row-wise"));
+        assert!(text.contains("GPU-ABiSort\n"));
+    }
+
+    #[test]
+    fn largest_value_sits_on_the_top_row_and_smallest_near_the_bottom() {
+        let series = vec![Series {
+            label: "s".into(),
+            marker: '*',
+            points: vec![(1.0, 0.0), (1024.0, 100.0)],
+        }];
+        let text = render_chart("t", &series, 20, 8);
+        let rows: Vec<&str> = text.lines().collect();
+        // Row 1 is the first grid row (top, y = max), row 8 the last.
+        assert!(rows[1].contains('*'), "top row should hold the maximum");
+        assert!(rows[8].contains('*'), "bottom row should hold the zero point");
+    }
+
+    #[test]
+    fn x_axis_is_logarithmic() {
+        // Three points at n, 2n, 4n must be evenly spaced horizontally.
+        let series = vec![Series {
+            label: "s".into(),
+            marker: '*',
+            points: vec![(1024.0, 1.0), (2048.0, 1.0), (4096.0, 1.0)],
+        }];
+        let text = render_chart("t", &series, 41, 4);
+        // All points share y = y_max, so they land on the first grid row.
+        let line = text.lines().nth(1).unwrap();
+        let positions: Vec<usize> =
+            line.char_indices().filter(|(_, c)| *c == '*').map(|(i, _)| i).collect();
+        assert_eq!(positions.len(), 3);
+        assert_eq!(positions[1] - positions[0], positions[2] - positions[1]);
+    }
+
+    #[test]
+    fn empty_series_render_a_placeholder() {
+        let text = render_chart("t", &[], 20, 5);
+        assert!(text.contains("no data"));
+    }
+
+    #[test]
+    fn format_n_uses_binary_suffixes() {
+        assert_eq!(format_n(32768.0), "32Ki");
+        assert_eq!(format_n(1048576.0), "1Mi");
+        assert_eq!(format_n(1000.0), "1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_degenerate_chart_areas() {
+        let _ = render_chart("t", &[], 4, 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! Extended experiments (E16–E18): the PRAM context of Section 2.1, the
+//! GPUTeraSort-style hybrid out-of-core pipeline of Section 2.2, and the
+//! cost of the power-of-two padding the paper leaves as future work
+//! (Section 9, "pruned bitonic trees").
+//!
+//! Like the core experiments in [`crate::experiments`], all times are
+//! simulated/model times; functional correctness of every run is asserted
+//! before a number is reported.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use pram::sorters::{abisort_pram, bitonic_network, rank_merge};
+use pram::PramModel;
+use serde::Serialize;
+use stream_arch::{GpuProfile, StreamProcessor, Value};
+use terasort::{
+    disk::{DiskProfile, SimulatedDisk},
+    pipeline::{CoreSorter, TeraSortConfig, TeraSorter},
+    record,
+};
+
+fn check_sorted(label: &str, input: &[Value], output: &[Value]) {
+    abisort::verify::check_sorts(input, output)
+        .unwrap_or_else(|e| panic!("{label}: incorrect sort result: {e}"));
+}
+
+// ---------------------------------------------------------------------------
+// E16 — PRAM comparison (Section 2.1)
+// ---------------------------------------------------------------------------
+
+/// One row of the PRAM-sorter comparison (E16).
+#[derive(Clone, Debug, Serialize)]
+pub struct PramRow {
+    /// Sequence length `n`.
+    pub n: usize,
+    /// Parallel steps of the adaptive bitonic sort (overlapped schedule).
+    pub abisort_steps: u64,
+    /// Comparisons of the adaptive bitonic sort.
+    pub abisort_comparisons: u64,
+    /// Brent-scheduled time of the adaptive bitonic sort with
+    /// `p = n / log n` processors (unit-cost accesses).
+    pub abisort_brent_time: u64,
+    /// Parallel steps of Batcher's bitonic network.
+    pub network_steps: u64,
+    /// Comparisons of Batcher's bitonic network.
+    pub network_comparisons: u64,
+    /// Comparisons of the rank-based (CREW) parallel merge sort.
+    pub rank_merge_comparisons: u64,
+    /// Concurrent reads the rank-based merge sort needed (zero for the two
+    /// EREW algorithms).
+    pub rank_merge_concurrent_reads: u64,
+}
+
+/// E16 — the parallel-sorting context of Section 2.1 on an explicit PRAM:
+/// adaptive bitonic sorting is the only one of the three that is
+/// simultaneously EREW, `O(log² n)`-step and `O(n log n)`-work.
+pub fn pram_comparison(log_ns: &[u32]) -> Vec<PramRow> {
+    log_ns
+        .iter()
+        .map(|&log_n| {
+            let n = 1usize << log_n;
+            let input = workloads::uniform(n, 77);
+            let expected = {
+                let mut copy = input.clone();
+                copy.sort();
+                copy
+            };
+
+            let abi = abisort_pram::sort(&input).expect("PRAM ABiSort failed");
+            assert_eq!(abi.output, expected, "PRAM ABiSort produced a wrong order");
+            assert_eq!(abi.stats.conflicts(PramModel::Erew), 0);
+
+            let net = bitonic_network::sort(&input).expect("PRAM bitonic network failed");
+            assert_eq!(net.output, expected);
+
+            let rank = rank_merge::sort(&input).expect("PRAM rank merge failed");
+            assert_eq!(rank.output, expected);
+
+            let p = (n as u64 / log_n as u64).max(1);
+            PramRow {
+                n,
+                abisort_steps: abi.stats.num_steps(),
+                abisort_comparisons: abi.stats.comparisons(),
+                abisort_brent_time: abi.stats.brent_time(p),
+                network_steps: net.stats.num_steps(),
+                network_comparisons: net.stats.comparisons(),
+                rank_merge_comparisons: rank.stats.comparisons(),
+                rank_merge_concurrent_reads: rank.stats.read_conflicts,
+            }
+        })
+        .collect()
+}
+
+/// Render the E16 table.
+pub fn render_pram(rows: &[PramRow]) -> String {
+    let mut out =
+        String::from("E16 — PRAM sorters (Section 2.1): steps, comparisons, memory model\n");
+    out.push_str(&format!(
+        "{:>9} | {:>10} | {:>12} | {:>14} | {:>9} | {:>12} | {:>12} | {:>14}\n",
+        "n",
+        "ABi steps",
+        "ABi compare",
+        "ABi Brent(n/lg)",
+        "net steps",
+        "net compare",
+        "rank compare",
+        "rank conc.rd"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>9} | {:>10} | {:>12} | {:>14} | {:>9} | {:>12} | {:>12} | {:>14}\n",
+            row.n,
+            row.abisort_steps,
+            row.abisort_comparisons,
+            row.abisort_brent_time,
+            row.network_steps,
+            row.network_comparisons,
+            row.rank_merge_comparisons,
+            row.rank_merge_concurrent_reads
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E17 — hybrid out-of-core pipeline (Section 2.2)
+// ---------------------------------------------------------------------------
+
+/// One row of the hybrid out-of-core experiment (E17).
+#[derive(Clone, Debug, Serialize)]
+pub struct TeraSortRow {
+    /// In-core sorter used during run formation.
+    pub core_sorter: String,
+    /// Total records sorted.
+    pub records: usize,
+    /// Number of runs.
+    pub runs: usize,
+    /// Run-formation phase: disk I/O time, ms.
+    pub run_io_ms: f64,
+    /// Run-formation phase: simulated GPU time, ms.
+    pub run_gpu_ms: f64,
+    /// Run-formation phase: modelled CPU time, ms.
+    pub run_cpu_ms: f64,
+    /// Merge phase elapsed time, ms.
+    pub merge_ms: f64,
+    /// Total elapsed time (overlapped I/O model), ms.
+    pub total_ms: f64,
+}
+
+/// E17 — the GPUTeraSort-style pipeline with three in-core sorters: the
+/// paper's GPU-ABiSort, the GPUSort bitonic network (what GPUTeraSort used)
+/// and a pure-CPU quicksort pipeline.
+pub fn terasort_pipelines(records: usize, run_size: usize) -> Vec<TeraSortRow> {
+    let data = record::generate(records, 4242);
+    [
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        CoreSorter::GpuBitonicNetwork,
+        CoreSorter::CpuQuicksort,
+    ]
+    .into_iter()
+    .map(|core_sorter| {
+        let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+        let input = disk.create("table");
+        disk.append(input, &data);
+        let config = TeraSortConfig {
+            run_size,
+            core_sorter,
+            gpu_profile: GpuProfile::geforce_7800(),
+            ..TeraSortConfig::default()
+        };
+        let report = TeraSorter::new(config).sort(&mut disk, input).expect("terasort failed");
+        let sorted = disk.read_all(report.output);
+        assert!(record::is_sorted(&sorted), "terasort output not sorted");
+        assert!(record::is_permutation(&data, &sorted), "terasort lost records");
+        TeraSortRow {
+            core_sorter: report.core_sorter.to_string(),
+            records: report.records,
+            runs: report.runs,
+            run_io_ms: report.run_phase.io_ms,
+            run_gpu_ms: report.run_phase.gpu_ms,
+            run_cpu_ms: report.run_phase.cpu_ms,
+            merge_ms: report.merge_phase.elapsed_ms,
+            total_ms: report.total_ms,
+        }
+    })
+    .collect()
+}
+
+/// Render the E17 table.
+pub fn render_terasort(rows: &[TeraSortRow]) -> String {
+    let mut out = String::from("E17 — hybrid out-of-core pipeline (GPUTeraSort scenario)\n");
+    if let Some(first) = rows.first() {
+        out.push_str(&format!("records = {}, runs = {}\n", first.records, first.runs));
+    }
+    out.push_str(&format!(
+        "{:>18} | {:>11} | {:>11} | {:>11} | {:>10} | {:>10}\n",
+        "in-core sorter", "run IO [ms]", "GPU [ms]", "CPU [ms]", "merge [ms]", "total [ms]"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>18} | {:>11.1} | {:>11.1} | {:>11.1} | {:>10.1} | {:>10.1}\n",
+            row.core_sorter, row.run_io_ms, row.run_gpu_ms, row.run_cpu_ms, row.merge_ms, row.total_ms
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// E18 — padding overhead for non-power-of-two lengths (Section 9)
+// ---------------------------------------------------------------------------
+
+/// One row of the padding-overhead experiment (E18).
+#[derive(Clone, Debug, Serialize)]
+pub struct PaddingRow {
+    /// Requested (actual) sequence length.
+    pub n: usize,
+    /// Power-of-two length the stream program operated on.
+    pub padded_len: usize,
+    /// Padding factor `padded / n`.
+    pub padding_factor: f64,
+    /// Simulated GPU-ABiSort time, ms.
+    pub sim_ms: f64,
+    /// Simulated time per element, µs.
+    pub us_per_element: f64,
+}
+
+/// E18 — what the power-of-two padding of Section 4 costs for awkward
+/// lengths. The paper defers the remedy (pruned bitonic trees, Section 9)
+/// to future work; this experiment quantifies what that remedy would save.
+pub fn padding_overhead(log_n: u32) -> Vec<PaddingRow> {
+    let base = 1usize << log_n;
+    let lengths = [base, base + 1, base + base / 4, base + base / 2, 2 * base - 1, 2 * base];
+    let profile = GpuProfile::geforce_7800();
+    lengths
+        .iter()
+        .map(|&n| {
+            let input = workloads::uniform(n, 99);
+            let mut proc = StreamProcessor::new(profile.clone());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .sort_run(&mut proc, &input)
+                .expect("GPU-ABiSort failed");
+            check_sorted("padding", &input, &run.output);
+            PaddingRow {
+                n,
+                padded_len: run.padded_len,
+                padding_factor: run.padded_len as f64 / n as f64,
+                sim_ms: run.sim_time.total_ms,
+                us_per_element: run.sim_time.total_ms * 1000.0 / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Render the E18 table.
+pub fn render_padding(rows: &[PaddingRow]) -> String {
+    let mut out = String::from("E18 — power-of-two padding overhead (Section 4 / Section 9)\n");
+    out.push_str(&format!(
+        "{:>9} | {:>10} | {:>14} | {:>10} | {:>14}\n",
+        "n", "padded to", "padding factor", "sim [ms]", "µs / element"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>9} | {:>10} | {:>13.2}x | {:>10.2} | {:>14.3}\n",
+            row.n, row.padded_len, row.padding_factor, row.sim_ms, row.us_per_element
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pram_comparison_shows_the_work_gap_and_erew_difference() {
+        let rows = pram_comparison(&[10, 12]);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            let log_n = (row.n as f64).log2();
+            // Optimal work vs Θ(n log² n): the network does clearly more
+            // comparisons already at these sizes…
+            assert!(row.network_comparisons as f64 > 1.5 * row.abisort_comparisons as f64);
+            // ABiSort stays below 2 n log n.
+            assert!((row.abisort_comparisons as f64) < 2.0 * row.n as f64 * log_n);
+            // The rank-based merge sort needs concurrent reads, ABiSort none.
+            assert!(row.rank_merge_concurrent_reads > 0);
+            // O(log² n) steps for both network and ABiSort.
+            assert_eq!(row.abisort_steps, (log_n as u64).pow(2));
+        }
+        // …and the gap grows with n (the extra Θ(log n) factor).
+        let ratio = |r: &PramRow| r.network_comparisons as f64 / r.abisort_comparisons as f64;
+        assert!(ratio(&rows[1]) > ratio(&rows[0]));
+        assert!(render_pram(&rows).contains("Brent"));
+    }
+
+    #[test]
+    fn terasort_rows_compare_the_three_pipelines() {
+        let rows = terasort_pipelines(6_000, 2_048);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].core_sorter, "gpu-abisort");
+        assert_eq!(rows[2].core_sorter, "cpu-quicksort");
+        for row in &rows {
+            assert_eq!(row.records, 6_000);
+            assert_eq!(row.runs, 3);
+            assert!(row.total_ms > 0.0);
+        }
+        // The CPU pipeline spends no GPU time; the GPU pipelines do.
+        assert_eq!(rows[2].run_gpu_ms, 0.0);
+        assert!(rows[0].run_gpu_ms > 0.0);
+        assert!(render_terasort(&rows).contains("gpu-abisort"));
+    }
+
+    #[test]
+    fn padding_overhead_is_worst_just_above_a_power_of_two() {
+        let rows = padding_overhead(11);
+        assert_eq!(rows[0].padding_factor, 1.0);
+        // n = 2^k + 1 pads to 2^{k+1}: factor just under 2.
+        assert!(rows[1].padding_factor > 1.9);
+        // Per-element cost is worst right after the power of two and
+        // recovers towards the next one.
+        assert!(rows[1].us_per_element > rows[0].us_per_element);
+        assert!(rows[1].us_per_element > rows.last().unwrap().us_per_element);
+        assert!(render_padding(&rows).contains("padding factor"));
+    }
+}

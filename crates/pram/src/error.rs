@@ -1,0 +1,61 @@
+//! Error types of the PRAM simulator.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PramError>;
+
+/// An error raised by the PRAM machine while executing a parallel step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PramError {
+    /// Two processors read the same cell in one step under the EREW model.
+    ReadConflict {
+        /// The memory cell that was read concurrently.
+        cell: usize,
+    },
+    /// Two processors wrote the same cell in one step (forbidden under both
+    /// EREW and CREW).
+    WriteConflict {
+        /// The memory cell that was written concurrently.
+        cell: usize,
+    },
+    /// A processor accessed a cell outside the allocated shared memory.
+    OutOfBounds {
+        /// The offending cell index.
+        cell: usize,
+        /// The size of the shared memory.
+        size: usize,
+    },
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::ReadConflict { cell } => {
+                write!(f, "EREW violation: concurrent read of cell {cell}")
+            }
+            PramError::WriteConflict { cell } => {
+                write!(f, "concurrent write of cell {cell}")
+            }
+            PramError::OutOfBounds { cell, size } => {
+                write!(f, "access to cell {cell} outside shared memory of {size} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_cell() {
+        assert!(PramError::ReadConflict { cell: 7 }.to_string().contains('7'));
+        assert!(PramError::WriteConflict { cell: 9 }.to_string().contains('9'));
+        let e = PramError::OutOfBounds { cell: 11, size: 4 };
+        assert!(e.to_string().contains("11"));
+        assert!(e.to_string().contains('4'));
+    }
+}

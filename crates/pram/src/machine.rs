@@ -1,0 +1,391 @@
+//! The synchronous PRAM machine.
+//!
+//! A PRAM execution is a sequence of **synchronous parallel steps**. In one
+//! step every active processor reads from shared memory, computes, and
+//! writes back; all reads observe the memory contents *from before the
+//! step* (the read sub-cycle) and all writes become visible together when
+//! the step ends (the write sub-cycle). Exclusivity is therefore checked
+//! separately for the two sub-cycles: a read and a write to the same cell
+//! by different processors in one step is deterministic and allowed — the
+//! pattern behind the classic EREW pairwise exchange. The machine checks
+//! the access pattern of every step against the declared model:
+//!
+//! * [`PramModel::Erew`] — exclusive read, exclusive write: no cell may be
+//!   touched by more than one processor per step (the model adaptive
+//!   bitonic sorting was designed for — Bilardi & Nicolau's "PRAC");
+//! * [`PramModel::Crew`] — concurrent read, exclusive write: several
+//!   processors may read the same cell, writes stay exclusive.
+//!
+//! Violations fail the step with a [`PramError`]; the per-step task counts,
+//! access counts and comparisons are accumulated into [`PramStats`] so that
+//! experiments can report parallel time, work and processor demand.
+
+use std::collections::HashMap;
+
+use crate::error::{PramError, Result};
+use crate::metrics::{PramStats, StepRecord};
+use serde::{Deserialize, Serialize};
+
+/// The memory-access discipline the machine enforces per step.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PramModel {
+    /// Exclusive read, exclusive write (the paper's "PRAC").
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+}
+
+impl PramModel {
+    /// Short lowercase name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PramModel::Erew => "EREW",
+            PramModel::Crew => "CREW",
+        }
+    }
+}
+
+/// The view a single processor has during one step: reads against the
+/// pre-step memory snapshot, writes buffered until the step commits.
+pub struct ProcCtx<'a, T: Copy> {
+    mem: &'a [T],
+    reads: Vec<usize>,
+    writes: Vec<(usize, T)>,
+    comparisons: u64,
+    out_of_bounds: Option<usize>,
+}
+
+impl<'a, T: Copy + Default> ProcCtx<'a, T> {
+    fn new(mem: &'a [T]) -> Self {
+        ProcCtx {
+            mem,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            comparisons: 0,
+            out_of_bounds: None,
+        }
+    }
+
+    /// Read `cell` from shared memory (the value from before this step).
+    pub fn read(&mut self, cell: usize) -> T {
+        if cell >= self.mem.len() {
+            self.out_of_bounds.get_or_insert(cell);
+            return T::default();
+        }
+        self.reads.push(cell);
+        self.mem[cell]
+    }
+
+    /// Write `value` to `cell`; the write becomes visible when the step
+    /// ends.
+    pub fn write(&mut self, cell: usize, value: T) {
+        if cell >= self.mem.len() {
+            self.out_of_bounds.get_or_insert(cell);
+            return;
+        }
+        self.writes.push((cell, value));
+    }
+
+    /// Charge one key comparison to this step's statistics.
+    pub fn charge_comparison(&mut self) {
+        self.comparisons += 1;
+    }
+
+    /// Number of shared-memory accesses this processor has issued so far in
+    /// the current step.
+    pub fn accesses(&self) -> u64 {
+        (self.reads.len() + self.writes.len()) as u64
+    }
+}
+
+/// A synchronous PRAM over cells of type `T`.
+#[derive(Clone, Debug)]
+pub struct Pram<T: Copy + Default> {
+    mem: Vec<T>,
+    model: PramModel,
+    stats: PramStats,
+}
+
+impl<T: Copy + Default> Pram<T> {
+    /// Create a machine with `size` zero-initialised cells.
+    pub fn new(size: usize, model: PramModel) -> Self {
+        Pram { mem: vec![T::default(); size], model, stats: PramStats::default() }
+    }
+
+    /// Create a machine whose shared memory is initialised from `values`.
+    pub fn from_vec(values: Vec<T>, model: PramModel) -> Self {
+        Pram { mem: values, model, stats: PramStats::default() }
+    }
+
+    /// The access model this machine enforces.
+    pub fn model(&self) -> PramModel {
+        self.model
+    }
+
+    /// Shared memory contents (between steps).
+    pub fn memory(&self) -> &[T] {
+        &self.mem
+    }
+
+    /// Mutable access to shared memory for host-side setup between steps
+    /// (loading the input, reading back the output). Not counted as PRAM
+    /// work.
+    pub fn memory_mut(&mut self) -> &mut [T] {
+        &mut self.mem
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &PramStats {
+        &self.stats
+    }
+
+    /// Take the accumulated statistics, leaving empty ones behind.
+    pub fn take_stats(&mut self) -> PramStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Execute one synchronous step with `tasks` processors; processor `i`
+    /// runs `f(i, ctx)`. Returns the per-processor results in task order.
+    ///
+    /// Fails without modifying memory if the access pattern violates the
+    /// machine's [`PramModel`] or touches a cell out of bounds.
+    pub fn step_map<R>(
+        &mut self,
+        tasks: usize,
+        mut f: impl FnMut(usize, &mut ProcCtx<'_, T>) -> R,
+    ) -> Result<Vec<R>> {
+        let mut results = Vec::with_capacity(tasks);
+        let mut record = StepRecord { tasks: tasks as u64, ..StepRecord::default() };
+        // cell -> (first reader, #distinct readers, first writer, #writers)
+        let mut uses: HashMap<usize, CellUse> = HashMap::new();
+        let mut pending_writes: Vec<(usize, T)> = Vec::new();
+
+        for task in 0..tasks {
+            let mut ctx = ProcCtx::new(&self.mem);
+            let result = f(task, &mut ctx);
+            if let Some(cell) = ctx.out_of_bounds {
+                return Err(PramError::OutOfBounds { cell, size: self.mem.len() });
+            }
+            record.max_accesses = record.max_accesses.max(ctx.accesses());
+            record.reads += ctx.reads.len() as u64;
+            record.writes += ctx.writes.len() as u64;
+            record.comparisons += ctx.comparisons;
+
+            // De-duplicate within the task: one processor may touch the same
+            // cell repeatedly without creating a conflict.
+            let mut read_set = ctx.reads;
+            read_set.sort_unstable();
+            read_set.dedup();
+            for cell in read_set {
+                uses.entry(cell).or_default().add_reader(task);
+            }
+            let mut write_cells: Vec<usize> = ctx.writes.iter().map(|w| w.0).collect();
+            write_cells.sort_unstable();
+            write_cells.dedup();
+            for cell in write_cells {
+                uses.entry(cell).or_default().add_writer(task);
+            }
+            pending_writes.extend(ctx.writes);
+            results.push(result);
+        }
+
+        // Conflict detection across processors (reads and writes live in
+        // separate sub-cycles, so they are checked independently).
+        let mut read_conflicts = 0u64;
+        for (&cell, usage) in &uses {
+            if usage.writers > 1 {
+                return Err(PramError::WriteConflict { cell });
+            }
+            if usage.readers > 1 {
+                read_conflicts += usage.readers as u64 - 1;
+                if self.model == PramModel::Erew {
+                    return Err(PramError::ReadConflict { cell });
+                }
+            }
+        }
+
+        // Commit: all writes become visible together.
+        for (cell, value) in pending_writes {
+            self.mem[cell] = value;
+        }
+        self.stats.read_conflicts += read_conflicts;
+        self.stats.steps.push(record);
+        Ok(results)
+    }
+
+    /// Execute one synchronous step, discarding the per-processor results.
+    pub fn step(&mut self, tasks: usize, f: impl FnMut(usize, &mut ProcCtx<'_, T>)) -> Result<()> {
+        self.step_map(tasks, f).map(|_| ())
+    }
+}
+
+/// How one memory cell was used during a step.
+#[derive(Default)]
+struct CellUse {
+    readers: u32,
+    writers: u32,
+}
+
+impl CellUse {
+    fn add_reader(&mut self, _task: usize) {
+        self.readers += 1;
+    }
+
+    fn add_writer(&mut self, _task: usize) {
+        self.writers += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_the_pre_step_state() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![1, 2], PramModel::Erew);
+        // Two processors swap the two cells; both must read the old values.
+        let read_back = pram
+            .step_map(2, |i, ctx| {
+                let other = ctx.read(1 - i);
+                ctx.write(i, other);
+                other
+            })
+            .unwrap();
+        assert_eq!(read_back, vec![2, 1]);
+        assert_eq!(pram.memory(), &[2, 1]);
+    }
+
+    #[test]
+    fn erew_rejects_concurrent_reads() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![5, 0], PramModel::Erew);
+        let err = pram.step(2, |_, ctx| {
+            let _ = ctx.read(0);
+        });
+        assert_eq!(err, Err(PramError::ReadConflict { cell: 0 }));
+    }
+
+    #[test]
+    fn crew_allows_concurrent_reads_and_counts_them() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![5, 0, 0, 0], PramModel::Crew);
+        pram.step(3, |i, ctx| {
+            let v = ctx.read(0);
+            ctx.write(i + 1, v);
+        })
+        .unwrap();
+        assert_eq!(pram.memory(), &[5, 5, 5, 5]);
+        assert_eq!(pram.stats().read_conflicts, 2);
+    }
+
+    #[test]
+    fn concurrent_writes_are_rejected_under_both_models() {
+        for model in [PramModel::Erew, PramModel::Crew] {
+            let mut pram: Pram<u32> = Pram::new(1, model);
+            let err = pram.step(2, |i, ctx| ctx.write(0, i as u32));
+            assert_eq!(err, Err(PramError::WriteConflict { cell: 0 }), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn read_and_write_of_one_cell_by_different_processors_is_deterministic() {
+        // Reads happen in the read sub-cycle, writes in the write
+        // sub-cycle, so this is not a conflict and the reader sees the old
+        // value.
+        let mut pram: Pram<u32> = Pram::from_vec(vec![3, 0], PramModel::Erew);
+        let results = pram
+            .step_map(2, |i, ctx| {
+                if i == 0 {
+                    ctx.read(0)
+                } else {
+                    ctx.write(0, 9);
+                    0
+                }
+            })
+            .unwrap();
+        assert_eq!(results[0], 3);
+        assert_eq!(pram.memory()[0], 9);
+    }
+
+    #[test]
+    fn one_processor_may_read_and_write_its_own_cell() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![3, 4], PramModel::Erew);
+        pram.step(2, |i, ctx| {
+            let v = ctx.read(i);
+            ctx.write(i, v + 1);
+        })
+        .unwrap();
+        assert_eq!(pram.memory(), &[4, 5]);
+    }
+
+    #[test]
+    fn failed_steps_do_not_modify_memory_or_stats() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![1, 2], PramModel::Erew);
+        let before = pram.memory().to_vec();
+        let _ = pram.step(2, |_, ctx| {
+            let _ = ctx.read(0);
+            ctx.write(1, 99);
+        });
+        assert_eq!(pram.memory(), &before[..]);
+        assert_eq!(pram.stats().num_steps(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_reported() {
+        let mut pram: Pram<u32> = Pram::new(2, PramModel::Erew);
+        let err = pram.step(1, |_, ctx| {
+            let _ = ctx.read(7);
+        });
+        assert_eq!(err, Err(PramError::OutOfBounds { cell: 7, size: 2 }));
+        let err = pram.step(1, |_, ctx| ctx.write(5, 1));
+        assert_eq!(err, Err(PramError::OutOfBounds { cell: 5, size: 2 }));
+    }
+
+    #[test]
+    fn step_records_capture_tasks_accesses_and_comparisons() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![0; 8], PramModel::Erew);
+        pram.step(4, |i, ctx| {
+            let a = ctx.read(i);
+            let b = ctx.read(i + 4);
+            ctx.charge_comparison();
+            ctx.write(i, a.max(b));
+        })
+        .unwrap();
+        let stats = pram.stats();
+        assert_eq!(stats.num_steps(), 1);
+        let rec = stats.steps[0];
+        assert_eq!(rec.tasks, 4);
+        assert_eq!(rec.max_accesses, 3);
+        assert_eq!(rec.reads, 8);
+        assert_eq!(rec.writes, 4);
+        assert_eq!(rec.comparisons, 4);
+        assert_eq!(stats.parallel_time(), 3);
+        assert_eq!(stats.work(), 12);
+    }
+
+    #[test]
+    fn repeated_access_to_the_same_cell_by_one_processor_is_not_a_conflict() {
+        let mut pram: Pram<u32> = Pram::from_vec(vec![2], PramModel::Erew);
+        pram.step(1, |_, ctx| {
+            let a = ctx.read(0);
+            let b = ctx.read(0);
+            ctx.write(0, a + b);
+            ctx.write(0, a + b + 1);
+        })
+        .unwrap();
+        assert_eq!(pram.memory(), &[5]);
+    }
+
+    #[test]
+    fn take_stats_resets_the_accumulator() {
+        let mut pram: Pram<u32> = Pram::new(4, PramModel::Erew);
+        pram.step(2, |i, ctx| ctx.write(i, 1)).unwrap();
+        let stats = pram.take_stats();
+        assert_eq!(stats.num_steps(), 1);
+        assert_eq!(pram.stats().num_steps(), 0);
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(PramModel::Erew.name(), "EREW");
+        assert_eq!(PramModel::Crew.name(), "CREW");
+    }
+}

@@ -1,0 +1,101 @@
+//! Parallel sorting algorithms executed on the [`crate::Pram`] machine.
+//!
+//! * [`abisort_pram`] — Bilardi & Nicolau's adaptive bitonic sort, the
+//!   EREW-PRAM ("PRAC") algorithm the paper ports to stream architectures;
+//! * [`bitonic_network`] — Batcher's bitonic sorting network, the
+//!   non-optimal-work baseline every previous GPU sort was based on;
+//! * [`oem_network`] — Batcher's odd-even merge sort network (the basis of
+//!   Kipfer et al.'s GPU sorter), same depth, slightly fewer comparators;
+//! * [`rank_merge`] — a rank-based parallel merge sort (CREW), standing in
+//!   for the asymptotically optimal but constant-heavy PRAM sorts of
+//!   Section 2.1.
+//!
+//! All sorters take a slice of [`Value`]s of arbitrary length, pad to a
+//! power of two internally (Section 4 of the paper), and return a
+//! [`SortRun`] with the sorted output and the machine statistics.
+
+pub mod abisort_pram;
+pub mod bitonic_network;
+pub mod oem_network;
+pub mod rank_merge;
+
+use crate::machine::PramModel;
+use crate::metrics::PramStats;
+use stream_arch::Value;
+
+/// The result of running one PRAM sorter.
+#[derive(Clone, Debug)]
+pub struct SortRun {
+    /// The sorted values (same length as the input).
+    pub output: Vec<Value>,
+    /// Step/work/access statistics of the execution.
+    pub stats: PramStats,
+    /// The PRAM model the algorithm was executed (and checked) under.
+    pub model: PramModel,
+    /// The padded power-of-two problem size the machine operated on.
+    pub padded_len: usize,
+}
+
+/// Pad `values` to the next power of two with maximum-key sentinels
+/// (Section 4: "this can be achieved by padding the input sequence").
+pub(crate) fn pad_to_power_of_two(values: &[Value]) -> Vec<Value> {
+    let n = values.len();
+    let padded_len = n.next_power_of_two().max(1);
+    let mut padded = values.to_vec();
+    for i in 0..(padded_len - n) {
+        padded.push(Value::padding_sentinel(i));
+    }
+    padded
+}
+
+/// Direction of the `t`-th block of a recursion level: even blocks ascend,
+/// odd blocks descend, so that the next level sees bitonic inputs (same
+/// convention as the sequential and stream implementations).
+pub(crate) fn block_ascending(t: usize) -> bool {
+    t % 2 == 0
+}
+
+/// "Out of order" under the requested direction — the single comparison
+/// primitive of the paper's pseudo code.
+pub(crate) fn out_of_order(a: &Value, b: &Value, ascending: bool) -> bool {
+    a.gt(b) == ascending
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_reaches_the_next_power_of_two_and_sorts_last() {
+        let input: Vec<Value> = (0..5).map(|i| Value::new(i as f32, i)).collect();
+        let padded = pad_to_power_of_two(&input);
+        assert_eq!(padded.len(), 8);
+        assert_eq!(&padded[..5], &input[..]);
+        for pad in &padded[5..] {
+            for original in &input {
+                assert!(pad.gt(original));
+            }
+        }
+    }
+
+    #[test]
+    fn padding_keeps_power_of_two_lengths_unchanged() {
+        let input: Vec<Value> = (0..8).map(|i| Value::new(i as f32, i)).collect();
+        assert_eq!(pad_to_power_of_two(&input), input);
+    }
+
+    #[test]
+    fn block_direction_alternates() {
+        assert!(block_ascending(0));
+        assert!(!block_ascending(1));
+        assert!(block_ascending(2));
+    }
+
+    #[test]
+    fn out_of_order_flips_with_direction() {
+        let lo = Value::new(1.0, 0);
+        let hi = Value::new(2.0, 0);
+        assert!(out_of_order(&hi, &lo, true));
+        assert!(!out_of_order(&hi, &lo, false));
+    }
+}

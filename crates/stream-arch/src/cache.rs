@@ -1,0 +1,318 @@
+//! Texture-cache model.
+//!
+//! Current GPUs (in the paper's 2006 sense) route *all* reads — streaming
+//! reads as well as gathers — through the texture cache, whose blocks hold
+//! square or near-square 2D regions of the texture (Hakura & Gupta 1997,
+//! cited in Section 6.2.2). The consequence the paper exploits is that
+//! reading a long, skinny 1D range of a row-wise-mapped stream touches many
+//! cache blocks and wastes most of each block fill, while the same range
+//! under the Z-order mapping is a compact square tile.
+//!
+//! [`CacheSim`] models exactly that: a set-associative cache of
+//! `block_edge × block_edge` element tiles with LRU replacement. A miss
+//! charges a full tile fill to the memory-traffic counter; the resulting
+//! read-bandwidth difference between the row-wise and Z-order layouts is
+//! what separates GPU-ABiSort variants (a) and (b) in Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the texture cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Edge length (in elements) of the square region covered by one cache
+    /// block. 8 means an 8×8-element tile per block.
+    pub block_edge: u32,
+    /// Total number of cache blocks.
+    pub num_blocks: u32,
+    /// Associativity (blocks per set). `num_blocks` must be a multiple.
+    pub ways: u32,
+    /// Bytes of one stored element, used to charge fill traffic.
+    pub element_bytes: u32,
+}
+
+impl CacheConfig {
+    /// A cache resembling the texture-cache hierarchy of the paper's GPUs:
+    /// 4×4-element tiles (a 256-byte cache block for the 16-byte `float4`
+    /// texels GPU-ABiSort stores its nodes in — the square cache blocks of
+    /// Hakura & Gupta that Section 6.2.2 refers to), 512 blocks (the
+    /// combined effect of the per-pipe L1 and the shared L2 texture cache),
+    /// 4-way set associative.
+    pub const fn geforce_like(element_bytes: u32) -> Self {
+        CacheConfig {
+            block_edge: 4,
+            num_blocks: 512,
+            ways: 4,
+            element_bytes,
+        }
+    }
+
+    /// Bytes fetched from memory when one cache block is filled.
+    #[inline]
+    pub fn block_fill_bytes(&self) -> u64 {
+        (self.block_edge as u64) * (self.block_edge as u64) * self.element_bytes as u64
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig::geforce_like(8)
+    }
+}
+
+/// Aggregated cache statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of element accesses routed through the cache.
+    pub accesses: u64,
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that required a block fill.
+    pub misses: u64,
+    /// Bytes fetched from stream memory for block fills.
+    pub fill_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 if there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge another unit's statistics into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fill_bytes += other.fill_bytes;
+    }
+}
+
+/// A set-associative LRU cache over 2D element tiles.
+///
+/// Each simulated processor unit owns one `CacheSim` (GPUs of that era had
+/// per-pipe texture caches), so the simulation stays deterministic under
+/// parallel execution: a unit's access sequence depends only on the
+/// instances assigned to it.
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    config: CacheConfig,
+    num_sets: u32,
+    /// `sets[set * ways + way]` = tag of the cached tile, or `u64::MAX`.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+const EMPTY_TAG: u64 = u64::MAX;
+
+impl CacheSim {
+    /// Create an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.block_edge.is_power_of_two(), "block edge must be a power of two");
+        assert!(config.ways >= 1 && config.num_blocks % config.ways == 0,
+            "num_blocks must be a multiple of ways");
+        let num_sets = config.num_blocks / config.ways;
+        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        CacheSim {
+            config,
+            num_sets,
+            tags: vec![EMPTY_TAG; config.num_blocks as usize],
+            stamps: vec![0; config.num_blocks as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Simulate a read of the element at 2D coordinate `(x, y)` of stream
+    /// `stream_id`. Returns `true` on a hit.
+    #[inline]
+    pub fn access(&mut self, stream_id: u64, x: u32, y: u32) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let shift = self.config.block_edge.trailing_zeros();
+        let bx = (x >> shift) as u64;
+        let by = (y >> shift) as u64;
+        // Tag combines the stream identity and the tile coordinate.
+        let tag = (stream_id << 40) ^ (by << 20) ^ bx;
+        let set = ((bx ^ by.wrapping_mul(0x9E37_79B9) ^ stream_id.wrapping_mul(0x85EB_CA6B))
+            & (self.num_sets as u64 - 1)) as usize;
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+
+        // Look for a hit.
+        for w in 0..ways {
+            if self.tags[base + w] == tag {
+                self.stamps[base + w] = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict the LRU way.
+        self.stats.misses += 1;
+        self.stats.fill_bytes += self.config.block_fill_bytes();
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..ways {
+            if self.tags[base + w] == EMPTY_TAG {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(EMPTY_TAG);
+        self.stamps.fill(0);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> CacheSim {
+        CacheSim::new(CacheConfig {
+            block_edge: 4,
+            num_blocks: 8,
+            ways: 2,
+            element_bytes: 8,
+        })
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(1, 0, 0));
+        assert!(c.access(1, 0, 0));
+        assert!(c.access(1, 3, 3)); // same 4x4 tile
+        assert!(!c.access(1, 4, 0)); // next tile
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn different_streams_do_not_alias() {
+        let mut c = small_cache();
+        assert!(!c.access(1, 0, 0));
+        assert!(!c.access(2, 0, 0));
+        assert!(c.access(1, 0, 0) || c.access(2, 0, 0));
+    }
+
+    #[test]
+    fn fill_bytes_charged_per_miss() {
+        let mut c = small_cache();
+        c.access(0, 0, 0);
+        c.access(0, 100, 100);
+        assert_eq!(c.stats().fill_bytes, 2 * 4 * 4 * 8);
+    }
+
+    #[test]
+    fn square_walk_beats_row_walk() {
+        // Walking a 32x32 square region (1024 elements) touches 64 tiles;
+        // walking a 1x1024 row strip touches 256 tiles of which only 4
+        // elements each are used. The square walk must produce a clearly
+        // better hit rate — this is the mechanism behind Z-order vs
+        // row-wise (Section 6.2.2).
+        let mut sq = CacheSim::new(CacheConfig::geforce_like(8));
+        for y in 0..32u32 {
+            for x in 0..32u32 {
+                sq.access(0, x, y);
+            }
+        }
+        let mut row = CacheSim::new(CacheConfig::geforce_like(8));
+        for x in 0..1024u32 {
+            row.access(0, x, 0);
+        }
+        assert!(sq.stats().hit_rate() > row.stats().hit_rate());
+        assert!(sq.stats().fill_bytes < row.stats().fill_bytes);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way sets: touching three distinct tiles that map to the same set
+        // evicts the first.
+        let mut c = CacheSim::new(CacheConfig {
+            block_edge: 4,
+            num_blocks: 2,
+            ways: 2,
+            element_bytes: 8,
+        });
+        // With a single set, any three distinct tiles collide.
+        assert!(!c.access(0, 0, 0));
+        assert!(!c.access(0, 4, 0));
+        assert!(!c.access(0, 8, 0));
+        // (0,0) was evicted; (4,0) should still be resident.
+        assert!(c.access(0, 4, 0));
+        assert!(!c.access(0, 0, 0));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = small_cache();
+        c.access(0, 0, 0);
+        c.access(0, 0, 0);
+        c.reset();
+        assert_eq!(c.stats(), &CacheStats::default());
+        assert!(!c.access(0, 0, 0));
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = CacheStats {
+            accesses: 10,
+            hits: 6,
+            misses: 4,
+            fill_bytes: 1024,
+        };
+        let b = CacheStats {
+            accesses: 2,
+            hits: 1,
+            misses: 1,
+            fill_bytes: 256,
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 12);
+        assert_eq!(a.hits, 7);
+        assert_eq!(a.misses, 5);
+        assert_eq!(a.fill_bytes, 1280);
+        assert!((a.hit_rate() - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_block_edge() {
+        let _ = CacheSim::new(CacheConfig {
+            block_edge: 3,
+            num_blocks: 8,
+            ways: 2,
+            element_bytes: 8,
+        });
+    }
+}

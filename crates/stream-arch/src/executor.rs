@@ -1,0 +1,457 @@
+//! The stream processor: launches kernels over substreams and accounts for
+//! their cost.
+//!
+//! A [`StreamProcessor`] owns
+//!
+//! * a [`GpuProfile`] (the hardware being simulated),
+//! * one texture cache per processor unit,
+//! * the accumulated [`Counters`].
+//!
+//! [`StreamProcessor::launch`] executes one *stream operation*: it runs the
+//! kernel closure once per instance, either sequentially (deterministic
+//! reference mode) or distributed over the profile's `p` units on real
+//! threads ([`ExecMode::Parallel`]). Either way the cost accounting is
+//! identical; parallel mode exists to demonstrate real wall-clock scaling
+//! with `p` and to keep large benchmark runs fast.
+//!
+//! The processor enforces the hardware restrictions of Sections 3.2, 6.1
+//! and 7.1: maximum stream size, per-instance output budget, and (via
+//! [`StreamProcessor::check_distinct_io`]) distinctness of input and output
+//! streams.
+
+use crate::cache::CacheSim;
+use crate::error::{Result, StreamError};
+use crate::kernel::KernelCtx;
+use crate::metrics::{Counters, SimTime};
+use crate::profile::GpuProfile;
+use crate::value::StreamElement;
+use parking_lot::Mutex;
+
+/// How kernel instances of a launch are executed on the host.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// All instances run on the calling thread, in instance order. The
+    /// default: fully deterministic, easiest to debug, and the cost model
+    /// is unaffected by host parallelism.
+    Sequential,
+    /// Instances are distributed over the profile's `units` on real host
+    /// threads (contiguous chunks, one per unit). Used by the wall-clock
+    /// scaling experiments.
+    Parallel,
+}
+
+/// The simulated stream processor.
+pub struct StreamProcessor {
+    profile: GpuProfile,
+    mode: ExecMode,
+    caches: Vec<CacheSim>,
+    counters: Counters,
+}
+
+impl StreamProcessor {
+    /// Create a processor for the given hardware profile (sequential host
+    /// execution).
+    pub fn new(profile: GpuProfile) -> Self {
+        Self::with_mode(profile, ExecMode::Sequential)
+    }
+
+    /// Create a processor with an explicit host execution mode.
+    pub fn with_mode(profile: GpuProfile, mode: ExecMode) -> Self {
+        let caches = (0..profile.units)
+            .map(|_| CacheSim::new(profile.cache))
+            .collect();
+        StreamProcessor {
+            profile,
+            mode,
+            caches,
+            counters: Counters::new(),
+        }
+    }
+
+    /// The hardware profile being simulated.
+    pub fn profile(&self) -> &GpuProfile {
+        &self.profile
+    }
+
+    /// The host execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Change the host execution mode.
+    pub fn set_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// Accumulated counters, with the per-unit cache statistics merged in.
+    pub fn counters(&self) -> Counters {
+        let mut c = self.counters;
+        let mut cache = crate::cache::CacheStats::default();
+        for unit_cache in &self.caches {
+            cache.merge(unit_cache.stats());
+        }
+        c.cache = cache;
+        c
+    }
+
+    /// Reset all counters and cache contents.
+    pub fn reset(&mut self) {
+        self.counters = Counters::new();
+        for cache in &mut self.caches {
+            cache.reset();
+        }
+    }
+
+    /// Simulated running time of everything executed since the last reset.
+    pub fn simulated_time(&self) -> SimTime {
+        self.profile.simulate(&self.counters())
+    }
+
+    /// Record that the launches issued since the previous step boundary
+    /// together form one stream operation on hardware with multi-block
+    /// substreams (Section 5.4). Algorithms that never call this get
+    /// `steps == 0`, and the cost model falls back to counting launches.
+    pub fn record_step(&mut self) {
+        self.counters.steps += 1;
+    }
+
+    /// Charge a host↔device round-trip transfer of `bytes` bytes in each
+    /// direction (Section 8).
+    pub fn charge_transfer(&mut self, round_trip_bytes: u64) {
+        self.counters.transfer_bytes += round_trip_bytes;
+    }
+
+    /// Validate that a stream of `len` elements of type `T` fits within the
+    /// profile's 2D stream size limit (Section 3.2).
+    pub fn check_stream_size<T: StreamElement>(&self, len: usize) -> Result<()> {
+        let max = self.profile.max_stream_elements();
+        if len > max {
+            return Err(StreamError::StreamTooLarge {
+                elements: len,
+                max_elements: max,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate that the input/gather stream ids and output stream ids of a
+    /// stream operation are distinct, as required by the paper's GPUs
+    /// (Section 6.1). Profiles with `distinct_io == false` (the idealized
+    /// machine) skip the check.
+    pub fn check_distinct_io(&self, inputs: &[(u64, &str)], outputs: &[(u64, &str)]) -> Result<()> {
+        if !self.profile.distinct_io {
+            return Ok(());
+        }
+        for &(in_id, in_name) in inputs {
+            for &(out_id, _) in outputs {
+                if in_id == out_id {
+                    return Err(StreamError::InputOutputAliasing {
+                        stream: in_name.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validate that multi-block substreams are supported before using one
+    /// (Section 5.4).
+    pub fn check_multi_block(&self, num_blocks: usize) -> Result<()> {
+        if num_blocks > 1 && !self.profile.multi_block_substreams {
+            return Err(StreamError::MultiBlockUnsupported);
+        }
+        Ok(())
+    }
+
+    /// Execute one stream operation: run `kernel` for `instances` kernel
+    /// instances.
+    ///
+    /// The kernel closure receives a [`KernelCtx`] carrying the instance
+    /// index; stream access goes through the views of [`crate::kernel`]
+    /// captured in the closure's environment. Constraint violations
+    /// detected during execution (gather out of bounds, output overflow,
+    /// per-instance output budget exceeded, …) abort the launch and are
+    /// returned as errors.
+    pub fn launch<F>(&mut self, _name: &str, instances: usize, kernel: F) -> Result<()>
+    where
+        F: Fn(&mut KernelCtx<'_>) + Sync,
+    {
+        self.counters.launches += 1;
+        self.counters.kernel_instances += instances as u64;
+        if instances == 0 {
+            return Ok(());
+        }
+        let max_output_bytes = self.profile.max_kernel_output_bytes;
+
+        match self.mode {
+            ExecMode::Sequential => {
+                let mut local = Counters::new();
+                let cache = &mut self.caches[0];
+                let result = run_chunk(0, 0, instances, &kernel, &mut local, cache, max_output_bytes);
+                self.counters += &local;
+                // Subtract the fields launch() already counted.
+                self.counters.launches -= 0;
+                result
+            }
+            ExecMode::Parallel => {
+                let units = self.profile.units.min(instances);
+                let chunk = instances.div_ceil(units);
+                let merged: Mutex<Counters> = Mutex::new(Counters::new());
+                let first_error: Mutex<Option<StreamError>> = Mutex::new(None);
+                crossbeam::scope(|scope| {
+                    for (unit, cache) in self.caches.iter_mut().take(units).enumerate() {
+                        let start = unit * chunk;
+                        let end = ((unit + 1) * chunk).min(instances);
+                        if start >= end {
+                            break;
+                        }
+                        let kernel = &kernel;
+                        let merged = &merged;
+                        let first_error = &first_error;
+                        scope.spawn(move |_| {
+                            let mut local = Counters::new();
+                            let r = run_chunk(
+                                unit,
+                                start,
+                                end,
+                                kernel,
+                                &mut local,
+                                cache,
+                                max_output_bytes,
+                            );
+                            *merged.lock() += &local;
+                            if let Err(e) = r {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        });
+                    }
+                })
+                .expect("stream processor worker panicked");
+                self.counters += &merged.into_inner();
+                match first_error.into_inner() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+}
+
+/// Run instances `[start, end)` on one simulated unit.
+fn run_chunk<F>(
+    unit: usize,
+    start: usize,
+    end: usize,
+    kernel: &F,
+    local: &mut Counters,
+    cache: &mut CacheSim,
+    max_output_bytes: usize,
+) -> Result<()>
+where
+    F: Fn(&mut KernelCtx<'_>) + Sync,
+{
+    for instance in start..end {
+        let mut ctx = KernelCtx {
+            instance,
+            unit,
+            counters: local,
+            cache: Some(cache),
+            bytes_pushed: 0,
+            max_output_bytes,
+            error: None,
+        };
+        kernel(&mut ctx);
+        if ctx.bytes_pushed > ctx.max_output_bytes {
+            return Err(StreamError::KernelOutputTooLarge {
+                bytes: ctx.bytes_pushed,
+                max_bytes: ctx.max_output_bytes,
+            });
+        }
+        if let Some(e) = ctx.error {
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ReadView, WriteView};
+    use crate::layout::Layout;
+    use crate::stream::{BlockSet, Stream};
+    use crate::value::Value;
+
+    fn doubling_op(proc_: &mut StreamProcessor, input: &Stream<u32>, output: &mut Stream<u32>) {
+        let n = input.len();
+        let read = ReadView::contiguous(input, 0, n, 1).unwrap();
+        let write = WriteView::contiguous(output, 0, n, 1).unwrap();
+        proc_
+            .launch("double", n, |ctx| {
+                let v = read.get(ctx, 0);
+                write.set(ctx, 0, v * 2);
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn sequential_launch_runs_all_instances() {
+        let mut p = StreamProcessor::new(GpuProfile::idealized(4));
+        let input = Stream::from_vec("in", (0u32..100).collect(), Layout::Linear);
+        let mut output: Stream<u32> = Stream::new("out", 100, Layout::Linear);
+        doubling_op(&mut p, &input, &mut output);
+        assert_eq!(output.as_slice()[7], 14);
+        assert_eq!(output.as_slice()[99], 198);
+        let c = p.counters();
+        assert_eq!(c.launches, 1);
+        assert_eq!(c.kernel_instances, 100);
+        assert_eq!(c.stream_reads, 100);
+        assert_eq!(c.stream_writes, 100);
+    }
+
+    #[test]
+    fn parallel_launch_matches_sequential_results_and_counts() {
+        let input = Stream::from_vec("in", (0u32..10_000).collect(), Layout::ZOrder);
+
+        let mut seq = StreamProcessor::new(GpuProfile::idealized(8));
+        let mut out_seq: Stream<u32> = Stream::new("out", 10_000, Layout::ZOrder);
+        doubling_op(&mut seq, &input, &mut out_seq);
+
+        let mut par = StreamProcessor::with_mode(GpuProfile::idealized(8), ExecMode::Parallel);
+        let mut out_par: Stream<u32> = Stream::new("out", 10_000, Layout::ZOrder);
+        doubling_op(&mut par, &input, &mut out_par);
+
+        assert_eq!(out_seq.as_slice(), out_par.as_slice());
+        let cs = seq.counters();
+        let cp = par.counters();
+        assert_eq!(cs.stream_reads, cp.stream_reads);
+        assert_eq!(cs.stream_writes, cp.stream_writes);
+        assert_eq!(cs.kernel_instances, cp.kernel_instances);
+    }
+
+    #[test]
+    fn output_budget_enforced() {
+        // The GeForce profiles allow 16 x 32 bit = 64 bytes per instance;
+        // pushing 9 Values (72 bytes) must fail.
+        let mut p = StreamProcessor::new(GpuProfile::geforce_6800());
+        let mut out: Stream<Value> = Stream::new("out", 16, Layout::Linear);
+        let write = WriteView::contiguous(&mut out, 0, 16, 9).unwrap();
+        let err = p
+            .launch("too-big", 1, |ctx| {
+                for slot in 0..9 {
+                    write.set(ctx, slot, Value::new(slot as f32, 0));
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::KernelOutputTooLarge { .. }));
+    }
+
+    #[test]
+    fn output_budget_allows_eight_pairs() {
+        // 8 value/pointer pairs = 64 bytes = exactly the limit (Section 7.1).
+        let mut p = StreamProcessor::new(GpuProfile::geforce_6800());
+        let mut out: Stream<Value> = Stream::new("out", 16, Layout::Linear);
+        let write = WriteView::contiguous(&mut out, 0, 16, 8).unwrap();
+        p.launch("local-sort", 2, |ctx| {
+            for slot in 0..8 {
+                write.set(ctx, slot, Value::new(slot as f32, ctx.instance_index() as u32));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_error_aborts_launch() {
+        let mut p = StreamProcessor::new(GpuProfile::idealized(1));
+        let small = Stream::from_vec("small", vec![1u32, 2], Layout::Linear);
+        let mut out: Stream<u32> = Stream::new("out", 4, Layout::Linear);
+        let gather = crate::kernel::GatherView::new(&small);
+        let write = WriteView::contiguous(&mut out, 0, 4, 1).unwrap();
+        let err = p
+            .launch("oob", 4, |ctx| {
+                let v = gather.gather(ctx, 10 + ctx.instance_index());
+                write.set(ctx, 0, v);
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::GatherOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn distinct_io_check() {
+        let p = StreamProcessor::new(GpuProfile::geforce_6800());
+        let a: Stream<u32> = Stream::new("a", 4, Layout::Linear);
+        let b: Stream<u32> = Stream::new("b", 4, Layout::Linear);
+        assert!(p
+            .check_distinct_io(&[(a.id(), a.name())], &[(b.id(), b.name())])
+            .is_ok());
+        let err = p
+            .check_distinct_io(&[(a.id(), a.name())], &[(a.id(), a.name())])
+            .unwrap_err();
+        assert!(matches!(err, StreamError::InputOutputAliasing { .. }));
+
+        let ideal = StreamProcessor::new(GpuProfile::idealized(1));
+        assert!(ideal
+            .check_distinct_io(&[(a.id(), a.name())], &[(a.id(), a.name())])
+            .is_ok());
+    }
+
+    #[test]
+    fn stream_size_limit_enforced() {
+        let p = StreamProcessor::new(GpuProfile::geforce_6800());
+        assert!(p.check_stream_size::<Value>(2048 * 2048).is_ok());
+        let err = p.check_stream_size::<Value>(2048 * 2048 + 1).unwrap_err();
+        assert!(matches!(err, StreamError::StreamTooLarge { .. }));
+    }
+
+    #[test]
+    fn multi_block_support_check() {
+        let multi = StreamProcessor::new(GpuProfile::geforce_6800());
+        assert!(multi.check_multi_block(4).is_ok());
+        let single = StreamProcessor::new(GpuProfile::geforce_6800().with_multi_block(false));
+        assert!(single.check_multi_block(1).is_ok());
+        assert_eq!(
+            single.check_multi_block(2).unwrap_err(),
+            StreamError::MultiBlockUnsupported
+        );
+    }
+
+    #[test]
+    fn steps_and_reset() {
+        let mut p = StreamProcessor::new(GpuProfile::idealized(1));
+        let input = Stream::from_vec("in", (0u32..4).collect(), Layout::Linear);
+        let mut out: Stream<u32> = Stream::new("out", 4, Layout::Linear);
+        doubling_op(&mut p, &input, &mut out);
+        doubling_op(&mut p, &input, &mut out);
+        p.record_step();
+        let c = p.counters();
+        assert_eq!(c.launches, 2);
+        assert_eq!(c.steps, 1);
+        assert!(p.simulated_time().total_ms > 0.0);
+        p.reset();
+        assert_eq!(p.counters(), Counters::new());
+    }
+
+    #[test]
+    fn multi_block_write_through_launch() {
+        let mut p = StreamProcessor::new(GpuProfile::idealized(1));
+        let mut out: Stream<u32> = Stream::new("out", 8, Layout::Linear);
+        let blocks = BlockSet::multi(vec![(4, 2), (0, 2)]).unwrap();
+        let write = WriteView::new(&mut out, blocks, 1).unwrap();
+        p.launch("scatter-free", 4, |ctx| {
+            write.set(ctx, 0, ctx.instance_index() as u32 + 1);
+        })
+        .unwrap();
+        assert_eq!(out.as_slice(), &[3, 4, 0, 0, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn transfer_charge_appears_in_sim_time() {
+        let mut p = StreamProcessor::new(GpuProfile::geforce_6800());
+        p.charge_transfer(2 * 8 * (1 << 20));
+        let t = p.simulated_time();
+        assert!(t.breakdown.transfer_ms > 50.0);
+    }
+}

@@ -1,0 +1,596 @@
+//! Kernel-side stream access: the per-instance context and the typed views
+//! a kernel uses to touch stream memory.
+//!
+//! The access types mirror the paper's pseudo code (Appendix A):
+//!
+//! | paper construct                    | this module            |
+//! |------------------------------------|------------------------|
+//! | `in stream<T>` + `read_from_stream`| [`ReadView`]           |
+//! | `out stream<T>` + `push_onto_stream`| [`WriteView`]         |
+//! | `gather stream<T>` + `s[i]`        | [`GatherView`]         |
+//! | `iter_stream<index_t>`             | [`IterStream`]         |
+//! | `instance_index`                   | [`KernelCtx::instance_index`] |
+//!
+//! Linear (`in`/`out`) access is positional: kernel instance `i` owns the
+//! logical positions `i·r .. (i+1)·r` of the substream, where `r` is the
+//! fixed per-instance element count declared when the view is created. The
+//! kernel addresses them by *slot* (`0..r`), which is equivalent to the
+//! paper's sequence of `read_from_stream` / `push_onto_stream` calls but
+//! keeps the views free of per-instance mutable state so that instances can
+//! run on any processor unit. Because positions are derived from the
+//! instance index alone, distinct instances never write the same location —
+//! that is what makes the parallel executor sound.
+//!
+//! Scatter (random-access writes) is simply not expressible: [`WriteView`]
+//! has no indexed write method. This is the architectural restriction the
+//! whole paper is designed around (Section 3.2).
+
+use crate::cache::CacheSim;
+use crate::error::{Result, StreamError};
+use crate::layout::Layout;
+use crate::metrics::Counters;
+use crate::stream::{BlockSet, Stream};
+use crate::value::StreamElement;
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// Number of 32-bit words an element of `bytes` bytes occupies (the unit
+/// the per-access cost counters are kept in; the paper's GPUs shade
+/// fragments in 32-bit channels, so reading a 16-byte node costs four times
+/// as much shader time as reading a 4-byte index).
+#[inline]
+fn words(bytes: usize) -> u64 {
+    (bytes as u64).div_ceil(4).max(1)
+}
+
+/// Per-instance execution context handed to the kernel closure.
+///
+/// It carries the instance index, the processor unit's cache, the local
+/// event counters and the per-instance output budget (Section 7.1's
+/// 16 × 32-bit limit).
+pub struct KernelCtx<'a> {
+    pub(crate) instance: usize,
+    pub(crate) unit: usize,
+    pub(crate) counters: &'a mut Counters,
+    pub(crate) cache: Option<&'a mut CacheSim>,
+    pub(crate) bytes_pushed: usize,
+    pub(crate) max_output_bytes: usize,
+    pub(crate) error: Option<StreamError>,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// The index of this kernel instance within the stream operation
+    /// (the paper's `instance_index`).
+    #[inline]
+    pub fn instance_index(&self) -> usize {
+        self.instance
+    }
+
+    /// The simulated processor unit executing this instance.
+    #[inline]
+    pub fn unit(&self) -> usize {
+        self.unit
+    }
+
+    /// Record `n` key comparisons (for the work-complexity experiments).
+    #[inline]
+    pub fn count_comparisons(&mut self, n: u64) {
+        self.counters.comparisons += n;
+    }
+
+    /// True once any access of this instance failed; subsequent accesses
+    /// return defaults so the kernel can finish without panicking.
+    #[inline]
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
+
+    #[inline]
+    pub(crate) fn record_error(&mut self, e: StreamError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    #[inline]
+    fn charge_read(&mut self, stream_id: u64, layout: Layout, global_idx: usize, bytes: usize) {
+        self.counters.stream_reads += words(bytes);
+        self.charge_cached_fetch(stream_id, layout, global_idx, bytes);
+    }
+
+    #[inline]
+    fn charge_gather(&mut self, stream_id: u64, layout: Layout, global_idx: usize, bytes: usize) {
+        self.counters.gathers += words(bytes);
+        self.charge_cached_fetch(stream_id, layout, global_idx, bytes);
+    }
+
+    #[inline]
+    fn charge_cached_fetch(
+        &mut self,
+        stream_id: u64,
+        layout: Layout,
+        global_idx: usize,
+        bytes: usize,
+    ) {
+        match self.cache.as_deref_mut() {
+            Some(cache) => {
+                let (x, y) = layout.to_2d(global_idx);
+                let hit = cache.access(stream_id, x, y);
+                if !hit {
+                    // A miss fills a block_edge × block_edge tile of *this
+                    // stream's* elements; charge the fill at the accessed
+                    // element's size so that 4-byte index streams are not
+                    // billed for 16-byte node tiles.
+                    let edge = cache.config().block_edge as u64;
+                    self.counters.bytes_read += edge * edge * bytes as u64;
+                }
+            }
+            None => {
+                // No cache model: charge the raw element fetch.
+                self.counters.bytes_read += bytes as u64;
+            }
+        }
+    }
+
+    #[inline]
+    fn charge_write(&mut self, bytes: usize) {
+        self.counters.stream_writes += words(bytes);
+        self.counters.bytes_written += bytes as u64;
+        self.bytes_pushed += bytes;
+    }
+
+    #[inline]
+    fn charge_iter(&mut self) {
+        self.counters.iter_reads += 1;
+    }
+}
+
+/// A linear (streaming-read) input view: the paper's `in stream<T>`.
+pub struct ReadView<'a, T> {
+    data: &'a [T],
+    stream_id: u64,
+    layout: Layout,
+    blocks: BlockSet,
+    per_instance: usize,
+}
+
+impl<'a, T: StreamElement> ReadView<'a, T> {
+    /// Bind an input substream. Each kernel instance reads exactly
+    /// `per_instance` elements from it.
+    pub fn new(stream: &'a Stream<T>, blocks: BlockSet, per_instance: usize) -> Result<Self> {
+        stream.check_blocks(&blocks)?;
+        Ok(ReadView {
+            data: stream.as_slice(),
+            stream_id: stream.id(),
+            layout: stream.layout(),
+            blocks,
+            per_instance,
+        })
+    }
+
+    /// Convenience constructor for a single contiguous range.
+    pub fn contiguous(
+        stream: &'a Stream<T>,
+        start: usize,
+        len: usize,
+        per_instance: usize,
+    ) -> Result<Self> {
+        Self::new(stream, BlockSet::contiguous(start, len), per_instance)
+    }
+
+    /// Total number of elements in the bound substream.
+    pub fn capacity(&self) -> usize {
+        self.blocks.total()
+    }
+
+    /// Elements read by each kernel instance.
+    pub fn per_instance(&self) -> usize {
+        self.per_instance
+    }
+
+    /// Read slot `slot` (0-based) of this instance's elements.
+    #[inline]
+    pub fn get(&self, ctx: &mut KernelCtx<'_>, slot: usize) -> T {
+        debug_assert!(slot < self.per_instance, "slot out of range");
+        let pos = ctx.instance * self.per_instance + slot;
+        if pos >= self.blocks.total() {
+            ctx.record_error(StreamError::InputUnderflow {
+                capacity: self.blocks.total(),
+                required: pos + 1,
+            });
+            return T::default();
+        }
+        let global = self.blocks.locate(pos);
+        ctx.charge_read(self.stream_id, self.layout, global, T::BYTES);
+        self.data[global]
+    }
+
+    /// Read the first two slots as a pair (`read_from_stream` twice).
+    #[inline]
+    pub fn pair(&self, ctx: &mut KernelCtx<'_>) -> (T, T) {
+        (self.get(ctx, 0), self.get(ctx, 1))
+    }
+}
+
+/// A random-access (gather) input view: the paper's `gather stream<T>`.
+pub struct GatherView<'a, T> {
+    data: &'a [T],
+    stream_id: u64,
+    layout: Layout,
+}
+
+impl<'a, T: StreamElement> GatherView<'a, T> {
+    /// Bind a whole stream for gather access.
+    pub fn new(stream: &'a Stream<T>) -> Self {
+        GatherView {
+            data: stream.as_slice(),
+            stream_id: stream.id(),
+            layout: stream.layout(),
+        }
+    }
+
+    /// Length of the gather stream.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the gather stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Random read of element `index` (the paper's `bitonicTrees[pidx]`).
+    #[inline]
+    pub fn gather(&self, ctx: &mut KernelCtx<'_>, index: usize) -> T {
+        if index >= self.data.len() {
+            ctx.record_error(StreamError::GatherOutOfBounds {
+                stream_len: self.data.len(),
+                index,
+            });
+            return T::default();
+        }
+        ctx.charge_gather(self.stream_id, self.layout, index, T::BYTES);
+        self.data[index]
+    }
+}
+
+/// A linear output view: the paper's `out stream<T>` written with
+/// `push_onto_stream`.
+///
+/// Internally the destination slice is shared between processor units
+/// through an [`UnsafeCell`]; soundness rests on the positional access rule
+/// (instance `i` writes only logical positions `i·r .. (i+1)·r`, which are
+/// disjoint across instances) enforced by the slot API.
+pub struct WriteView<'a, T> {
+    data: &'a UnsafeCell<[T]>,
+    stream_id: u64,
+    layout: Layout,
+    blocks: BlockSet,
+    per_instance: usize,
+    _marker: PhantomData<&'a mut Stream<T>>,
+}
+
+// SAFETY: distinct kernel instances write disjoint positions (derived from
+// the instance index), and the executor never runs the same instance on two
+// units. Reads of the written data happen only after the launch returns.
+unsafe impl<'a, T: StreamElement> Send for WriteView<'a, T> {}
+unsafe impl<'a, T: StreamElement> Sync for WriteView<'a, T> {}
+
+impl<'a, T: StreamElement> WriteView<'a, T> {
+    /// Bind an output substream. Each kernel instance writes exactly
+    /// `per_instance` elements.
+    pub fn new(stream: &'a mut Stream<T>, blocks: BlockSet, per_instance: usize) -> Result<Self> {
+        stream.check_blocks(&blocks)?;
+        let stream_id = stream.id();
+        let layout = stream.layout();
+        let slice: &mut [T] = stream.as_mut_slice();
+        // SAFETY: `&mut [T]` and `&UnsafeCell<[T]>` have the same layout;
+        // the exclusive borrow of the stream is held by this view for 'a.
+        let data: &'a UnsafeCell<[T]> = unsafe { &*(slice as *mut [T] as *const UnsafeCell<[T]>) };
+        Ok(WriteView {
+            data,
+            stream_id,
+            layout,
+            blocks,
+            per_instance,
+            _marker: PhantomData,
+        })
+    }
+
+    /// Convenience constructor for a single contiguous range.
+    pub fn contiguous(
+        stream: &'a mut Stream<T>,
+        start: usize,
+        len: usize,
+        per_instance: usize,
+    ) -> Result<Self> {
+        Self::new(stream, BlockSet::contiguous(start, len), per_instance)
+    }
+
+    /// Total number of elements the bound substream can hold.
+    pub fn capacity(&self) -> usize {
+        self.blocks.total()
+    }
+
+    /// Elements written by each kernel instance.
+    pub fn per_instance(&self) -> usize {
+        self.per_instance
+    }
+
+    /// The global element index that slot `slot` of instance `instance`
+    /// will be written to. This is what the paper's *iterator streams*
+    /// expose to the previous phase so it can fix up child pointers; see
+    /// [`IterStream::for_write_view`].
+    pub fn destination_index(&self, instance: usize, slot: usize) -> usize {
+        self.blocks.locate(instance * self.per_instance + slot)
+    }
+
+    /// The block set this view writes to.
+    pub fn blocks(&self) -> &BlockSet {
+        &self.blocks
+    }
+
+    /// Write `value` into slot `slot` of this instance's output positions
+    /// (the paper's `push_onto_stream`).
+    #[inline]
+    pub fn set(&self, ctx: &mut KernelCtx<'_>, slot: usize, value: T) {
+        debug_assert!(slot < self.per_instance, "slot out of range");
+        let pos = ctx.instance * self.per_instance + slot;
+        if pos >= self.blocks.total() {
+            ctx.record_error(StreamError::OutputOverflow {
+                capacity: self.blocks.total(),
+                required: pos + 1,
+            });
+            return;
+        }
+        let global = self.blocks.locate(pos);
+        ctx.charge_write(T::BYTES);
+        let _ = self.layout; // writes bypass the texture cache (ROP path)
+        // SAFETY: `global` is unique to (instance, slot); see the type-level
+        // safety comment.
+        unsafe {
+            let base = self.data.get() as *mut T;
+            *base.add(global) = value;
+        }
+    }
+
+    /// Write a pair into slots 0 and 1.
+    #[inline]
+    pub fn pair(&self, ctx: &mut KernelCtx<'_>, first: T, second: T) {
+        self.set(ctx, 0, first);
+        self.set(ctx, 1, second);
+    }
+
+    /// The stream this view writes into (for aliasing validation).
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+}
+
+/// An iterator stream: a read-only stream containing a linear ascending
+/// sequence of indices, realised by the hardware's iterator unit without
+/// memory lookups (paper, Section "Phase i > 0 kernel").
+///
+/// In this simulator an iterator stream yields, for each logical position,
+/// the *global element index* of a target block set — exactly the
+/// destination addresses the next phase's [`WriteView`] will write to.
+pub struct IterStream {
+    blocks: BlockSet,
+    per_instance: usize,
+}
+
+impl IterStream {
+    /// An iterator stream over an explicit block set.
+    pub fn new(blocks: BlockSet, per_instance: usize) -> Self {
+        IterStream {
+            blocks,
+            per_instance,
+        }
+    }
+
+    /// An iterator stream over a contiguous index range
+    /// (`iter_stream<index_t>(a .. b)` in the paper's pseudo code).
+    pub fn range(start: usize, len: usize, per_instance: usize) -> Self {
+        Self::new(BlockSet::contiguous(start, len), per_instance)
+    }
+
+    /// An iterator stream that yields the destination indices of an output
+    /// view that will be used in a later phase, so the current phase can
+    /// update child pointers to point at those future locations
+    /// (Section 5.2).
+    pub fn for_write_view<T: StreamElement>(view: &WriteView<'_, T>) -> Self {
+        IterStream {
+            blocks: view.blocks().clone(),
+            per_instance: view.per_instance(),
+        }
+    }
+
+    /// Number of indices available.
+    pub fn capacity(&self) -> usize {
+        self.blocks.total()
+    }
+
+    /// Read slot `slot` of this instance's indices.
+    #[inline]
+    pub fn get(&self, ctx: &mut KernelCtx<'_>, slot: usize) -> u32 {
+        debug_assert!(slot < self.per_instance, "slot out of range");
+        let pos = ctx.instance * self.per_instance + slot;
+        if pos >= self.blocks.total() {
+            ctx.record_error(StreamError::InputUnderflow {
+                capacity: self.blocks.total(),
+                required: pos + 1,
+            });
+            return 0;
+        }
+        ctx.charge_iter();
+        self.blocks.locate(pos) as u32
+    }
+
+    /// Read the first two slots as a pair.
+    #[inline]
+    pub fn pair(&self, ctx: &mut KernelCtx<'_>) -> (u32, u32) {
+        (self.get(ctx, 0), self.get(ctx, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+
+    fn test_ctx<'a>(
+        instance: usize,
+        counters: &'a mut Counters,
+        cache: Option<&'a mut CacheSim>,
+    ) -> KernelCtx<'a> {
+        KernelCtx {
+            instance,
+            unit: 0,
+            counters,
+            cache,
+            bytes_pushed: 0,
+            max_output_bytes: usize::MAX,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn read_view_positional_access() {
+        let s = Stream::from_vec("s", (0u32..16).collect(), Layout::Linear);
+        let view = ReadView::contiguous(&s, 4, 8, 2).unwrap();
+        let mut c = Counters::new();
+        let mut ctx = test_ctx(1, &mut c, None);
+        assert_eq!(view.pair(&mut ctx), (6, 7));
+        assert_eq!(view.capacity(), 8);
+        assert_eq!(view.per_instance(), 2);
+        assert_eq!(c.stream_reads, 2);
+        assert!(c.bytes_read > 0);
+    }
+
+    #[test]
+    fn read_view_underflow_is_reported_not_panicking() {
+        let s = Stream::from_vec("s", (0u32..4).collect(), Layout::Linear);
+        let view = ReadView::contiguous(&s, 0, 4, 2).unwrap();
+        let mut c = Counters::new();
+        let mut ctx = test_ctx(2, &mut c, None); // instance 2 needs positions 4,5
+        let _ = view.get(&mut ctx, 0);
+        assert!(ctx.failed());
+        assert!(matches!(
+            ctx.error,
+            Some(StreamError::InputUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_view_counts_gathers_and_bounds_checks() {
+        let s = Stream::from_vec("s", (0u32..8).collect(), Layout::Linear);
+        let view = GatherView::new(&s);
+        let mut c = Counters::new();
+        {
+            let mut ctx = test_ctx(0, &mut c, None);
+            assert_eq!(view.gather(&mut ctx, 5), 5);
+            assert_eq!(view.len(), 8);
+            assert!(!view.is_empty());
+            let _ = view.gather(&mut ctx, 100);
+            assert!(matches!(
+                ctx.error,
+                Some(StreamError::GatherOutOfBounds { .. })
+            ));
+        }
+        assert_eq!(c.gathers, 1);
+    }
+
+    #[test]
+    fn write_view_writes_disjoint_positions() {
+        let mut s: Stream<u32> = Stream::new("out", 8, Layout::Linear);
+        {
+            let view = WriteView::contiguous(&mut s, 0, 8, 2).unwrap();
+            let mut c = Counters::new();
+            for instance in 0..4 {
+                let mut ctx = test_ctx(instance, &mut c, None);
+                view.pair(&mut ctx, instance as u32 * 10, instance as u32 * 10 + 1);
+            }
+            assert_eq!(c.stream_writes, 8);
+            assert_eq!(c.bytes_written, 8 * 4);
+        }
+        assert_eq!(s.as_slice(), &[0, 1, 10, 11, 20, 21, 30, 31]);
+    }
+
+    #[test]
+    fn write_view_multi_block_destinations() {
+        let mut s: Stream<u32> = Stream::new("out", 12, Layout::Linear);
+        let blocks = BlockSet::multi(vec![(8, 2), (0, 4)]).unwrap();
+        {
+            let view = WriteView::new(&mut s, blocks, 2).unwrap();
+            assert_eq!(view.destination_index(0, 0), 8);
+            assert_eq!(view.destination_index(0, 1), 9);
+            assert_eq!(view.destination_index(1, 0), 0);
+            assert_eq!(view.destination_index(2, 1), 3);
+            let mut c = Counters::new();
+            for instance in 0..3 {
+                let mut ctx = test_ctx(instance, &mut c, None);
+                view.pair(&mut ctx, 100 + instance as u32, 200 + instance as u32);
+            }
+        }
+        assert_eq!(&s.as_slice()[8..10], &[100, 200]);
+        assert_eq!(&s.as_slice()[0..4], &[101, 201, 102, 202]);
+    }
+
+    #[test]
+    fn write_view_overflow_reported() {
+        let mut s: Stream<u32> = Stream::new("out", 4, Layout::Linear);
+        let view = WriteView::contiguous(&mut s, 0, 4, 2).unwrap();
+        let mut c = Counters::new();
+        let mut ctx = test_ctx(2, &mut c, None);
+        view.set(&mut ctx, 0, 1);
+        assert!(matches!(
+            ctx.error,
+            Some(StreamError::OutputOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_stream_yields_destination_indices() {
+        let mut s: Stream<u32> = Stream::new("out", 16, Layout::Linear);
+        let next_phase_out = WriteView::contiguous(&mut s, 8, 8, 2).unwrap();
+        let iter = IterStream::for_write_view(&next_phase_out);
+        let mut c = Counters::new();
+        let mut ctx = test_ctx(1, &mut c, None);
+        assert_eq!(iter.pair(&mut ctx), (10, 11));
+        assert_eq!(c.iter_reads, 2);
+        // Iterator reads cost no memory traffic.
+        assert_eq!(c.bytes_read, 0);
+        assert_eq!(iter.capacity(), 8);
+    }
+
+    #[test]
+    fn iter_stream_range_matches_paper_pseudocode() {
+        // iter_stream(2*nextStart .. 2*(nextStart+len)-1) with per-instance 2
+        let iter = IterStream::range(6, 8, 2);
+        let mut c = Counters::new();
+        let mut ctx = test_ctx(0, &mut c, None);
+        assert_eq!(iter.pair(&mut ctx), (6, 7));
+        let mut ctx = test_ctx(3, &mut c, None);
+        assert_eq!(iter.pair(&mut ctx), (12, 13));
+    }
+
+    #[test]
+    fn cached_reads_charge_block_fills() {
+        let s = Stream::from_vec("s", (0u32..64).collect(), Layout::RowMajor { width: 8 });
+        let view = ReadView::contiguous(&s, 0, 64, 64).unwrap();
+        let mut c = Counters::new();
+        let mut cache = CacheSim::new(crate::cache::CacheConfig {
+            block_edge: 4,
+            num_blocks: 64,
+            ways: 4,
+            element_bytes: 4,
+        });
+        let mut ctx = test_ctx(0, &mut c, Some(&mut cache));
+        for slot in 0..64 {
+            let _ = view.get(&mut ctx, slot);
+        }
+        // 64 elements in an 8x8 texture with 4x4 cache tiles = 4 tiles.
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(c.bytes_read, 4 * 16 * 4);
+    }
+}

@@ -1,0 +1,356 @@
+//! Streams, substreams and block sets.
+//!
+//! A [`Stream`] is an ordered set of elements in stream memory (Section 3.1
+//! of the paper). Logically it is addressed with 1D indices; physically the
+//! simulator associates a [`Layout`] with it that determines the 2D texture
+//! coordinate of every element (Section 6.2) — the texture-cache model uses
+//! that coordinate to decide which cache tile an access falls into.
+//!
+//! A substream is "a contiguous range of elements from a given stream", or
+//! on hardware that supports it "multiple non-overlapping ranges of
+//! elements" (Section 3.1). [`BlockSet`] is that description: an ordered
+//! list of disjoint `(start, len)` ranges. Kernel instances read and write
+//! substreams *linearly*: logical position `i` of the substream is the
+//! `i`-th element when walking the blocks in order.
+
+use crate::error::{Result, StreamError};
+use crate::layout::Layout;
+use crate::value::StreamElement;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A stream of elements in simulated stream memory.
+#[derive(Debug, Clone)]
+pub struct Stream<T> {
+    name: String,
+    id: u64,
+    layout: Layout,
+    data: Vec<T>,
+}
+
+impl<T: StreamElement> Stream<T> {
+    /// Allocate a stream of `len` default-initialised elements.
+    pub fn new(name: impl Into<String>, len: usize, layout: Layout) -> Self {
+        Stream {
+            name: name.into(),
+            id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
+            layout,
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Create a stream from existing data.
+    pub fn from_vec(name: impl Into<String>, data: Vec<T>, layout: Layout) -> Self {
+        Stream {
+            name: name.into(),
+            id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
+            layout,
+            data,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The stream's unique identity (used by the cache model and by
+    /// aliasing checks).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Debug name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The 1D→2D layout of this stream.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Change the layout (e.g. to compare row-wise vs Z-order on the same
+    /// data). This only affects how accesses are charged, not the logical
+    /// contents.
+    pub fn set_layout(&mut self, layout: Layout) {
+        self.layout = layout;
+    }
+
+    /// Host-side read of the whole stream (not charged; corresponds to
+    /// reading back the texture for verification).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Host-side mutable access (not charged; corresponds to uploading data
+    /// from the host).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Host-side read of one element.
+    pub fn get(&self, index: usize) -> T {
+        self.data[index]
+    }
+
+    /// Host-side write of one element.
+    pub fn set(&mut self, index: usize, value: T) {
+        self.data[index] = value;
+    }
+
+    /// Host-side copy of a slice into the stream at `offset`.
+    pub fn write_at(&mut self, offset: usize, values: &[T]) {
+        self.data[offset..offset + values.len()].copy_from_slice(values);
+    }
+
+    /// Host-side read of a contiguous range.
+    pub fn read_range(&self, start: usize, len: usize) -> Vec<T> {
+        self.data[start..start + len].to_vec()
+    }
+
+    /// A read-only host view of a substream.
+    pub fn view(&self, blocks: &BlockSet) -> SubStream<'_, T> {
+        SubStream {
+            stream: self,
+            blocks: blocks.clone(),
+        }
+    }
+
+    /// Validate that a block set lies within this stream.
+    pub fn check_blocks(&self, blocks: &BlockSet) -> Result<()> {
+        for &(start, len) in blocks.blocks() {
+            if start + len > self.data.len() {
+                return Err(StreamError::SubStreamOutOfBounds {
+                    stream_len: self.data.len(),
+                    start,
+                    end: start + len,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A read-only host-side view of a substream (used to set up inputs and to
+/// read results back for verification; kernel-side access goes through the
+/// views in [`crate::kernel`]).
+#[derive(Debug)]
+pub struct SubStream<'a, T> {
+    stream: &'a Stream<T>,
+    blocks: BlockSet,
+}
+
+impl<'a, T: StreamElement> SubStream<'a, T> {
+    /// Number of elements in the substream.
+    pub fn len(&self) -> usize {
+        self.blocks.total()
+    }
+
+    /// Whether the substream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Collect the substream contents in logical order.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for &(start, len) in self.blocks.blocks() {
+            out.extend_from_slice(&self.stream.as_slice()[start..start + len]);
+        }
+        out
+    }
+
+    /// Element at logical position `pos`.
+    pub fn get(&self, pos: usize) -> T {
+        self.stream.get(self.blocks.locate(pos))
+    }
+}
+
+/// An ordered set of disjoint `(start, len)` element ranges describing a
+/// substream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSet {
+    blocks: Vec<(usize, usize)>,
+    /// Exclusive prefix sums of block lengths, plus the total at the end.
+    prefix: Vec<usize>,
+}
+
+impl BlockSet {
+    /// A substream consisting of a single contiguous range.
+    pub fn contiguous(start: usize, len: usize) -> Self {
+        BlockSet {
+            blocks: vec![(start, len)],
+            prefix: vec![0, len],
+        }
+    }
+
+    /// A multi-block substream. Blocks keep the given order (the order
+    /// defines the logical element order); they must be pairwise disjoint.
+    pub fn multi(blocks: Vec<(usize, usize)>) -> Result<Self> {
+        // Pairwise overlap check on the (small) block list.
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                let (s1, l1) = blocks[i];
+                let (s2, l2) = blocks[j];
+                if l1 > 0 && l2 > 0 && s1 < s2 + l2 && s2 < s1 + l1 {
+                    return Err(StreamError::OverlappingBlocks {
+                        first: (s1, s1 + l1),
+                        second: (s2, s2 + l2),
+                    });
+                }
+            }
+        }
+        let mut prefix = Vec::with_capacity(blocks.len() + 1);
+        let mut acc = 0usize;
+        prefix.push(0);
+        for &(_, len) in &blocks {
+            acc += len;
+            prefix.push(acc);
+        }
+        Ok(BlockSet { blocks, prefix })
+    }
+
+    /// Total number of elements.
+    pub fn total(&self) -> usize {
+        *self.prefix.last().unwrap_or(&0)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The raw blocks.
+    pub fn blocks(&self) -> &[(usize, usize)] {
+        &self.blocks
+    }
+
+    /// Map a logical substream position to the global element index in the
+    /// underlying stream.
+    ///
+    /// # Panics
+    /// Panics if `pos >= self.total()`.
+    #[inline]
+    pub fn locate(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.total(), "position {pos} out of substream bounds");
+        // The block lists used by the sort are tiny (one or a handful of
+        // blocks), so a linear scan beats binary search in practice and is
+        // branch-predictable.
+        let mut b = 0;
+        while pos >= self.prefix[b + 1] {
+            b += 1;
+        }
+        let (start, _) = self.blocks[b];
+        start + (pos - self.prefix[b])
+    }
+
+    /// True if the given global element index is covered by this block set.
+    pub fn contains_index(&self, index: usize) -> bool {
+        self.blocks
+            .iter()
+            .any(|&(start, len)| index >= start && index < start + len)
+    }
+
+    /// True if any block of `self` overlaps any block of `other`.
+    pub fn overlaps(&self, other: &BlockSet) -> bool {
+        self.blocks.iter().any(|&(s1, l1)| {
+            other
+                .blocks
+                .iter()
+                .any(|&(s2, l2)| l1 > 0 && l2 > 0 && s1 < s2 + l2 && s2 < s1 + l1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn stream_ids_are_unique() {
+        let a: Stream<u32> = Stream::new("a", 4, Layout::Linear);
+        let b: Stream<u32> = Stream::new("b", 4, Layout::Linear);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn stream_host_access_roundtrip() {
+        let mut s: Stream<Value> = Stream::new("s", 8, Layout::Linear);
+        s.set(3, Value::new(7.5, 1));
+        assert_eq!(s.get(3), Value::new(7.5, 1));
+        s.write_at(4, &[Value::new(1.0, 2), Value::new(2.0, 3)]);
+        assert_eq!(s.read_range(4, 2), vec![Value::new(1.0, 2), Value::new(2.0, 3)]);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn contiguous_blockset_locates_identity() {
+        let b = BlockSet::contiguous(10, 5);
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.locate(0), 10);
+        assert_eq!(b.locate(4), 14);
+        assert!(b.contains_index(12));
+        assert!(!b.contains_index(15));
+    }
+
+    #[test]
+    fn multi_blockset_locates_across_blocks() {
+        let b = BlockSet::multi(vec![(0, 2), (8, 3), (4, 1)]).unwrap();
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.locate(0), 0);
+        assert_eq!(b.locate(1), 1);
+        assert_eq!(b.locate(2), 8);
+        assert_eq!(b.locate(4), 10);
+        assert_eq!(b.locate(5), 4);
+    }
+
+    #[test]
+    fn overlapping_blocks_rejected() {
+        let err = BlockSet::multi(vec![(0, 4), (3, 2)]).unwrap_err();
+        assert!(matches!(err, StreamError::OverlappingBlocks { .. }));
+        // Touching blocks are fine.
+        assert!(BlockSet::multi(vec![(0, 4), (4, 2)]).is_ok());
+        // Zero-length blocks never overlap.
+        assert!(BlockSet::multi(vec![(0, 4), (2, 0)]).is_ok());
+    }
+
+    #[test]
+    fn blockset_overlap_query() {
+        let a = BlockSet::contiguous(0, 4);
+        let b = BlockSet::contiguous(4, 4);
+        let c = BlockSet::multi(vec![(2, 1), (10, 2)]).unwrap();
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(!b.overlaps(&c));
+    }
+
+    #[test]
+    fn substream_view_reads_in_logical_order() {
+        let data: Vec<u32> = (0..10).collect();
+        let s = Stream::from_vec("s", data, Layout::Linear);
+        let b = BlockSet::multi(vec![(6, 2), (0, 3)]).unwrap();
+        let v = s.view(&b);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.to_vec(), vec![6, 7, 0, 1, 2]);
+        assert_eq!(v.get(1), 7);
+        assert_eq!(v.get(2), 0);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn check_blocks_rejects_out_of_bounds() {
+        let s: Stream<u32> = Stream::new("s", 8, Layout::Linear);
+        let err = s.check_blocks(&BlockSet::contiguous(4, 8)).unwrap_err();
+        assert!(matches!(err, StreamError::SubStreamOutOfBounds { .. }));
+        assert!(s.check_blocks(&BlockSet::contiguous(0, 8)).is_ok());
+    }
+}

@@ -1,0 +1,135 @@
+//! Host ↔ device transfer model (Section 8 of the paper).
+//!
+//! The paper's timings assume the input already resides in GPU memory, but
+//! Section 8 quantifies the cost of getting it there and back for an
+//! otherwise CPU-based application: transferring 2²⁰ value/pointer pairs to
+//! the GPU and back takes roughly 100 ms over the AGP bus and roughly 20 ms
+//! over PCI Express. [`TransferModel`] reproduces those figures with a
+//! simple asymmetric-bandwidth model (upload is much faster than readback
+//! on AGP; PCI Express is symmetric and faster), so experiment E11 can show
+//! that the transfer overhead is small relative to the sorting speed-up.
+
+use serde::{Deserialize, Serialize};
+
+/// The host bus connecting CPU and GPU memory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BusKind {
+    /// AGP 8×: fast upload, slow readback (Table 2 system).
+    Agp8x,
+    /// PCI Express ×16: symmetric, faster both ways (Table 3 system).
+    PciExpressX16,
+}
+
+impl BusKind {
+    /// Upload (host → device) bandwidth in MB/s.
+    pub fn upload_mb_s(&self) -> f64 {
+        match self {
+            BusKind::Agp8x => 250.0,
+            BusKind::PciExpressX16 => 1000.0,
+        }
+    }
+
+    /// Readback (device → host) bandwidth in MB/s.
+    pub fn readback_mb_s(&self) -> f64 {
+        match self {
+            BusKind::Agp8x => 120.0,
+            BusKind::PciExpressX16 => 900.0,
+        }
+    }
+
+    /// Fixed per-transfer latency in milliseconds (driver + DMA setup).
+    pub fn latency_ms(&self) -> f64 {
+        match self {
+            BusKind::Agp8x => 0.4,
+            BusKind::PciExpressX16 => 0.15,
+        }
+    }
+
+    /// Time to move `bytes` bytes in one direction and the same amount back
+    /// (round trip of an equally sized input and output), in ms. This is
+    /// what [`crate::GpuProfile::simulate`] charges for
+    /// `Counters::transfer_bytes`, which records the *round-trip* volume.
+    pub fn transfer_ms(&self, round_trip_bytes: u64) -> f64 {
+        if round_trip_bytes == 0 {
+            return 0.0;
+        }
+        let half = round_trip_bytes as f64 / 2.0;
+        let up = half / (self.upload_mb_s() * 1e6) * 1e3;
+        let down = half / (self.readback_mb_s() * 1e6) * 1e3;
+        2.0 * self.latency_ms() + up + down
+    }
+}
+
+/// Transfer-time model for explicit experiments (E11).
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TransferModel {
+    /// The bus being modelled.
+    pub bus: BusKind,
+}
+
+impl TransferModel {
+    /// Create a model for the given bus.
+    pub fn new(bus: BusKind) -> Self {
+        TransferModel { bus }
+    }
+
+    /// Time in ms to upload `n` elements of `elem_bytes` bytes each.
+    pub fn upload_ms(&self, n: usize, elem_bytes: usize) -> f64 {
+        self.bus.latency_ms() + (n * elem_bytes) as f64 / (self.bus.upload_mb_s() * 1e6) * 1e3
+    }
+
+    /// Time in ms to read back `n` elements of `elem_bytes` bytes each.
+    pub fn readback_ms(&self, n: usize, elem_bytes: usize) -> f64 {
+        self.bus.latency_ms() + (n * elem_bytes) as f64 / (self.bus.readback_mb_s() * 1e6) * 1e3
+    }
+
+    /// Round-trip time in ms (upload + readback of the same volume).
+    pub fn round_trip_ms(&self, n: usize, elem_bytes: usize) -> f64 {
+        self.upload_ms(n, elem_bytes) + self.readback_ms(n, elem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Section 8: "the transfer of 2²⁰ value/pointer pairs from CPU to GPU
+    /// and back takes in total roughly 100 ms on our AGP bus PC and roughly
+    /// 20 ms on our PCI Express bus PC."
+    #[test]
+    fn paper_transfer_figures_are_reproduced() {
+        let n = 1 << 20;
+        let pair_bytes = 8; // f32 key + u32 pointer
+        let agp = TransferModel::new(BusKind::Agp8x).round_trip_ms(n, pair_bytes);
+        let pcie = TransferModel::new(BusKind::PciExpressX16).round_trip_ms(n, pair_bytes);
+        assert!(
+            (70.0..140.0).contains(&agp),
+            "AGP round trip should be roughly 100 ms, got {agp:.1} ms"
+        );
+        assert!(
+            (12.0..30.0).contains(&pcie),
+            "PCIe round trip should be roughly 20 ms, got {pcie:.1} ms"
+        );
+        assert!(agp > 3.0 * pcie);
+    }
+
+    #[test]
+    fn zero_bytes_costs_nothing() {
+        assert_eq!(BusKind::Agp8x.transfer_ms(0), 0.0);
+    }
+
+    #[test]
+    fn bus_transfer_matches_model_round_trip() {
+        let n = 1 << 18;
+        let bytes = (n * 8) as u64;
+        let via_bus = BusKind::PciExpressX16.transfer_ms(2 * bytes);
+        let via_model = TransferModel::new(BusKind::PciExpressX16).round_trip_ms(n, 8);
+        assert!((via_bus - via_model).abs() < 0.05, "{via_bus} vs {via_model}");
+    }
+
+    #[test]
+    fn upload_is_faster_than_readback_on_agp() {
+        let m = TransferModel::new(BusKind::Agp8x);
+        assert!(m.upload_ms(1 << 20, 8) < m.readback_ms(1 << 20, 8));
+    }
+}

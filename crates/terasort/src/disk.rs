@@ -1,0 +1,240 @@
+//! A simulated disk with a seek + bandwidth cost model.
+//!
+//! GPUTeraSort reads and writes the database through dedicated reader and
+//! writer stages using DMA; the cost that matters for the pipeline shape is
+//! sequential bandwidth plus a per-request positioning overhead. This
+//! module models exactly that: every request charges one seek plus
+//! `bytes / bandwidth`, and the record contents are simply kept in host
+//! memory (the substitution for real storage is recorded in DESIGN.md).
+
+use crate::record::{WideRecord, RECORD_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Performance profile of the simulated storage.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DiskProfile {
+    /// Average positioning (seek + rotational) overhead per request, in ms.
+    pub seek_ms: f64,
+    /// Sequential bandwidth in MB/s.
+    pub bandwidth_mb_s: f64,
+}
+
+impl DiskProfile {
+    /// A single 2006-era SATA/SCSI disk: ~8 ms positioning, ~60 MB/s
+    /// sequential bandwidth.
+    pub fn hdd_2006() -> Self {
+        DiskProfile { seek_ms: 8.0, bandwidth_mb_s: 60.0 }
+    }
+
+    /// A small RAID array of the kind the GPUTeraSort experiments used:
+    /// same positioning overhead, ~200 MB/s aggregate bandwidth.
+    pub fn raid_2006() -> Self {
+        DiskProfile { seek_ms: 8.0, bandwidth_mb_s: 200.0 }
+    }
+
+    /// An idealized zero-latency, effectively infinite-bandwidth store, for
+    /// isolating the compute part of the pipeline in experiments.
+    pub fn ideal() -> Self {
+        DiskProfile { seek_ms: 0.0, bandwidth_mb_s: f64::INFINITY }
+    }
+
+    /// Time in milliseconds to transfer `bytes` in one request.
+    pub fn request_ms(&self, bytes: u64) -> f64 {
+        self.seek_ms + bytes as f64 / (self.bandwidth_mb_s * 1_000_000.0) * 1_000.0
+    }
+}
+
+/// Accumulated I/O statistics of a [`SimulatedDisk`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Number of read requests.
+    pub read_requests: u64,
+    /// Number of write requests.
+    pub write_requests: u64,
+    /// Bytes read (at the on-disk record size).
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total simulated I/O time in milliseconds.
+    pub io_time_ms: f64,
+}
+
+impl DiskStats {
+    /// Difference `self − earlier`, for measuring a phase.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            read_requests: self.read_requests - earlier.read_requests,
+            write_requests: self.write_requests - earlier.write_requests,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            io_time_ms: self.io_time_ms - earlier.io_time_ms,
+        }
+    }
+}
+
+/// Handle to a file on the simulated disk.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FileId(usize);
+
+struct DiskFile {
+    name: String,
+    records: Vec<WideRecord>,
+}
+
+/// The simulated disk: named files of [`WideRecord`]s plus the cost model.
+pub struct SimulatedDisk {
+    profile: DiskProfile,
+    files: Vec<DiskFile>,
+    stats: DiskStats,
+}
+
+impl SimulatedDisk {
+    /// Create an empty disk with the given performance profile.
+    pub fn new(profile: DiskProfile) -> Self {
+        SimulatedDisk { profile, files: Vec::new(), stats: DiskStats::default() }
+    }
+
+    /// The disk's performance profile.
+    pub fn profile(&self) -> DiskProfile {
+        self.profile
+    }
+
+    /// Create an empty file and return its handle.
+    pub fn create(&mut self, name: &str) -> FileId {
+        self.files.push(DiskFile { name: name.to_string(), records: Vec::new() });
+        FileId(self.files.len() - 1)
+    }
+
+    /// Name the file was created with.
+    pub fn name(&self, file: FileId) -> &str {
+        &self.files[file.0].name
+    }
+
+    /// Number of records currently in `file`.
+    pub fn len(&self, file: FileId) -> usize {
+        self.files[file.0].records.len()
+    }
+
+    /// True if `file` holds no records.
+    pub fn is_empty(&self, file: FileId) -> bool {
+        self.len(file) == 0
+    }
+
+    /// Append `records` to `file` as one sequential write request.
+    pub fn append(&mut self, file: FileId, records: &[WideRecord]) {
+        if records.is_empty() {
+            return;
+        }
+        let bytes = records.len() as u64 * RECORD_BYTES;
+        self.stats.write_requests += 1;
+        self.stats.bytes_written += bytes;
+        self.stats.io_time_ms += self.profile.request_ms(bytes);
+        self.files[file.0].records.extend_from_slice(records);
+    }
+
+    /// Read `len` records starting at `offset` as one request (clamped to
+    /// the end of the file).
+    pub fn read(&mut self, file: FileId, offset: usize, len: usize) -> Vec<WideRecord> {
+        let records = &self.files[file.0].records;
+        let end = (offset + len).min(records.len());
+        let slice = &records[offset.min(records.len())..end];
+        if !slice.is_empty() {
+            let bytes = slice.len() as u64 * RECORD_BYTES;
+            self.stats.read_requests += 1;
+            self.stats.bytes_read += bytes;
+            self.stats.io_time_ms += self.profile.request_ms(bytes);
+        }
+        slice.to_vec()
+    }
+
+    /// Read the whole file as one request.
+    pub fn read_all(&mut self, file: FileId) -> Vec<WideRecord> {
+        let len = self.len(file);
+        self.read(file, 0, len)
+    }
+
+    /// Accumulated I/O statistics.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Reset the statistics (file contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn request_time_is_seek_plus_transfer() {
+        let p = DiskProfile { seek_ms: 5.0, bandwidth_mb_s: 100.0 };
+        // 10 MB at 100 MB/s = 100 ms, plus 5 ms seek.
+        assert!((p.request_ms(10_000_000) - 105.0).abs() < 1e-9);
+        assert_eq!(DiskProfile::ideal().request_ms(1 << 30), 0.0);
+    }
+
+    #[test]
+    fn profiles_are_ordered_by_speed() {
+        let hdd = DiskProfile::hdd_2006();
+        let raid = DiskProfile::raid_2006();
+        let bytes = 100 * 1024 * 1024;
+        assert!(raid.request_ms(bytes) < hdd.request_ms(bytes));
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
+        let file = disk.create("data");
+        assert!(disk.is_empty(file));
+        let records = record::generate(100, 1);
+        disk.append(file, &records[..60]);
+        disk.append(file, &records[60..]);
+        assert_eq!(disk.len(file), 100);
+        assert_eq!(disk.read_all(file), records);
+        assert_eq!(disk.read(file, 90, 50).len(), 10);
+        assert_eq!(disk.name(file), "data");
+    }
+
+    #[test]
+    fn stats_account_requests_bytes_and_time() {
+        let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
+        let file = disk.create("data");
+        let records = record::generate(1000, 2);
+        disk.append(file, &records);
+        let _ = disk.read(file, 0, 500);
+        let stats = disk.stats();
+        assert_eq!(stats.write_requests, 1);
+        assert_eq!(stats.read_requests, 1);
+        assert_eq!(stats.bytes_written, 1000 * RECORD_BYTES);
+        assert_eq!(stats.bytes_read, 500 * RECORD_BYTES);
+        assert!(stats.io_time_ms > 0.0);
+        let before = stats;
+        let _ = disk.read(file, 0, 10);
+        let delta = disk.stats().since(&before);
+        assert_eq!(delta.read_requests, 1);
+        assert_eq!(delta.bytes_read, 10 * RECORD_BYTES);
+    }
+
+    #[test]
+    fn empty_requests_cost_nothing() {
+        let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
+        let file = disk.create("data");
+        disk.append(file, &[]);
+        let _ = disk.read(file, 0, 10);
+        assert_eq!(disk.stats(), DiskStats::default());
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+        let file = disk.create("data");
+        disk.append(file, &record::generate(10, 3));
+        disk.reset_stats();
+        assert_eq!(disk.stats(), DiskStats::default());
+        assert_eq!(disk.len(file), 10);
+    }
+}

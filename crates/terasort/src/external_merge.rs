@@ -1,0 +1,316 @@
+//! The CPU multi-way merge of the sorted runs (the out-of-core phase of the
+//! hybrid pipeline).
+//!
+//! Runs are read in pages through the simulated disk, merged with a binary
+//! min-heap over the run heads (full-key comparisons, counted explicitly),
+//! and the merged output is written out in pages. This is the stage
+//! GPUTeraSort keeps on the CPU — it is bandwidth-bound, and its cost is
+//! what makes the run size / number-of-runs trade-off interesting.
+
+use crate::disk::{DiskStats, FileId, SimulatedDisk};
+use crate::record::WideRecord;
+use baselines::CpuSortModel;
+
+/// Configuration of the external merge.
+#[derive(Copy, Clone, Debug)]
+pub struct MergeConfig {
+    /// Records read from each run per request (the per-run input buffer).
+    pub page_records: usize,
+    /// Records buffered before one output write request.
+    pub output_page_records: usize,
+    /// CPU cost model used to convert comparisons/moves into time.
+    pub cpu_model: CpuSortModel,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        MergeConfig {
+            page_records: 4096,
+            output_page_records: 8192,
+            cpu_model: CpuSortModel::athlon_64_4200(),
+        }
+    }
+}
+
+/// Cost breakdown of one external merge.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct MergeStats {
+    /// Records written to the output file.
+    pub output_records: usize,
+    /// Number of input runs merged.
+    pub runs: usize,
+    /// Full-key comparisons performed by the merge heap.
+    pub comparisons: u64,
+    /// Modelled CPU time of the merge in milliseconds.
+    pub cpu_time_ms: f64,
+    /// Disk traffic of this phase.
+    pub io: DiskStats,
+}
+
+/// One run being consumed: its file, read position and in-memory page.
+struct RunCursor {
+    file: FileId,
+    next_offset: usize,
+    page: Vec<WideRecord>,
+    page_pos: usize,
+}
+
+impl RunCursor {
+    fn refill(&mut self, disk: &mut SimulatedDisk, page_records: usize) {
+        self.page = disk.read(self.file, self.next_offset, page_records);
+        self.next_offset += self.page.len();
+        self.page_pos = 0;
+    }
+
+    fn head(&self) -> Option<WideRecord> {
+        self.page.get(self.page_pos).copied()
+    }
+
+    fn advance(&mut self, disk: &mut SimulatedDisk, page_records: usize) {
+        self.page_pos += 1;
+        if self.page_pos >= self.page.len() {
+            self.refill(disk, page_records);
+        }
+    }
+}
+
+/// A binary min-heap of `(record, run index)` entries with explicit
+/// comparison counting (std's `BinaryHeap` hides the comparison count).
+struct CountingHeap {
+    entries: Vec<(WideRecord, usize)>,
+    comparisons: u64,
+}
+
+impl CountingHeap {
+    fn new() -> Self {
+        CountingHeap { entries: Vec::new(), comparisons: 0 }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn less(&mut self, a: usize, b: usize) -> bool {
+        self.comparisons += 1;
+        self.entries[a].0.full_cmp(&self.entries[b].0) == std::cmp::Ordering::Less
+    }
+
+    fn push(&mut self, entry: (WideRecord, usize)) {
+        self.entries.push(entry);
+        let mut child = self.entries.len() - 1;
+        while child > 0 {
+            let parent = (child - 1) / 2;
+            if self.less(child, parent) {
+                self.entries.swap(child, parent);
+                child = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(WideRecord, usize)> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let last = self.entries.len() - 1;
+        self.entries.swap(0, last);
+        let top = self.entries.pop();
+        let mut parent = 0usize;
+        loop {
+            let left = 2 * parent + 1;
+            let right = 2 * parent + 2;
+            if left >= self.entries.len() {
+                break;
+            }
+            let smaller =
+                if right < self.entries.len() && self.less(right, left) { right } else { left };
+            if self.less(smaller, parent) {
+                self.entries.swap(smaller, parent);
+                parent = smaller;
+            } else {
+                break;
+            }
+        }
+        top
+    }
+}
+
+/// Merge the sorted `runs` into `output`, returning the phase statistics.
+pub fn merge_runs(
+    disk: &mut SimulatedDisk,
+    runs: &[FileId],
+    output: FileId,
+    config: &MergeConfig,
+) -> MergeStats {
+    assert!(config.page_records > 0 && config.output_page_records > 0);
+    let io_before = disk.stats();
+    let mut stats = MergeStats { runs: runs.len(), ..MergeStats::default() };
+
+    let mut cursors: Vec<RunCursor> = runs
+        .iter()
+        .map(|&file| {
+            let mut cursor = RunCursor { file, next_offset: 0, page: Vec::new(), page_pos: 0 };
+            cursor.refill(disk, config.page_records);
+            cursor
+        })
+        .collect();
+
+    let mut heap = CountingHeap::new();
+    for (i, cursor) in cursors.iter().enumerate() {
+        if let Some(record) = cursor.head() {
+            heap.push((record, i));
+        }
+    }
+
+    let mut out_buffer: Vec<WideRecord> = Vec::with_capacity(config.output_page_records);
+    while let Some((record, run_index)) = heap.pop() {
+        out_buffer.push(record);
+        stats.output_records += 1;
+        if out_buffer.len() >= config.output_page_records {
+            disk.append(output, &out_buffer);
+            out_buffer.clear();
+        }
+        cursors[run_index].advance(disk, config.page_records);
+        if let Some(next) = cursors[run_index].head() {
+            heap.push((next, run_index));
+        }
+    }
+    if !out_buffer.is_empty() {
+        disk.append(output, &out_buffer);
+    }
+
+    stats.comparisons = heap.comparisons;
+    // Each output record costs its heap comparisons plus one move through
+    // the output buffer.
+    stats.cpu_time_ms = (heap.comparisons as f64 * config.cpu_model.ns_per_comparison
+        + stats.output_records as f64 * config.cpu_model.ns_per_move)
+        / 1e6;
+    stats.io = disk.stats().since(&io_before);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskProfile;
+    use crate::record;
+
+    /// Split `records` into `k` sorted runs written to disk.
+    fn write_runs(
+        disk: &mut SimulatedDisk,
+        records: &[WideRecord],
+        k: usize,
+    ) -> Vec<FileId> {
+        let per_run = records.len().div_ceil(k);
+        records
+            .chunks(per_run)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut sorted = chunk.to_vec();
+                sorted.sort();
+                let file = disk.create(&format!("run-{i}"));
+                disk.append(file, &sorted);
+                file
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merges_runs_into_a_fully_sorted_output() {
+        let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+        let records = record::generate(10_000, 1);
+        let runs = write_runs(&mut disk, &records, 7);
+        let output = disk.create("output");
+        let stats = merge_runs(&mut disk, &runs, output, &MergeConfig::default());
+        let merged = disk.read_all(output);
+        assert_eq!(stats.output_records, 10_000);
+        assert_eq!(stats.runs, 7);
+        assert!(record::is_sorted(&merged));
+        assert!(record::is_permutation(&records, &merged));
+    }
+
+    #[test]
+    fn single_run_passes_through_with_zero_comparisons() {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let records = record::generate(500, 2);
+        let runs = write_runs(&mut disk, &records, 1);
+        let output = disk.create("output");
+        let stats = merge_runs(&mut disk, &runs, output, &MergeConfig::default());
+        assert_eq!(stats.comparisons, 0);
+        assert!(record::is_sorted(&disk.read_all(output)));
+    }
+
+    #[test]
+    fn comparison_count_is_about_n_log_k() {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let n = 8192usize;
+        let k = 16usize;
+        let records = record::generate(n, 3);
+        let runs = write_runs(&mut disk, &records, k);
+        let output = disk.create("output");
+        let stats = merge_runs(&mut disk, &runs, output, &MergeConfig::default());
+        let n_log_k = (n as f64) * (k as f64).log2();
+        assert!(stats.comparisons as f64 > 0.5 * n_log_k, "{}", stats.comparisons);
+        assert!(stats.comparisons as f64 <= 2.5 * n_log_k, "{}", stats.comparisons);
+    }
+
+    #[test]
+    fn paging_bounds_the_request_sizes_and_covers_all_data() {
+        let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
+        let records = record::generate(4000, 4);
+        let runs = write_runs(&mut disk, &records, 4);
+        let output = disk.create("output");
+        let before = disk.stats();
+        let config = MergeConfig { page_records: 256, output_page_records: 512, ..Default::default() };
+        let stats = merge_runs(&mut disk, &runs, output, &config);
+        assert!(record::is_sorted(&disk.read_all(output)));
+        // 4000 records in pages of ≤256 per run read, ≤512 per write.
+        let delta = disk.stats().since(&before);
+        assert!(stats.io.read_requests >= 16);
+        assert_eq!(stats.io.bytes_read, 4000 * crate::record::RECORD_BYTES);
+        assert_eq!(stats.io.bytes_written, 4000 * crate::record::RECORD_BYTES);
+        // `since` in the assertion above already subtracted the final read;
+        // sanity-check that the phase accounting matches the disk's delta
+        // minus that verification read.
+        assert!(delta.bytes_read >= stats.io.bytes_read);
+    }
+
+    #[test]
+    fn merge_of_empty_run_list_produces_empty_output() {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let output = disk.create("output");
+        let stats = merge_runs(&mut disk, &[], output, &MergeConfig::default());
+        assert_eq!(stats.output_records, 0);
+        assert!(disk.is_empty(output));
+    }
+
+    #[test]
+    fn counting_heap_pops_in_sorted_order() {
+        let mut heap = CountingHeap::new();
+        let records = record::generate(200, 9);
+        for (i, r) in records.iter().enumerate() {
+            heap.push((*r, i));
+        }
+        assert_eq!(heap.len(), 200);
+        let mut popped = Vec::new();
+        while let Some((r, _)) = heap.pop() {
+            popped.push(r);
+        }
+        assert!(record::is_sorted(&popped));
+        assert!(heap.comparisons > 0);
+    }
+
+    #[test]
+    fn heavily_duplicated_keys_still_merge_correctly() {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let records = record::generate_skewed(2000, 2, 5);
+        let runs = write_runs(&mut disk, &records, 5);
+        let output = disk.create("output");
+        merge_runs(&mut disk, &runs, output, &MergeConfig::default());
+        let merged = disk.read_all(output);
+        assert!(record::is_sorted(&merged));
+        assert!(record::is_permutation(&records, &merged));
+    }
+}

@@ -1,0 +1,157 @@
+//! Wide database records.
+//!
+//! GPUTeraSort's target workload (and the sort benchmarks it competes in)
+//! uses records of roughly 100 bytes with a 10-byte key. The GPU cannot
+//! sort such keys directly — its sorters work on 32-bit float keys with a
+//! 32-bit pointer payload — which is exactly why the hybrid pipeline has a
+//! key-generator and a reorder stage. [`WideRecord`] is that record type;
+//! only the key and an 8-byte payload handle are materialised, but the
+//! disk model charges the full on-disk record size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+
+/// Length of the wide sort key in bytes (sort-benchmark convention).
+pub const KEY_BYTES: usize = 10;
+
+/// On-disk size of one record in bytes (key + row payload); used by the
+/// disk cost model.
+pub const RECORD_BYTES: u64 = 100;
+
+/// A wide record: a 10-byte binary sort key plus a payload handle standing
+/// in for the rest of the row.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct WideRecord {
+    /// The wide sort key, compared lexicographically byte by byte.
+    pub key: [u8; KEY_BYTES],
+    /// Handle to the row contents (unique per record in generated data).
+    pub payload: u64,
+}
+
+impl WideRecord {
+    /// Create a record from a key and payload handle.
+    pub fn new(key: [u8; KEY_BYTES], payload: u64) -> Self {
+        WideRecord { key, payload }
+    }
+
+    /// Full-key comparison (lexicographic over all ten key bytes, payload as
+    /// a tie breaker so generated data always has a strict total order).
+    pub fn full_cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key).then(self.payload.cmp(&other.payload))
+    }
+}
+
+impl PartialOrd for WideRecord {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.full_cmp(other))
+    }
+}
+
+impl Ord for WideRecord {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.full_cmp(other)
+    }
+}
+
+/// Generate `n` records with uniformly random keys and unique payloads.
+pub fn generate(n: usize, seed: u64) -> Vec<WideRecord> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut key = [0u8; KEY_BYTES];
+            rng.fill(&mut key[..]);
+            WideRecord::new(key, i as u64)
+        })
+        .collect()
+}
+
+/// Generate `n` records whose keys collide heavily in the leading bytes
+/// (only `distinct_prefixes` different 3-byte prefixes), stressing the
+/// reorder/fix-up stage of the pipeline.
+pub fn generate_skewed(n: usize, distinct_prefixes: u32, seed: u64) -> Vec<WideRecord> {
+    assert!(distinct_prefixes > 0, "need at least one prefix");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let prefix = rng.gen_range(0..distinct_prefixes);
+            let mut key = [0u8; KEY_BYTES];
+            key[0] = (prefix >> 16) as u8;
+            key[1] = (prefix >> 8) as u8;
+            key[2] = prefix as u8;
+            rng.fill(&mut key[3..]);
+            WideRecord::new(key, i as u64)
+        })
+        .collect()
+}
+
+/// True if `records` is sorted ascending by the full wide key.
+pub fn is_sorted(records: &[WideRecord]) -> bool {
+    records.windows(2).all(|w| w[0].full_cmp(&w[1]) != Ordering::Greater)
+}
+
+/// True if `a` and `b` contain the same multiset of records.
+pub fn is_permutation(a: &[WideRecord], b: &[WideRecord]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a: Vec<_> = a.to_vec();
+    let mut b: Vec<_> = b.to_vec();
+    a.sort();
+    b.sort();
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_records_have_unique_payloads() {
+        let records = generate(1000, 1);
+        let mut payloads: Vec<_> = records.iter().map(|r| r.payload).collect();
+        payloads.sort_unstable();
+        payloads.dedup();
+        assert_eq!(payloads.len(), 1000);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        assert_eq!(generate(64, 7), generate(64, 7));
+        assert_ne!(generate(64, 7), generate(64, 8));
+    }
+
+    #[test]
+    fn full_cmp_is_lexicographic_then_payload() {
+        let a = WideRecord::new([0, 0, 1, 0, 0, 0, 0, 0, 0, 0], 5);
+        let b = WideRecord::new([0, 0, 2, 0, 0, 0, 0, 0, 0, 0], 1);
+        assert_eq!(a.full_cmp(&b), Ordering::Less);
+        let c = WideRecord::new(a.key, 9);
+        assert_eq!(a.full_cmp(&c), Ordering::Less);
+        assert_eq!(a.full_cmp(&a), Ordering::Equal);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn skewed_generation_limits_prefixes() {
+        let records = generate_skewed(500, 4, 3);
+        let mut prefixes: Vec<[u8; 3]> =
+            records.iter().map(|r| [r.key[0], r.key[1], r.key[2]]).collect();
+        prefixes.sort_unstable();
+        prefixes.dedup();
+        assert!(prefixes.len() <= 4);
+    }
+
+    #[test]
+    fn sortedness_and_permutation_helpers() {
+        let mut records = generate(200, 11);
+        assert!(is_permutation(&records, &records));
+        records.sort();
+        assert!(is_sorted(&records));
+        let mut broken = records.clone();
+        broken.swap(0, 199);
+        assert!(!is_sorted(&broken));
+        assert!(is_permutation(&records, &broken));
+        assert!(!is_permutation(&records, &records[1..]));
+    }
+}

@@ -1,0 +1,306 @@
+//! The run-formation phase: memory-sized chunks are read from disk, sorted
+//! in core, and written back as sorted runs.
+//!
+//! The in-core sorter is pluggable so that the experiments can compare the
+//! pipeline built on the paper's GPU-ABiSort against the same pipeline on
+//! the GPUSort bitonic network (what GPUTeraSort actually used) and on a
+//! pure CPU quicksort (no GPU at all). The GPU sorters run on the
+//! `stream-arch` simulator and contribute their calibrated simulated time;
+//! the CPU stages (key generation, tie fix-up, quicksort) are charged with
+//! the comparison/move cost model of `baselines::CpuSortModel`.
+
+use crate::disk::{DiskStats, FileId, SimulatedDisk};
+use crate::keygen::{self, FixupStats};
+use crate::record::WideRecord;
+use abisort::{GpuAbiSorter, SortConfig};
+use baselines::{CpuSortModel, CpuSorter, GpuSortBaseline};
+use stream_arch::{GpuProfile, Result, StreamProcessor};
+
+/// Nanoseconds charged per record for the key-generator stage (one gather
+/// of the key prefix plus one packed write, on a 2006-class CPU).
+pub const KEYGEN_NS_PER_RECORD: f64 = 15.0;
+
+/// Which in-core sorter the run-formation phase uses.
+#[derive(Clone, Debug)]
+pub enum CoreSorter {
+    /// The paper's GPU-ABiSort on the stream-processor simulator.
+    GpuAbiSort(SortConfig),
+    /// The GPUSort bitonic-network baseline on the same simulator (the
+    /// sorter the original GPUTeraSort used).
+    GpuBitonicNetwork,
+    /// A plain CPU quicksort — the no-GPU reference pipeline.
+    CpuQuicksort,
+}
+
+impl CoreSorter {
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoreSorter::GpuAbiSort(_) => "gpu-abisort",
+            CoreSorter::GpuBitonicNetwork => "gpusort-network",
+            CoreSorter::CpuQuicksort => "cpu-quicksort",
+        }
+    }
+}
+
+impl Default for CoreSorter {
+    fn default() -> Self {
+        CoreSorter::GpuAbiSort(SortConfig::default())
+    }
+}
+
+/// Configuration of the run-formation phase.
+#[derive(Clone, Debug)]
+pub struct RunFormationConfig {
+    /// Records per run (the memory budget of the in-core sort).
+    pub run_size: usize,
+    /// The in-core sorter.
+    pub core_sorter: CoreSorter,
+    /// GPU profile used when the in-core sorter runs on the simulator.
+    pub gpu_profile: GpuProfile,
+    /// CPU cost model for the key-generator, fix-up and quicksort stages.
+    pub cpu_model: CpuSortModel,
+}
+
+impl Default for RunFormationConfig {
+    fn default() -> Self {
+        RunFormationConfig {
+            run_size: 1 << 15,
+            core_sorter: CoreSorter::default(),
+            gpu_profile: GpuProfile::geforce_7800(),
+            cpu_model: CpuSortModel::athlon_64_4200(),
+        }
+    }
+}
+
+/// Cost breakdown of the run-formation phase.
+#[derive(Clone, Debug, Default)]
+pub struct RunFormationStats {
+    /// Number of runs written.
+    pub runs: usize,
+    /// Total records processed.
+    pub records: usize,
+    /// Simulated GPU time of the in-core sorts (zero for the CPU sorter).
+    pub gpu_time_ms: f64,
+    /// Modelled CPU time (key generation + fix-up + CPU sort if selected).
+    pub cpu_time_ms: f64,
+    /// Disk traffic of this phase (chunk reads + run writes).
+    pub io: DiskStats,
+    /// Aggregated tie fix-up statistics.
+    pub fixup: FixupStats,
+    /// Stream operations launched on the simulator (zero for the CPU sorter).
+    pub stream_ops: u64,
+}
+
+/// Read `input` chunk by chunk, sort each chunk in core, and write one
+/// sorted run file per chunk. Returns the run file handles and the phase
+/// statistics.
+pub fn form_runs(
+    disk: &mut SimulatedDisk,
+    input: FileId,
+    config: &RunFormationConfig,
+) -> Result<(Vec<FileId>, RunFormationStats)> {
+    assert!(config.run_size > 0, "run size must be positive");
+    let total = disk.len(input);
+    let io_before = disk.stats();
+    let mut stats = RunFormationStats { records: total, ..RunFormationStats::default() };
+    let mut runs = Vec::new();
+
+    let mut offset = 0usize;
+    while offset < total {
+        let chunk = disk.read(input, offset, config.run_size);
+        offset += chunk.len();
+
+        let sorted = sort_chunk(&chunk, config, &mut stats)?;
+
+        let run = disk.create(&format!("run-{}", runs.len()));
+        disk.append(run, &sorted);
+        runs.push(run);
+        stats.runs += 1;
+    }
+
+    stats.io = disk.stats().since(&io_before);
+    Ok((runs, stats))
+}
+
+/// Sort one in-memory chunk with the configured sorter, including key
+/// generation and tie fix-up for the GPU paths.
+fn sort_chunk(
+    chunk: &[WideRecord],
+    config: &RunFormationConfig,
+    stats: &mut RunFormationStats,
+) -> Result<Vec<WideRecord>> {
+    match &config.core_sorter {
+        CoreSorter::CpuQuicksort => {
+            // The CPU sorts the wide keys directly — no key generation, no
+            // fix-up, but every comparison touches ten bytes. The cost model
+            // charges the same per-comparison time as for the Value
+            // baseline, which slightly favours the CPU pipeline.
+            let keys = keygen::generate_keys(chunk);
+            let (_, cpu_stats) = CpuSorter.sort(&keys);
+            let mut sorted = chunk.to_vec();
+            sorted.sort_by(|a, b| a.full_cmp(b));
+            stats.cpu_time_ms += config.cpu_model.time_ms(&cpu_stats);
+            Ok(sorted)
+        }
+        CoreSorter::GpuAbiSort(sort_config) => {
+            let keys = keygen::generate_keys(chunk);
+            stats.cpu_time_ms += keygen_time_ms(chunk.len());
+            let mut proc = StreamProcessor::new(config.gpu_profile.clone());
+            let run = GpuAbiSorter::new(*sort_config).sort_run(&mut proc, &keys)?;
+            stats.gpu_time_ms += run.sim_time.total_ms;
+            stats.stream_ops += run.counters.launches;
+            finish_gpu_chunk(chunk, &run.output, config, stats)
+        }
+        CoreSorter::GpuBitonicNetwork => {
+            let keys = keygen::generate_keys(chunk);
+            stats.cpu_time_ms += keygen_time_ms(chunk.len());
+            let mut proc = StreamProcessor::new(config.gpu_profile.clone());
+            let run = GpuSortBaseline::new().sort(&mut proc, &keys)?;
+            stats.gpu_time_ms += run.sim_time.total_ms;
+            stats.stream_ops += run.counters.launches;
+            finish_gpu_chunk(chunk, &run.output, config, stats)
+        }
+    }
+}
+
+/// Shared tail of the GPU paths: reorder by the sorted partial keys and
+/// charge the fix-up comparisons to the CPU.
+fn finish_gpu_chunk(
+    chunk: &[WideRecord],
+    sorted_keys: &[stream_arch::Value],
+    config: &RunFormationConfig,
+    stats: &mut RunFormationStats,
+) -> Result<Vec<WideRecord>> {
+    let (sorted, fixup) = keygen::reorder(chunk, sorted_keys);
+    stats.cpu_time_ms +=
+        fixup.comparisons as f64 * config.cpu_model.ns_per_comparison / 1e6;
+    stats.fixup.tie_groups += fixup.tie_groups;
+    stats.fixup.tied_records += fixup.tied_records;
+    stats.fixup.comparisons += fixup.comparisons;
+    Ok(sorted)
+}
+
+fn keygen_time_ms(records: usize) -> f64 {
+    records as f64 * KEYGEN_NS_PER_RECORD / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskProfile;
+    use crate::record;
+
+    fn setup(n: usize, seed: u64) -> (SimulatedDisk, FileId, Vec<WideRecord>) {
+        let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+        let input = disk.create("input");
+        let records = record::generate(n, seed);
+        disk.append(input, &records);
+        (disk, input, records)
+    }
+
+    fn config_with(core_sorter: CoreSorter, run_size: usize) -> RunFormationConfig {
+        RunFormationConfig { run_size, core_sorter, ..RunFormationConfig::default() }
+    }
+
+    #[test]
+    fn forms_sorted_runs_that_partition_the_input() {
+        let (mut disk, input, records) = setup(10_000, 1);
+        let config = config_with(CoreSorter::default(), 4096);
+        let (runs, stats) = form_runs(&mut disk, input, &config).unwrap();
+        assert_eq!(runs.len(), 3); // 4096 + 4096 + 1808
+        assert_eq!(stats.runs, 3);
+        assert_eq!(stats.records, 10_000);
+
+        let mut all = Vec::new();
+        for &run in &runs {
+            let run_records = disk.read_all(run);
+            assert!(record::is_sorted(&run_records), "run not sorted");
+            all.extend(run_records);
+        }
+        assert!(record::is_permutation(&records, &all));
+    }
+
+    #[test]
+    fn all_core_sorters_produce_identically_sorted_runs() {
+        let (_, _, records) = setup(3000, 5);
+        let mut outputs = Vec::new();
+        for sorter in [
+            CoreSorter::GpuAbiSort(SortConfig::default()),
+            CoreSorter::GpuBitonicNetwork,
+            CoreSorter::CpuQuicksort,
+        ] {
+            let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+            let input = disk.create("input");
+            disk.append(input, &records);
+            let (runs, _) = form_runs(&mut disk, input, &config_with(sorter, 1024)).unwrap();
+            let mut all = Vec::new();
+            for &run in &runs {
+                all.extend(disk.read_all(run));
+            }
+            outputs.push(all);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn gpu_paths_charge_simulated_gpu_time_and_stream_ops() {
+        let (mut disk, input, _) = setup(4096, 9);
+        let (_, stats) =
+            form_runs(&mut disk, input, &config_with(CoreSorter::default(), 2048)).unwrap();
+        assert!(stats.gpu_time_ms > 0.0);
+        assert!(stats.stream_ops > 0);
+        assert!(stats.cpu_time_ms > 0.0); // key generation is never free
+
+        let (mut disk, input, _) = setup(4096, 9);
+        let (_, cpu_stats) =
+            form_runs(&mut disk, input, &config_with(CoreSorter::CpuQuicksort, 2048)).unwrap();
+        assert_eq!(cpu_stats.gpu_time_ms, 0.0);
+        assert_eq!(cpu_stats.stream_ops, 0);
+        assert!(cpu_stats.cpu_time_ms > 0.0);
+    }
+
+    #[test]
+    fn io_statistics_cover_reads_and_run_writes() {
+        let (mut disk, input, _) = setup(5000, 3);
+        let (_, stats) =
+            form_runs(&mut disk, input, &config_with(CoreSorter::CpuQuicksort, 2000)).unwrap();
+        assert_eq!(stats.io.read_requests, 3);
+        assert_eq!(stats.io.write_requests, 3);
+        assert_eq!(stats.io.bytes_read, stats.io.bytes_written);
+        assert!(stats.io.io_time_ms > 0.0);
+    }
+
+    #[test]
+    fn skewed_keys_exercise_the_fixup_stage() {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let input = disk.create("input");
+        let records = record::generate_skewed(2048, 8, 17);
+        disk.append(input, &records);
+        let (runs, stats) =
+            form_runs(&mut disk, input, &config_with(CoreSorter::default(), 1024)).unwrap();
+        assert!(stats.fixup.tied_records > 0);
+        assert!(stats.fixup.comparisons > 0);
+        for &run in &runs {
+            assert!(record::is_sorted(&disk.read_all(run)));
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_no_runs() {
+        let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
+        let input = disk.create("input");
+        let (runs, stats) = form_runs(&mut disk, input, &RunFormationConfig::default()).unwrap();
+        assert!(runs.is_empty());
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.records, 0);
+    }
+
+    #[test]
+    fn core_sorter_names() {
+        assert_eq!(CoreSorter::default().name(), "gpu-abisort");
+        assert_eq!(CoreSorter::GpuBitonicNetwork.name(), "gpusort-network");
+        assert_eq!(CoreSorter::CpuQuicksort.name(), "cpu-quicksort");
+    }
+}

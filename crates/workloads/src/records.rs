@@ -1,0 +1,117 @@
+//! Record payloads for the "sorting arbitrary data based on a sort key"
+//! scenario of Section 8 and the GPUTeraSort-style database example.
+//!
+//! The paper sorts an array of value/pointer pairs where the pointer
+//! refers to the associated data record; after sorting, the application
+//! walks the pairs and dereferences the pointers. [`RecordTable`] is that
+//! associated data: a table of fixed-width records addressed by the `id`
+//! stored in each [`Value`], plus the reorder step a database system would
+//! perform after the key sort (the "reorder stage" of the GPUTeraSort
+//! pipeline described in Section 2.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stream_arch::Value;
+
+/// A fixed-width database-style record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Record {
+    /// The sort key (duplicated inside the record, as a real table would).
+    pub key: f32,
+    /// Fixed-width payload standing in for the rest of the row.
+    pub payload: [u8; 24],
+}
+
+/// A table of records addressed by record id.
+#[derive(Clone, Debug)]
+pub struct RecordTable {
+    records: Vec<Record>,
+}
+
+impl RecordTable {
+    /// Generate `n` records with uniform random keys.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = (0..n)
+            .map(|i| {
+                let key = rng.gen::<f32>();
+                let mut payload = [0u8; 24];
+                payload[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                rng.fill(&mut payload[8..]);
+                Record { key, payload }
+            })
+            .collect();
+        RecordTable { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record with the given id.
+    pub fn get(&self, id: u32) -> &Record {
+        &self.records[id as usize]
+    }
+
+    /// Extract the key/pointer pairs to hand to a sorter (the "key
+    /// generator stage").
+    pub fn sort_keys(&self) -> Vec<Value> {
+        self.records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Value::new(r.key, i as u32))
+            .collect()
+    }
+
+    /// Apply a sorted key/pointer sequence to produce the reordered record
+    /// table (the "reorder stage").
+    pub fn reorder(&self, sorted_keys: &[Value]) -> Vec<Record> {
+        sorted_keys
+            .iter()
+            .map(|v| self.records[v.id as usize].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_keys_point_back_at_records() {
+        let table = RecordTable::generate(100, 3);
+        assert_eq!(table.len(), 100);
+        assert!(!table.is_empty());
+        for (i, v) in table.sort_keys().iter().enumerate() {
+            assert_eq!(v.id, i as u32);
+            assert_eq!(v.key, table.get(v.id).key);
+        }
+    }
+
+    #[test]
+    fn reorder_produces_key_sorted_records() {
+        let table = RecordTable::generate(256, 4);
+        let mut keys = table.sort_keys();
+        keys.sort();
+        let reordered = table.reorder(&keys);
+        assert_eq!(reordered.len(), 256);
+        assert!(reordered.windows(2).all(|w| w[0].key <= w[1].key));
+        // Payloads still identify their original row.
+        for (v, r) in keys.iter().zip(&reordered) {
+            assert_eq!(&r.payload[..8], &(v.id as u64).to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = RecordTable::generate(32, 9);
+        let b = RecordTable::generate(32, 9);
+        assert_eq!(a.records, b.records);
+    }
+}

@@ -1,0 +1,73 @@
+//! Print the output-stream layout tables of the paper's Figures 4–7 and
+//! the bitonic-merge walkthrough of Figure 1.
+//!
+//! ```text
+//! cargo run --example layout_visualizer [-- <figure-number>]
+//! ```
+//!
+//! Without an argument all figures are printed.
+
+use abisort::stream_sort::layout_plan::{figure_table_overlapped, figure_table_sequential};
+use abisort::{adaptive_bitonic_merge, MergeVariant};
+use stream_arch::Value;
+
+fn figure1() {
+    println!("Figure 1 — adaptive bitonic merge of 16 values");
+    println!("==============================================");
+    let keys = [
+        0.0, 2.0, 3.0, 5.0, 7.0, 10.0, 11.0, 13.0, 15.0, 14.0, 12.0, 9.0, 8.0, 6.0, 4.0, 1.0,
+    ];
+    let input: Vec<Value> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| Value::new(k, i as u32))
+        .collect();
+    println!(
+        "input (bitonic):  {}",
+        keys.map(|k| format!("{k:>2}")).join(" ")
+    );
+    let (merged, stats) = adaptive_bitonic_merge(&input, true, MergeVariant::Simplified);
+    println!(
+        "merged (sorted):  {}",
+        merged
+            .iter()
+            .map(|v| format!("{:>2}", v.key))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!(
+        "comparisons: {} (= 2n − log n − 2 = {})\n",
+        stats.comparisons,
+        2 * 16 - 4 - 2
+    );
+}
+
+fn main() {
+    let which: Option<u32> = std::env::args().nth(1).and_then(|s| s.parse().ok());
+    let all = which.is_none();
+    let show = |f: u32| all || which == Some(f);
+
+    if show(1) {
+        figure1();
+    }
+    if show(2) || show(3) {
+        println!("Figures 2/3 — kernel operation traces are exercised by the");
+        println!("integration test `tests/stream_merge_traces.rs`.\n");
+    }
+    if show(4) {
+        println!("Figure 4 — output stream layout, last level (j = 4) of sorting n = 2^4 values");
+        println!("{}", figure_table_sequential(4, 4).render());
+    }
+    if show(5) {
+        println!("Figure 5 — layout for level j = 4 of sorting n = 2^5 values (two trees)");
+        println!("{}", figure_table_sequential(4, 5).render());
+    }
+    if show(6) {
+        println!("Figure 6 — the same merge with partially overlapped stages (Section 5.4)");
+        println!("{}", figure_table_overlapped(4, 5, 0).render());
+    }
+    if show(7) {
+        println!("Figure 7 — merging 2^6 values when the optimized 2^4 bitonic merge runs afterwards");
+        println!("{}", figure_table_overlapped(6, 6, 4).render());
+    }
+}

@@ -1,0 +1,75 @@
+//! Out-of-core database sorting: the GPUTeraSort scenario of Section 2.2.
+//!
+//! A table of wide records (10-byte keys, 100-byte rows) larger than the
+//! in-core budget is sorted by the hybrid pipeline — reader → key
+//! generator → GPU-ABiSort → reorder → writer per run, then a CPU
+//! multi-way merge — on a simulated RAID array, and the same pipeline is
+//! repeated with the GPUSort bitonic network and a pure-CPU quicksort as
+//! the in-core sorter.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example out_of_core_db [-- <num_records> <run_size>]
+//! ```
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::terasort::record;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let records: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let run_size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16_384);
+
+    println!(
+        "Out-of-core sort of {records} wide records ({} MB on disk), run size {run_size}\n",
+        records as u64 * 100 / 1_000_000
+    );
+    let data = record::generate(records, 7);
+
+    println!(
+        "{:<18} {:>5} {:>12} {:>10} {:>10} {:>11} {:>11}",
+        "in-core sorter", "runs", "run IO [ms]", "GPU [ms]", "CPU [ms]", "merge [ms]", "total [ms]"
+    );
+
+    for core_sorter in [
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        CoreSorter::GpuBitonicNetwork,
+        CoreSorter::CpuQuicksort,
+    ] {
+        let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+        let input = disk.create("orders");
+        disk.append(input, &data);
+
+        let config = TeraSortConfig {
+            run_size,
+            core_sorter,
+            gpu_profile: GpuProfile::geforce_7800(),
+            ..TeraSortConfig::default()
+        };
+        let report = TeraSorter::new(config)
+            .sort(&mut disk, input)
+            .expect("out-of-core sort failed");
+
+        let sorted = disk.read_all(report.output);
+        assert!(record::is_sorted(&sorted), "output not sorted");
+        assert!(record::is_permutation(&data, &sorted), "records lost");
+
+        println!(
+            "{:<18} {:>5} {:>12.1} {:>10.1} {:>10.1} {:>11.1} {:>11.1}",
+            report.core_sorter,
+            report.runs,
+            report.run_phase.io_ms,
+            report.run_phase.gpu_ms,
+            report.run_phase.cpu_ms,
+            report.merge_phase.elapsed_ms,
+            report.total_ms,
+        );
+    }
+
+    println!(
+        "\nAll three pipelines produce identical output; they differ in where the in-core\n\
+         sorting time goes (GPU simulator vs CPU model) and in how well it hides behind\n\
+         the disk I/O when the stages overlap."
+    );
+}

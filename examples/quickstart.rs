@@ -1,0 +1,53 @@
+//! Quickstart: sort a million value/pointer pairs on the simulated GPU and
+//! compare against the CPU baseline.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart [-- <num_elements>]
+//! ```
+
+use gpu_abisort::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 17);
+
+    println!("GPU-ABiSort quickstart: sorting {n} value/pointer pairs\n");
+    let input = workloads::uniform(n, 42);
+
+    // --- GPU-ABiSort on the simulated GeForce 7800 -----------------------
+    let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let run = sorter.sort_run(&mut gpu, &input).expect("sort failed");
+    assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+
+    println!("GPU-ABiSort ({}):", sorter.config().describe());
+    println!("  simulated time      : {:>10.2} ms", run.sim_time.total_ms);
+    println!("  host wall-clock time: {:>10.2} ms", run.wall_time.as_secs_f64() * 1e3);
+    println!("  stream operations   : {:>10}", run.counters.effective_ops(true));
+    println!("  kernel instances    : {:>10}", run.counters.kernel_instances);
+    println!("  comparisons         : {:>10}", run.counters.comparisons);
+    println!(
+        "  texture cache hits  : {:>9.1} %",
+        100.0 * run.counters.cache.hit_rate()
+    );
+
+    // --- CPU baseline -----------------------------------------------------
+    let cpu = CpuSorter;
+    let started = std::time::Instant::now();
+    let (cpu_out, cpu_stats) = cpu.sort(&input);
+    let cpu_wall = started.elapsed();
+    assert_eq!(cpu_out, run.output);
+
+    let cpu_model = baselines::CpuSortModel::athlon_64_4200();
+    println!("\nCPU quicksort baseline ({}):", cpu_model.name);
+    println!("  simulated time      : {:>10.2} ms", cpu_model.time_ms(&cpu_stats));
+    println!("  host wall-clock time: {:>10.2} ms", cpu_wall.as_secs_f64() * 1e3);
+    println!("  comparisons         : {:>10}", cpu_stats.comparisons);
+
+    let speedup = cpu_model.time_ms(&cpu_stats) / run.sim_time.total_ms;
+    println!("\nSimulated speed-up of GPU-ABiSort over the CPU sort: {speedup:.2}x");
+}

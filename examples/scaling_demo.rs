@@ -1,0 +1,53 @@
+//! Scaling demonstration: stream-operation counts and simulated time as a
+//! function of the number of stream processor units `p` and of the problem
+//! size `n` (the claims of Sections 5.4 and the abstract).
+//!
+//! ```text
+//! cargo run --release --example scaling_demo [-- <log2_n>]
+//! ```
+
+use gpu_abisort::prelude::*;
+
+fn main() {
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let n = 1usize << log_n;
+
+    println!("GPU-ABiSort scaling demo, n = 2^{log_n} = {n}\n");
+    let input = workloads::uniform(n, 1);
+
+    // --- Stream operations: O(log³ n) vs O(log² n) -----------------------
+    println!("stream operations per variant (steps counted as in Section 5.4):");
+    for (name, config) in [
+        ("sequential phases (Section 5.3)", SortConfig::unoptimized()),
+        (
+            "overlapped stages (Section 5.4)",
+            SortConfig::unoptimized().with_overlapped_steps(true),
+        ),
+        ("fully optimized (Section 7)", SortConfig::default()),
+    ] {
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        let run = GpuAbiSorter::new(config).sort_run(&mut gpu, &input).unwrap();
+        println!(
+            "  {name:<34} steps = {:>6}   launches = {:>6}   simulated = {:>8.2} ms",
+            run.counters.steps, run.counters.launches, run.sim_time.total_ms
+        );
+    }
+
+    // --- Scaling with the number of processor units ----------------------
+    println!("\nsimulated time vs number of stream processor units p (fixed n):");
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let mut base_ms = None;
+    for p in [1usize, 2, 4, 8, 16, 24, 32, 64] {
+        let profile = GpuProfile::geforce_7800().with_units(p);
+        let mut gpu = StreamProcessor::new(profile);
+        let run = sorter.sort_run(&mut gpu, &input).unwrap();
+        let ms = run.sim_time.total_ms;
+        let speedup = base_ms.get_or_insert(ms);
+        println!("  p = {p:>3}: {ms:>9.2} ms   speed-up over p=1: {:>5.2}x", *speedup / ms);
+    }
+    println!("\n(The speed-up saturates once the per-stream-operation overhead");
+    println!(" dominates — the p ≤ n/log n limit discussed in the abstract.)");
+}

@@ -1,0 +1,182 @@
+//! Property-based tests (proptest) on the extension crates:
+//!
+//! * every PRAM sorter returns a sorted permutation of arbitrary inputs,
+//!   and the adaptive bitonic sort does so without ever violating EREW
+//!   exclusivity;
+//! * the PRAM adaptive bitonic sort performs exactly the comparisons of the
+//!   sequential reference, independent of the schedule;
+//! * the out-of-core pipeline sorts arbitrary wide-record tables for every
+//!   in-core sorter, with run sizes that do not divide the table size;
+//! * the disk cost model is additive and monotone in the transferred bytes.
+
+use gpu_abisort::pram::sorters::{abisort_pram, bitonic_network, rank_merge};
+use gpu_abisort::pram::PramModel;
+use gpu_abisort::prelude::*;
+use gpu_abisort::terasort::{
+    disk::{DiskProfile, SimulatedDisk},
+    pipeline::{TeraSortConfig, TeraSorter},
+    record::{self, WideRecord},
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn value_inputs(max_len: usize) -> impl Strategy<Value = Vec<Value>> {
+    vec(
+        prop_oneof![
+            8 => -1.0e6f32..1.0e6f32,
+            1 => Just(0.0f32),
+            1 => Just(f32::NAN),
+        ],
+        0..max_len,
+    )
+    .prop_map(|keys| {
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| Value::new(k, i as u32))
+            .collect()
+    })
+}
+
+fn wide_records(max_len: usize) -> impl Strategy<Value = Vec<WideRecord>> {
+    // Keys drawn from a small byte alphabet so prefix ties are common and
+    // the reorder stage is genuinely exercised.
+    vec(vec(0u8..4u8, 10), 0..max_len).prop_map(|keys| {
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| {
+                let mut key = [0u8; 10];
+                key.copy_from_slice(&k);
+                WideRecord::new(key, i as u64)
+            })
+            .collect()
+    })
+}
+
+fn bits(values: &[Value]) -> Vec<(u32, u32)> {
+    values.iter().map(|v| (v.key.to_bits(), v.id)).collect()
+}
+
+fn std_sorted(values: &[Value]) -> Vec<Value> {
+    let mut v = values.to_vec();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pram_abisort_matches_std_sort_and_stays_erew(input in value_inputs(500)) {
+        let run = abisort_pram::sort(&input).unwrap();
+        prop_assert_eq!(bits(&run.output), bits(&std_sorted(&input)));
+        prop_assert_eq!(run.stats.conflicts(PramModel::Erew), 0);
+    }
+
+    #[test]
+    fn pram_bitonic_network_matches_std_sort(input in value_inputs(400)) {
+        let run = bitonic_network::sort(&input).unwrap();
+        prop_assert_eq!(bits(&run.output), bits(&std_sorted(&input)));
+    }
+
+    #[test]
+    fn pram_rank_merge_matches_std_sort(input in value_inputs(400)) {
+        let run = rank_merge::sort(&input).unwrap();
+        prop_assert_eq!(bits(&run.output), bits(&std_sorted(&input)));
+        prop_assert_eq!(run.stats.write_conflicts, 0);
+    }
+
+    #[test]
+    fn pram_schedules_agree_and_match_sequential_comparisons(input in value_inputs(300)) {
+        let overlapped = abisort_pram::sort_with_schedule(&input, abisort_pram::Schedule::Overlapped).unwrap();
+        let sequential = abisort_pram::sort_with_schedule(&input, abisort_pram::Schedule::SequentialStages).unwrap();
+        prop_assert_eq!(bits(&overlapped.output), bits(&sequential.output));
+        prop_assert_eq!(overlapped.stats.comparisons(), sequential.stats.comparisons());
+        let (_, seq_stats) = gpu_abisort::abisort::sequential::adaptive_bitonic_sort_with(
+            &input,
+            MergeVariant::Simplified,
+        );
+        prop_assert_eq!(overlapped.stats.comparisons(), seq_stats.comparisons);
+    }
+
+    #[test]
+    fn pram_brent_time_is_monotone_in_processors(input in value_inputs(300)) {
+        prop_assume!(input.len() > 1);
+        let run = abisort_pram::sort(&input).unwrap();
+        let mut last = u64::MAX;
+        for p in [1u64, 2, 4, 16, 64, 1 << 20] {
+            let t = run.stats.brent_time(p);
+            prop_assert!(t <= last, "Brent time increased from {last} to {t} at p={p}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn out_of_core_pipeline_sorts_arbitrary_tables(
+        records in wide_records(600),
+        run_size in 16usize..200,
+    ) {
+        let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+        let input = disk.create("t");
+        disk.append(input, &records);
+        let config = TeraSortConfig {
+            run_size,
+            core_sorter: CoreSorter::GpuAbiSort(SortConfig::default()),
+            ..TeraSortConfig::default()
+        };
+        let report = TeraSorter::new(config).sort(&mut disk, input).unwrap();
+        let sorted = disk.read_all(report.output);
+        prop_assert!(record::is_sorted(&sorted));
+        prop_assert!(record::is_permutation(&records, &sorted));
+        prop_assert_eq!(report.records, records.len());
+        if !records.is_empty() {
+            prop_assert_eq!(report.runs, records.len().div_ceil(run_size));
+        }
+    }
+
+    #[test]
+    fn cpu_and_gpu_pipelines_agree_on_arbitrary_tables(records in wide_records(300)) {
+        let mut outputs = Vec::new();
+        for core_sorter in [CoreSorter::GpuAbiSort(SortConfig::default()), CoreSorter::CpuQuicksort] {
+            let mut disk = SimulatedDisk::new(DiskProfile::ideal());
+            let input = disk.create("t");
+            disk.append(input, &records);
+            let config = TeraSortConfig { run_size: 64, core_sorter, ..TeraSortConfig::default() };
+            let report = TeraSorter::new(config).sort(&mut disk, input).unwrap();
+            outputs.push(disk.read_all(report.output));
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1]);
+    }
+
+    #[test]
+    fn disk_model_charges_seek_plus_bandwidth_additively(
+        chunks in vec(1usize..2000, 1..8),
+    ) {
+        let profile = DiskProfile::hdd_2006();
+        let mut disk = SimulatedDisk::new(profile);
+        let file = disk.create("f");
+        let mut expected_ms = 0.0;
+        for (i, &len) in chunks.iter().enumerate() {
+            let records = record::generate(len, i as u64);
+            disk.append(file, &records);
+            expected_ms += profile.request_ms(len as u64 * record::RECORD_BYTES);
+        }
+        let stats = disk.stats();
+        prop_assert_eq!(stats.write_requests, chunks.len() as u64);
+        prop_assert!((stats.io_time_ms - expected_ms).abs() < 1e-9);
+        prop_assert_eq!(
+            stats.bytes_written,
+            chunks.iter().map(|&l| l as u64 * record::RECORD_BYTES).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn padding_never_changes_the_sorted_prefix(input in value_inputs(500)) {
+        // Sorting the first k elements directly must equal truncating the
+        // sort of any longer input restricted to those elements — i.e. the
+        // padding sentinels never leak into the output.
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        let out = GpuAbiSorter::new(SortConfig::default()).sort(&mut gpu, &input).unwrap();
+        prop_assert_eq!(out.len(), input.len());
+        prop_assert_eq!(bits(&out), bits(&std_sorted(&input)));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * every sorter returns a sorted permutation of its input, for arbitrary
+//!   lengths and key distributions (including NaN, ±0.0 and duplicates);
+//! * the adaptive bitonic merge sorts arbitrary bitonic inputs and agrees
+//!   between the classic and simplified variants;
+//! * the Z-order mapping propositions of Section 6.2.2 hold for arbitrary
+//!   indices;
+//! * the Table-1 blocks of one overlapped step never overlap.
+
+use abisort::stream_sort::layout_plan::{overlapped_schedule, table1_pair_block};
+use abisort::{adaptive_bitonic_merge, MergeVariant, SortConfig};
+use gpu_abisort::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use stream_arch::{Mapping1Dto2D, ZOrder2D};
+
+fn value_strategy() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        8 => -1.0e6f32..1.0e6f32,
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::INFINITY),
+        1 => Just(f32::NEG_INFINITY),
+        1 => Just(f32::NAN),
+    ]
+}
+
+fn input_strategy(max_len: usize) -> impl Strategy<Value = Vec<Value>> {
+    vec(value_strategy(), 0..max_len).prop_map(|keys| {
+        keys.into_iter()
+            .enumerate()
+            .map(|(i, k)| Value::new(k, i as u32))
+            .collect()
+    })
+}
+
+fn std_sorted(values: &[Value]) -> Vec<Value> {
+    let mut v = values.to_vec();
+    v.sort();
+    v
+}
+
+/// Bit-exact representation for comparisons: `Value`'s `PartialEq` compares
+/// keys with `==`, under which NaN != NaN, so equality of sorted outputs is
+/// checked on the raw bits instead.
+fn bits(values: &[Value]) -> Vec<(u32, u32)> {
+    values.iter().map(|v| (v.key.to_bits(), v.id)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_adaptive_bitonic_sort_matches_std_sort(input in input_strategy(600)) {
+        prop_assert_eq!(bits(&abisort::adaptive_bitonic_sort(&input)), bits(&std_sorted(&input)));
+    }
+
+    #[test]
+    fn gpu_abisort_matches_std_sort(input in input_strategy(400)) {
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        let out = GpuAbiSorter::new(SortConfig::default()).sort(&mut gpu, &input).unwrap();
+        prop_assert_eq!(bits(&out), bits(&std_sorted(&input)));
+    }
+
+    #[test]
+    fn gpu_abisort_unoptimized_matches_std_sort(input in input_strategy(300)) {
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_6800());
+        let out = GpuAbiSorter::new(SortConfig::unoptimized()).sort(&mut gpu, &input).unwrap();
+        prop_assert_eq!(bits(&out), bits(&std_sorted(&input)));
+    }
+
+    #[test]
+    fn network_baselines_match_std_sort(input in input_strategy(300)) {
+        let expected = bits(&std_sorted(&input));
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        prop_assert_eq!(bits(&GpuSortBaseline::new().sort(&mut gpu, &input).unwrap().output), expected.clone());
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        prop_assert_eq!(bits(&OddEvenMergeSort::new().sort(&mut gpu, &input).unwrap().output), expected.clone());
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        prop_assert_eq!(bits(&PeriodicBalancedSort::new().sort(&mut gpu, &input).unwrap().output), expected);
+    }
+
+    #[test]
+    fn cpu_baseline_matches_std_sort(input in input_strategy(2000)) {
+        let (out, _) = CpuSorter.sort(&input);
+        prop_assert_eq!(bits(&out), bits(&std_sorted(&input)));
+    }
+
+    #[test]
+    fn adaptive_merge_sorts_bitonic_inputs(
+        keys in vec(-1.0e6f32..1.0e6f32, 2..256),
+        rotation in 0usize..256,
+        ascending in proptest::bool::ANY,
+    ) {
+        // Build a bitonic sequence: sort, split at an arbitrary point, and
+        // rotate (a rotation of ascending-then-descending stays bitonic).
+        let n = keys.len().next_power_of_two();
+        let mut keys = keys;
+        keys.resize(n, 0.5);
+        let mut values: Vec<Value> = keys.iter().enumerate()
+            .map(|(i, &k)| Value::new(k, i as u32)).collect();
+        values.sort();
+        let split = rotation % n;
+        values[split..].reverse();
+        let rot = rotation % n;
+        values.rotate_left(rot);
+
+        let (merged, _) = adaptive_bitonic_merge(&values, ascending, MergeVariant::Simplified);
+        let mut expected = values.clone();
+        expected.sort();
+        if !ascending {
+            expected.reverse();
+        }
+        prop_assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn classic_and_simplified_merge_agree(keys in vec(-1.0e3f32..1.0e3f32, 2..128)) {
+        let n = keys.len().next_power_of_two();
+        let mut keys = keys;
+        keys.resize(n, 0.0);
+        let mut values: Vec<Value> = keys.iter().enumerate()
+            .map(|(i, &k)| Value::new(k, i as u32)).collect();
+        let half = n / 2;
+        values[..half].sort();
+        values[half..].sort_by(|a, b| b.cmp(a));
+        let (a, sa) = adaptive_bitonic_merge(&values, true, MergeVariant::Classic);
+        let (b, sb) = adaptive_bitonic_merge(&values, true, MergeVariant::Simplified);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(sa.comparisons, sb.comparisons);
+    }
+
+    #[test]
+    fn z_order_propositions_hold_for_arbitrary_indices(a in 0usize..(1 << 24), log_s in 0u32..24) {
+        let m = ZOrder2D;
+        // Round trip.
+        let (x, y) = m.to_2d(a);
+        prop_assert_eq!(m.from_2d(x, y), a);
+        // Doubling proposition.
+        let (dx, dy) = m.to_2d(2 * a);
+        prop_assert_eq!((dx, dy), (2 * y, x));
+        // Offset proposition for a < s.
+        let s = 1usize << log_s;
+        if a < s {
+            let (sx, sy) = m.to_2d(s);
+            prop_assert_eq!(m.to_2d(s + a), (sx + x, sy + y));
+        }
+    }
+
+    #[test]
+    fn overlapped_step_blocks_never_overlap(j in 1u32..14, log_extra in 0u32..4) {
+        let num_trees = 1usize << log_extra;
+        for step in overlapped_schedule(j, 0) {
+            for a in 0..step.len() {
+                for b in (a + 1)..step.len() {
+                    let (s1, l1) = table1_pair_block(step[a].stage, step[a].phase, num_trees);
+                    let (s2, l2) = table1_pair_block(step[b].stage, step[b].phase, num_trees);
+                    prop_assert!(s1 + l1 <= s2 || s2 + l2 <= s1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_is_stable_under_repetition(input in input_strategy(200)) {
+        // Sorting an already-sorted sequence is the identity.
+        let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let once = sorter.sort(&mut gpu, &input).unwrap();
+        let twice = sorter.sort(&mut gpu, &once).unwrap();
+        prop_assert_eq!(bits(&once), bits(&twice));
+    }
+}

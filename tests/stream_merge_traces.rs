@@ -1,0 +1,189 @@
+//! Trace-level integration test following Figures 2 and 3 of the paper:
+//! the phase kernels modify node pairs, redirect child pointers to the
+//! locations the next phase will write, and the node output stream fills
+//! according to the Table-1 layout.
+//!
+//! The paper's Figure 2 uses three example trees of 2³ nodes; here the same
+//! structure is checked programmatically for a full level merge of several
+//! 8-node trees, asserting the properties the figure illustrates rather
+//! than one hard-coded trace:
+//!
+//! 1. after phase 0, every (root, spare) output pair is ordered according
+//!    to its tree's sort direction and the pq stream holds the root's
+//!    children;
+//! 2. after each later phase, the nodes written in that phase's Table-1
+//!    block are exactly the ones the kernel visited, and their redirected
+//!    child pointers point into the next phase's block;
+//! 3. after the last phase, the in-order traversal of every output tree is
+//!    monotone in the tree's direction.
+
+use abisort::stream_sort::kernels::{self, init_input_trees};
+use abisort::stream_sort::layout_plan::table1_element_block;
+use gpu_abisort::prelude::*;
+use stream_arch::Stream;
+
+const N: usize = 32; // four trees of 8 nodes at level j = 3
+const J: u32 = 3;
+
+struct Trace {
+    trees_a: Stream<Node>,
+    trees_b: Stream<Node>,
+    pq: [Stream<u32>; 2],
+    proc: StreamProcessor,
+}
+
+fn setup() -> (Trace, Vec<Value>) {
+    // Four bitonic 8-blocks (each: 4 ascending then 4 descending values).
+    let mut input = Vec::new();
+    for t in 0..4 {
+        let mut block = workloads::uniform(8, 100 + t as u64);
+        block[..4].sort();
+        block[4..].sort_by(|a, b| b.cmp(a));
+        input.extend(block);
+    }
+    let mut trees_a = Stream::new("trees-a", 2 * N, Layout::ZOrder);
+    init_input_trees(&mut trees_a, &input);
+    let trace = Trace {
+        trees_a,
+        trees_b: Stream::new("trees-b", 2 * N, Layout::ZOrder),
+        pq: [
+            Stream::new("pq-a", 2 * N, Layout::Linear),
+            Stream::new("pq-b", 2 * N, Layout::Linear),
+        ],
+        proc: StreamProcessor::new(GpuProfile::geforce_6800()),
+    };
+    (trace, input)
+}
+
+#[test]
+fn phase_by_phase_trace_follows_figures_2_and_3() {
+    let (mut t, input) = setup();
+    let num_trees = N >> J; // 4
+
+    // --- Initialization: extract roots and spares ------------------------
+    kernels::extract_roots_and_spares(&mut t.proc, &t.trees_a, &mut t.trees_b, N, J).unwrap();
+    kernels::copy_back(&mut t.proc, &t.trees_b, &mut t.trees_a, (0, 2 * num_trees)).unwrap();
+    for tree in 0..num_trees {
+        // Root of tree `tree` is input element 8·tree + 3, spare 8·tree + 7.
+        assert_eq!(t.trees_a.get(num_trees + tree).value, input[8 * tree + 3]);
+        assert_eq!(t.trees_a.get(tree).value, input[8 * tree + 7]);
+    }
+
+    // --- Stage 0 ----------------------------------------------------------
+    let len0 = num_trees;
+    kernels::phase0(&mut t.proc, &t.trees_a, &mut t.trees_b, &mut t.pq[0], 0, len0, 1).unwrap();
+    kernels::copy_back(&mut t.proc, &t.trees_b, &mut t.trees_a, (0, 2 * len0)).unwrap();
+    for tree in 0..num_trees {
+        let ascending = tree % 2 == 0;
+        let written_root = t.trees_a.get(2 * tree).value;
+        let written_spare = t.trees_a.get(2 * tree + 1).value;
+        // Property 1: the (root, spare) pair is ordered per direction.
+        if ascending {
+            assert!(written_root <= written_spare, "tree {tree}");
+        } else {
+            assert!(written_root >= written_spare, "tree {tree}");
+        }
+        // The pq stream points at the root's children in the *input* half.
+        let p = t.pq[0].get(2 * tree) as usize;
+        let q = t.pq[0].get(2 * tree + 1) as usize;
+        for idx in [p, q] {
+            assert!(
+                (N..2 * N).contains(&idx),
+                "stage 0 phase 1 must gather children from the input trees, got {idx}"
+            );
+        }
+    }
+
+    // --- Stage 0, phases 1 and 2 ------------------------------------------
+    for phase in 1..J {
+        let out_block = table1_element_block(0, phase, num_trees);
+        let next_start = table1_element_block(0, phase + 1, num_trees).0;
+        let (pq_in, pq_out) = if phase % 2 == 1 {
+            let (a, b) = t.pq.split_at_mut(1);
+            (&a[0], &mut b[0])
+        } else {
+            let (a, b) = t.pq.split_at_mut(1);
+            (&b[0], &mut a[0])
+        };
+        kernels::phase_i(
+            &mut t.proc,
+            &t.trees_a,
+            &mut t.trees_b,
+            pq_in,
+            0,
+            pq_out,
+            0,
+            out_block,
+            next_start,
+            len0,
+            1,
+        )
+        .unwrap();
+        kernels::copy_back(&mut t.proc, &t.trees_b, &mut t.trees_a, out_block).unwrap();
+
+        // Property 2: redirected child pointers of the written nodes point
+        // into the next phase's block (except in the final phase, where the
+        // children are leaves and the pointers are never followed).
+        if phase + 1 < J {
+            for offset in 0..out_block.1 {
+                let node = t.trees_a.get(out_block.0 + offset);
+                let in_next_block = |idx: u32| {
+                    (next_start..next_start + out_block.1).contains(&(idx as usize))
+                };
+                assert!(
+                    in_next_block(node.left) || in_next_block(node.right),
+                    "phase {phase}: node at {} should point into the next block",
+                    out_block.0 + offset
+                );
+            }
+        }
+    }
+
+    // The merge is not finished after stage 0 (only one path per tree was
+    // fixed); run the remaining stages through the high-level driver and
+    // check the final property on a fresh setup instead.
+    let (mut t2, input2) = setup();
+    let mut streams = abisort::stream_sort::merge::MergeStreams {
+        trees_a: t2.trees_a,
+        trees_b: t2.trees_b,
+        pq: t2.pq,
+    };
+    abisort::stream_sort::merge::merge_level(&mut t2.proc, &mut streams, N, J, false, 0).unwrap();
+    // Property 3: every output tree is monotone in its direction and a
+    // permutation of its input block.
+    for tree in 0..num_trees {
+        let block: Vec<Value> = (0..8).map(|i| streams.trees_a.get(8 * tree + i).value).collect();
+        let mut expected = input2[8 * tree..8 * (tree + 1)].to_vec();
+        expected.sort();
+        if tree % 2 == 1 {
+            expected.reverse();
+        }
+        assert_eq!(block, expected, "tree {tree}");
+    }
+}
+
+#[test]
+fn node_output_stream_is_in_order_after_the_last_stage() {
+    // Section 5.3: "the output of the last step of the merge … contains all
+    // 2^(log n − j) completely modified bitonic trees … in a non-interleaved
+    // manner" — i.e. reading the value fields of elements [0, n) linearly
+    // yields the merged sequences back to back.
+    let (mut t, input) = setup();
+    let mut streams = abisort::stream_sort::merge::MergeStreams {
+        trees_a: t.trees_a,
+        trees_b: t.trees_b,
+        pq: t.pq,
+    };
+    abisort::stream_sort::merge::merge_level(&mut t.proc, &mut streams, N, J, true, 0).unwrap();
+    let linear: Vec<Value> = (0..N).map(|i| streams.trees_a.get(i).value).collect();
+    let mut expected = Vec::new();
+    for tree in 0..4 {
+        let mut block = input[8 * tree..8 * (tree + 1)].to_vec();
+        block.sort();
+        if tree % 2 == 1 {
+            block.reverse();
+        }
+        expected.extend(block);
+    }
+    assert_eq!(linear, expected);
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the hybrid out-of-core pipeline (the GPUTeraSort
+//! scenario of Section 2.2) across the workspace crates.
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::terasort::record;
+
+fn sort_table(
+    records: &[gpu_abisort::terasort::WideRecord],
+    core_sorter: CoreSorter,
+    run_size: usize,
+    profile: DiskProfile,
+) -> (Vec<gpu_abisort::terasort::WideRecord>, gpu_abisort::terasort::TeraSortReport) {
+    let mut disk = SimulatedDisk::new(profile);
+    let input = disk.create("table");
+    disk.append(input, records);
+    let config = TeraSortConfig {
+        run_size,
+        core_sorter,
+        gpu_profile: GpuProfile::geforce_7800(),
+        ..TeraSortConfig::default()
+    };
+    let report = TeraSorter::new(config).sort(&mut disk, input).expect("terasort failed");
+    (disk.read_all(report.output), report)
+}
+
+#[test]
+fn sorts_a_table_many_times_larger_than_the_run_size() {
+    let records = record::generate(50_000, 1);
+    let (sorted, report) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::raid_2006());
+    assert_eq!(report.runs, 13);
+    assert!(record::is_sorted(&sorted));
+    assert!(record::is_permutation(&records, &sorted));
+    assert!(report.stream_ops > 0);
+    assert!(report.total_ms > 0.0);
+}
+
+#[test]
+fn the_three_in_core_sorters_agree_record_for_record() {
+    let records = record::generate(12_000, 3);
+    let (a, _) = sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 2_048, DiskProfile::ideal());
+    let (b, _) = sort_table(&records, CoreSorter::GpuBitonicNetwork, 2_048, DiskProfile::ideal());
+    let (c, _) = sort_table(&records, CoreSorter::CpuQuicksort, 2_048, DiskProfile::ideal());
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn row_wise_and_z_order_abisort_configurations_agree_inside_the_pipeline() {
+    let records = record::generate(8_000, 5);
+    let (a, _) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::z_order()),
+        2_048,
+        DiskProfile::ideal(),
+    );
+    let (b, _) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::row_wise(1024)),
+        2_048,
+        DiskProfile::ideal(),
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn skewed_wide_keys_are_resolved_by_the_reorder_stage() {
+    // Heavy partial-key collisions: the GPU can only order the 3-byte
+    // prefixes, the CPU reorder stage must finish the job.
+    let records = record::generate_skewed(20_000, 16, 7);
+    let (sorted, report) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::ideal());
+    assert!(record::is_sorted(&sorted));
+    assert!(record::is_permutation(&records, &sorted));
+    assert!(report.fixup.tied_records > 0);
+    assert!(report.fixup.comparisons > 0);
+}
+
+#[test]
+fn disk_profile_shifts_the_io_compute_balance_not_the_result() {
+    let records = record::generate(16_384, 11);
+    let (hdd_out, hdd) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::hdd_2006());
+    let (raid_out, raid) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::raid_2006());
+    assert_eq!(hdd_out, raid_out);
+    assert!(hdd.run_phase.io_ms > raid.run_phase.io_ms);
+    assert!(hdd.total_ms >= raid.total_ms);
+}
+
+#[test]
+fn larger_runs_mean_fewer_runs_and_less_merge_work() {
+    let records = record::generate(32_768, 13);
+    let (_, small_runs) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 2_048, DiskProfile::ideal());
+    let (_, large_runs) =
+        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 8_192, DiskProfile::ideal());
+    assert!(large_runs.runs < small_runs.runs);
+    assert!(large_runs.merge_comparisons < small_runs.merge_comparisons);
+}
