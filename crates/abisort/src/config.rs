@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 use stream_arch::Layout;
 
 /// Which 1D→2D stream layout to use (Section 6.2).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LayoutChoice {
     /// Row-wise mapping with the given power-of-two row width
     /// (GPU-ABiSort variant (a) of Table 2).
@@ -30,6 +30,7 @@ pub enum LayoutChoice {
         width: u32,
     },
     /// Z-order / Morton mapping (variant (b) of Table 2, the default).
+    #[default]
     ZOrder,
 }
 
@@ -48,12 +49,6 @@ impl LayoutChoice {
             LayoutChoice::RowWise { .. } => "row-wise",
             LayoutChoice::ZOrder => "z-order",
         }
-    }
-}
-
-impl Default for LayoutChoice {
-    fn default() -> Self {
-        LayoutChoice::ZOrder
     }
 }
 
@@ -157,9 +152,21 @@ impl SortConfig {
         format!(
             "{}{}{}{}",
             self.layout.name(),
-            if self.overlapped_steps { ", overlapped" } else { ", sequential-phases" },
-            if self.local_sort_optimization { ", local-sort" } else { "" },
-            if self.fixed_merge_optimization { ", fixed-merge" } else { "" },
+            if self.overlapped_steps {
+                ", overlapped"
+            } else {
+                ", sequential-phases"
+            },
+            if self.local_sort_optimization {
+                ", local-sort"
+            } else {
+                ""
+            },
+            if self.fixed_merge_optimization {
+                ", fixed-merge"
+            } else {
+                ""
+            },
         )
     }
 }

@@ -130,8 +130,7 @@ mod tests {
         min_max_determination(tree.nodes_mut(), 7, 15, 4, true, &mut stats);
         let p = tree.in_order_of(tree.nodes()[7].left as usize, 7, 3);
         let q = tree.in_order_of(tree.nodes()[7].right as usize, 15, 3);
-        let keys =
-            |v: &[Value]| -> Vec<f32> { v.iter().map(|x| x.key).collect() };
+        let keys = |v: &[Value]| -> Vec<f32> { v.iter().map(|x| x.key).collect() };
         assert_eq!(keys(&p), vec![0.0, 2.0, 3.0, 5.0, 7.0, 6.0, 4.0, 1.0]);
         assert_eq!(keys(&q), vec![15.0, 14.0, 12.0, 9.0, 8.0, 10.0, 11.0, 13.0]);
         // Exactly log n = 4 comparisons were used.
@@ -162,7 +161,11 @@ mod tests {
             let mut stats = SortStats::default();
             let (root, spare) = (tree.root_index(), tree.spare_index());
             merge(tree.nodes_mut(), root, spare, log_n, true, &mut stats);
-            assert_eq!(stats.comparisons, (2 * n) as u64 - log_n as u64 - 2, "n={n}");
+            assert_eq!(
+                stats.comparisons,
+                (2 * n) as u64 - log_n as u64 - 2,
+                "n={n}"
+            );
             assert!(is_sorted(&tree.to_sequence()));
         }
     }

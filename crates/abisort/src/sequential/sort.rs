@@ -64,7 +64,10 @@ pub fn adaptive_bitonic_sort(values: &[Value]) -> Vec<Value> {
 /// padding transparently: the input is padded with sentinel elements that
 /// sort after every possible input, sorted, and cut off again. The returned
 /// statistics include the work spent on the padding.
-pub fn adaptive_bitonic_sort_with(values: &[Value], variant: MergeVariant) -> (Vec<Value>, SortStats) {
+pub fn adaptive_bitonic_sort_with(
+    values: &[Value],
+    variant: MergeVariant,
+) -> (Vec<Value>, SortStats) {
     let mut stats = SortStats::default();
     let n = values.len();
     if n <= 1 {
@@ -111,7 +114,10 @@ pub fn adaptive_bitonic_merge(
     variant: MergeVariant,
 ) -> (Vec<Value>, SortStats) {
     let n = bitonic.len();
-    assert!(n >= 2 && n.is_power_of_two(), "bitonic merge needs a power-of-two length >= 2");
+    assert!(
+        n >= 2 && n.is_power_of_two(),
+        "bitonic merge needs a power-of-two length >= 2"
+    );
     let mut tree = BitonicTree::from_values(bitonic);
     let mut stats = SortStats::default();
     stats.merges += 1;
@@ -183,7 +189,11 @@ mod tests {
             let (_, stats) = adaptive_bitonic_sort_with(&input, MergeVariant::Simplified);
             counts.insert(stats.comparisons);
         }
-        assert_eq!(counts.len(), 1, "comparison count varied across inputs: {counts:?}");
+        assert_eq!(
+            counts.len(),
+            1,
+            "comparison count varied across inputs: {counts:?}"
+        );
     }
 
     #[test]
@@ -229,7 +239,10 @@ mod tests {
         assert!(adaptive_bitonic_sort(&[]).is_empty());
         let one = vec![stream_arch::Value::new(3.0, 0)];
         assert_eq!(adaptive_bitonic_sort(&one), one);
-        let two = vec![stream_arch::Value::new(3.0, 0), stream_arch::Value::new(1.0, 1)];
+        let two = vec![
+            stream_arch::Value::new(3.0, 0),
+            stream_arch::Value::new(1.0, 1),
+        ];
         let out = adaptive_bitonic_sort(&two);
         assert_eq!(out[0].key, 1.0);
         assert_eq!(out[1].key, 3.0);

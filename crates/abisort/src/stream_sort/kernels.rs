@@ -33,7 +33,7 @@ use stream_arch::{
 /// of Listings 3/4, expressed as "is this tree sorted ascending?".
 #[inline]
 fn ascending_for(instance: usize, instances_per_tree: usize) -> bool {
-    (instance / instances_per_tree) % 2 == 0
+    (instance / instances_per_tree).is_multiple_of(2)
 }
 
 /// The comparison of Listings 3/4: `(p > q) != reverseSortDir`, i.e. the
@@ -146,10 +146,7 @@ pub fn phase_i(
     instances_per_tree: usize,
 ) -> Result<()> {
     proc.check_distinct_io(
-        &[
-            (trees_in.id(), trees_in.name()),
-            (pq_in.id(), pq_in.name()),
-        ],
+        &[(trees_in.id(), trees_in.name()), (pq_in.id(), pq_in.name())],
         &[
             (trees_out.id(), trees_out.name()),
             (pq_out.id(), pq_out.name()),
@@ -247,7 +244,10 @@ pub fn local_sort8(
     sorted: &mut Stream<Value>,
     n: usize,
 ) -> Result<()> {
-    assert!(n % 8 == 0, "local sort requires a multiple of 8 elements");
+    assert!(
+        n.is_multiple_of(8),
+        "local sort requires a multiple of 8 elements"
+    );
     proc.check_distinct_io(
         &[(source.id(), source.name())],
         &[(sorted.id(), sorted.name())],
@@ -289,7 +289,10 @@ pub fn build_trees16(
     trees_out: &mut Stream<Node>,
     n: usize,
 ) -> Result<()> {
-    assert!(n % 4 == 0, "tree building requires a multiple of 4 elements");
+    assert!(
+        n.is_multiple_of(4),
+        "tree building requires a multiple of 4 elements"
+    );
     proc.check_distinct_io(
         &[(values.id(), values.name())],
         &[(trees_out.id(), trees_out.name())],
@@ -429,7 +432,7 @@ pub fn fixed_merge16(
     proc.launch("fixed-merge-16", groups * 2, |ctx| {
         let group = ctx.instance_index() / 2;
         let upper_half = ctx.instance_index() % 2 == 1;
-        let ascending = (group / groups_per_tree) % 2 == 0;
+        let ascending = (group / groups_per_tree).is_multiple_of(2);
 
         // Load the whole 16-value bitonic sequence.
         let mut v = [Value::default(); 16];
@@ -548,9 +551,9 @@ mod tests {
         let mut trees: Stream<Node> = Stream::new("trees", 2 * n, Layout::ZOrder);
         let mut p = processor();
         build_trees16(&mut p, &src, &mut trees, n).unwrap();
-        for i in 0..n {
+        for (i, value) in values.iter().enumerate().take(n) {
             let node = trees.get(n + i);
-            assert_eq!(node.value, values[i]);
+            assert_eq!(node.value, *value);
             let (l, r) = fixed_children(n + i);
             if l as usize == n + i || i == n - 1 {
                 assert_eq!(node.left, NULL_INDEX);
@@ -581,7 +584,11 @@ mod tests {
         extract_roots_and_spares(&mut p, &a, &mut b, n, j).unwrap();
         let num_trees = n >> j;
         for t in 0..num_trees {
-            assert_eq!(b.get(num_trees + t).value, values[4 * t + 1], "root of tree {t}");
+            assert_eq!(
+                b.get(num_trees + t).value,
+                values[4 * t + 1],
+                "root of tree {t}"
+            );
             assert_eq!(b.get(t).value, values[4 * t + 3], "spare of tree {t}");
         }
     }

@@ -178,11 +178,7 @@ impl LayoutRow {
     /// The non-empty cells in stream order — the sequence of two-character
     /// labels the paper's figures print (empty positions are skipped there).
     pub fn non_empty_cell_text(&self) -> Vec<String> {
-        self.cells
-            .iter()
-            .flatten()
-            .map(|c| c.text())
-            .collect()
+        self.cells.iter().flatten().map(|c| c.text()).collect()
     }
 }
 
@@ -266,7 +262,7 @@ fn phase_cells(stage: u32, phase: u32, num_trees: usize) -> Vec<CellLabel> {
 
 fn apply_phases(
     rows: &mut Vec<LayoutRow>,
-    cells: &mut Vec<Option<CellLabel>>,
+    cells: &mut [Option<CellLabel>],
     label: String,
     phases: &[PhaseRef],
     num_trees: usize,
@@ -284,7 +280,7 @@ fn apply_phases(
     rows.push(LayoutRow {
         label,
         written,
-        cells: cells.clone(),
+        cells: cells.to_vec(),
     });
 }
 
@@ -497,11 +493,14 @@ mod tests {
         assert_eq!(phases_per_level(4), 10);
         assert_eq!(steps_per_level(4, 0), 7);
         assert_eq!(steps_per_level(6, 4), 7); // Figure 7: 2·6 − 5 = 7 steps
-        // O(log² n) vs O(log³ n): the ratio grows roughly like log n / 4.
+                                              // O(log² n) vs O(log³ n): the ratio grows roughly like log n / 4.
         let log_n = 20;
         assert!(total_phases(log_n) > 3 * total_steps(log_n));
         assert!(total_phases(40) > 6 * total_steps(40));
-        assert_eq!(total_steps(log_n), (1..=log_n).map(|j| 2 * j as u64 - 1).sum::<u64>());
+        assert_eq!(
+            total_steps(log_n),
+            (1..=log_n).map(|j| 2 * j as u64 - 1).sum::<u64>()
+        );
     }
 
     // --- Figure golden tests -------------------------------------------

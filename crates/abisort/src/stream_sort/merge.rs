@@ -351,7 +351,15 @@ mod tests {
             let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
             let mut streams = make_streams(n, Layout::ZOrder);
             init_input_trees(&mut streams.trees_a, &input);
-            merge_level(&mut proc, &mut streams, n, n.trailing_zeros(), overlapped, 0).unwrap();
+            merge_level(
+                &mut proc,
+                &mut streams,
+                n,
+                n.trailing_zeros(),
+                overlapped,
+                0,
+            )
+            .unwrap();
             proc.counters()
         };
         let seq = run(false);

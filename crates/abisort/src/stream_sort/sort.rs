@@ -11,9 +11,7 @@
 use super::kernels;
 use super::merge::{merge_level, MergeOutcome, MergeStreams};
 use crate::config::SortConfig;
-use stream_arch::{
-    Counters, Node, Result, SimTime, Stream, StreamProcessor, Value,
-};
+use stream_arch::{Counters, Node, Result, SimTime, Stream, StreamProcessor, Value};
 
 /// The GPU-ABiSort sorter: a [`SortConfig`] plus the logic to run it on a
 /// [`StreamProcessor`].
@@ -112,8 +110,7 @@ impl GpuAbiSorter {
         let mut merged_values: Stream<Value> = Stream::new("merged-values", n, layout);
 
         // --- Input setup -------------------------------------------------
-        let first_level;
-        if local_sort {
+        let first_level = if local_sort {
             // Section 7.1: local sort of 8 value/pointer pairs per kernel
             // instance, then conversion to bitonic trees of 16 nodes.
             let source = Stream::from_vec("source-values", padded.clone(), layout);
@@ -122,26 +119,20 @@ impl GpuAbiSorter {
             kernels::build_trees16(proc, &scratch_values, &mut streams.trees_b, n)?;
             kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
             proc.record_step();
-            first_level = 4;
+            4
         } else {
             // Listing 2: the input half of the node stream holds the source
             // data with the fixed in-order child indices (host-side
             // initialization / data upload).
             kernels::init_input_trees(&mut streams.trees_a, &padded);
-            first_level = 1;
-        }
+            1
+        };
 
         // --- Recursion levels (Listing 2 main loop) -----------------------
         for j in first_level..=log_n {
             let skip = if fixed_merge && j >= 4 { 4.min(j) } else { 0 };
-            let outcome = merge_level(
-                proc,
-                &mut streams,
-                n,
-                j,
-                self.config.overlapped_steps,
-                skip,
-            )?;
+            let outcome =
+                merge_level(proc, &mut streams, n, j, self.config.overlapped_steps, skip)?;
             match outcome {
                 MergeOutcome::Complete => {
                     // Reinterpret the merged in-order values as the input
@@ -342,7 +333,10 @@ mod tests {
         let overlapped = run(SortConfig::unoptimized().with_overlapped_steps(true), n, 1);
         let sequential = run(SortConfig::unoptimized(), n, 1);
         assert!(overlapped.counters.steps < sequential.counters.steps);
-        assert_eq!(overlapped.counters.comparisons, sequential.counters.comparisons);
+        assert_eq!(
+            overlapped.counters.comparisons,
+            sequential.counters.comparisons
+        );
     }
 
     #[test]
@@ -350,7 +344,9 @@ mod tests {
         let n = 4096;
         let optimized = run(SortConfig::default(), n, 2);
         let plain = run(
-            SortConfig::default().with_local_sort(false).with_fixed_merge(false),
+            SortConfig::default()
+                .with_local_sort(false)
+                .with_fixed_merge(false),
             n,
             2,
         );
@@ -420,6 +416,9 @@ mod tests {
         let err = GpuAbiSorter::new(SortConfig::default())
             .sort(&mut proc, &input)
             .unwrap_err();
-        assert!(matches!(err, stream_arch::StreamError::StreamTooLarge { .. }));
+        assert!(matches!(
+            err,
+            stream_arch::StreamError::StreamTooLarge { .. }
+        ));
     }
 }

@@ -69,7 +69,10 @@ impl BitonicTree {
     /// (`values.len()` must be a power of two ≥ 2).
     pub fn from_values(values: &[Value]) -> Self {
         let n = values.len();
-        assert!(n >= 2 && n.is_power_of_two(), "sequence length must be a power of two >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "sequence length must be a power of two >= 2"
+        );
         let nodes = values
             .iter()
             .enumerate()

@@ -200,8 +200,7 @@ impl CpuSortModel {
 
     /// Simulated running time in milliseconds for the given statistics.
     pub fn time_ms(&self, stats: &CpuSortStats) -> f64 {
-        (stats.comparisons as f64 * self.ns_per_comparison
-            + stats.moves as f64 * self.ns_per_move)
+        (stats.comparisons as f64 * self.ns_per_comparison + stats.moves as f64 * self.ns_per_move)
             / 1e6
     }
 }
@@ -256,7 +255,11 @@ mod tests {
         let n = 1 << 14;
         let uniform = check(&workloads::uniform(n, 7));
         let sorted = check(&workloads::generate(Distribution::Sorted, n, 7));
-        let few = check(&workloads::generate(Distribution::FewDistinct { distinct: 4 }, n, 7));
+        let few = check(&workloads::generate(
+            Distribution::FewDistinct { distinct: 4 },
+            n,
+            7,
+        ));
         assert_ne!(uniform.comparisons, sorted.comparisons);
         assert_ne!(uniform.comparisons, few.comparisons);
     }
@@ -281,7 +284,10 @@ mod tests {
         let xp = CpuSortModel::athlon_xp_3000().time_ms(&stats);
         let a64 = CpuSortModel::athlon_64_4200().time_ms(&stats);
         assert!((450.0..850.0).contains(&xp), "Athlon-XP model: {xp:.0} ms");
-        assert!((330.0..600.0).contains(&a64), "Athlon-64 model: {a64:.0} ms");
+        assert!(
+            (330.0..600.0).contains(&a64),
+            "Athlon-64 model: {a64:.0} ms"
+        );
         assert!(a64 < xp);
     }
 

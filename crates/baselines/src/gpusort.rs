@@ -177,7 +177,9 @@ mod tests {
         let mut proc = default_processor();
         let z = GpuSortBaseline::new().sort(&mut proc, &input).unwrap();
         let mut proc = default_processor();
-        let row = GpuSortBaseline::row_wise(2048).sort(&mut proc, &input).unwrap();
+        let row = GpuSortBaseline::row_wise(2048)
+            .sort(&mut proc, &input)
+            .unwrap();
         assert_eq!(z.output, row.output);
         assert!(z.counters.bytes_read <= row.counters.bytes_read);
     }

@@ -70,7 +70,10 @@ where
     let started = std::time::Instant::now();
     proc.reset();
     let n = values.len();
-    assert!(n.is_power_of_two(), "network sorters require a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "network sorters require a power-of-two length"
+    );
     proc.check_stream_size::<Value>(n)?;
 
     let mut current = Stream::from_vec("network-a", values.to_vec(), layout);
@@ -171,7 +174,7 @@ mod tests {
 
     /// A trivial "network": one pass of adjacent compare-exchanges.
     fn adjacent_role(_pass: usize, i: usize) -> Role {
-        if i % 2 == 0 {
+        if i.is_multiple_of(2) {
             Role::KeepMin { partner: i + 1 }
         } else {
             Role::KeepMax { partner: i - 1 }
@@ -223,8 +226,8 @@ mod tests {
         assert_eq!(run.output.len(), 5);
 
         let single = vec![Value::new(1.0, 0)];
-        let run = run_network_padded(&mut proc, &single, Layout::Linear, |_| 1, adjacent_role)
-            .unwrap();
+        let run =
+            run_network_padded(&mut proc, &single, Layout::Linear, |_| 1, adjacent_role).unwrap();
         assert_eq!(run.output, single);
         assert_eq!(run.passes, 0);
     }

@@ -9,7 +9,9 @@ use stream_arch::{GpuProfile, StreamProcessor};
 
 fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 1usize << 13;
     let input = workloads::uniform(n, 13);
 
@@ -19,7 +21,10 @@ fn bench_ablation(c: &mut Criterion) {
             SortConfig::unoptimized().with_layout(LayoutChoice::RowWise { width: 2048 }),
         ),
         ("zorder", SortConfig::unoptimized()),
-        ("zorder_overlapped", SortConfig::unoptimized().with_overlapped_steps(true)),
+        (
+            "zorder_overlapped",
+            SortConfig::unoptimized().with_overlapped_steps(true),
+        ),
         (
             "zorder_overlapped_localsort",
             SortConfig::unoptimized()
@@ -33,7 +38,9 @@ fn bench_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("config", name), &input, |b, input| {
             b.iter(|| {
                 let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
-                GpuAbiSorter::new(config).sort_run(&mut proc, input).unwrap()
+                GpuAbiSorter::new(config)
+                    .sort_run(&mut proc, input)
+                    .unwrap()
             })
         });
     }

@@ -11,7 +11,9 @@ use workloads::Distribution;
 
 fn bench_data_dependence(c: &mut Criterion) {
     let mut group = c.benchmark_group("data_dependence");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 1usize << 13;
 
     for dist in Distribution::all_for_data_dependence() {

@@ -9,7 +9,9 @@ use stream_arch::{GpuProfile, StreamProcessor};
 
 fn bench_padding(c: &mut Criterion) {
     let mut group = c.benchmark_group("padding_overhead");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let base = 1usize << 12;
     for n in [base, base + 1, base + base / 2, 2 * base - 1] {
@@ -18,7 +20,9 @@ fn bench_padding(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("n", n), &input, |b, input| {
             b.iter(|| {
                 let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                GpuAbiSorter::new(SortConfig::default()).sort_run(&mut proc, input).unwrap()
+                GpuAbiSorter::new(SortConfig::default())
+                    .sort_run(&mut proc, input)
+                    .unwrap()
             })
         });
     }

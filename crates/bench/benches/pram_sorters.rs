@@ -9,16 +9,20 @@ use std::time::Duration;
 
 fn bench_pram_sorters(c: &mut Criterion) {
     let mut group = c.benchmark_group("pram_sorters");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for log_n in [10u32, 12] {
         let n = 1usize << log_n;
         let input = workloads::uniform(n, log_n as u64);
         group.throughput(Throughput::Elements(n as u64));
 
-        group.bench_with_input(BenchmarkId::new("abisort_overlapped", n), &input, |b, input| {
-            b.iter(|| abisort_pram::sort(input).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("abisort_overlapped", n),
+            &input,
+            |b, input| b.iter(|| abisort_pram::sort(input).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("abisort_sequential_stages", n),
             &input,
@@ -32,9 +36,11 @@ fn bench_pram_sorters(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("bitonic_network", n), &input, |b, input| {
-            b.iter(|| bitonic_network::sort(input).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bitonic_network", n),
+            &input,
+            |b, input| b.iter(|| bitonic_network::sort(input).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("rank_merge", n), &input, |b, input| {
             b.iter(|| rank_merge::sort(input).unwrap())
         });

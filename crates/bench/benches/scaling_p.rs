@@ -13,7 +13,9 @@ use stream_arch::{ExecMode, GpuProfile, StreamProcessor};
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling_p");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 1usize << 13;
     let input = workloads::uniform(n, 11);
 

@@ -8,17 +8,26 @@ use std::time::Duration;
 
 fn bench_sequential(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequential_abisort");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for log_n in [12u32, 14, 16] {
         let n = 1usize << log_n;
         let input = workloads::uniform(n, 3);
 
-        group.bench_with_input(BenchmarkId::new("adaptive_bitonic_classic", n), &input, |b, input| {
-            b.iter(|| {
-                abisort::sequential::adaptive_bitonic_sort_with(input, abisort::MergeVariant::Classic)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("adaptive_bitonic_classic", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    abisort::sequential::adaptive_bitonic_sort_with(
+                        input,
+                        abisort::MergeVariant::Classic,
+                    )
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("adaptive_bitonic_simplified", n),
             &input,
@@ -34,13 +43,17 @@ fn bench_sequential(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cpu_quicksort", n), &input, |b, input| {
             b.iter(|| CpuSorter.sort(input))
         });
-        group.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &input, |b, input| {
-            b.iter(|| {
-                let mut v = input.clone();
-                v.sort_unstable();
-                v
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("std_sort_unstable", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut v = input.clone();
+                    v.sort_unstable();
+                    v
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,9 @@ use stream_arch::{GpuProfile, StreamProcessor};
 
 fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_geforce6800");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for log_n in [12u32, 14] {
         let n = 1usize << log_n;
@@ -23,28 +25,40 @@ fn bench_table2(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cpu_quicksort", n), &input, |b, input| {
             b.iter(|| CpuSorter.sort(input))
         });
-        group.bench_with_input(BenchmarkId::new("gpusort_bitonic_network", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
-                GpuSortBaseline::new().sort(&mut proc, input).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("gpu_abisort_rowwise", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
-                GpuAbiSorter::new(SortConfig::row_wise(2048))
-                    .sort_run(&mut proc, input)
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("gpu_abisort_zorder", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
-                GpuAbiSorter::new(SortConfig::z_order())
-                    .sort_run(&mut proc, input)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gpusort_bitonic_network", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                    GpuSortBaseline::new().sort(&mut proc, input).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gpu_abisort_rowwise", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                    GpuAbiSorter::new(SortConfig::row_wise(2048))
+                        .sort_run(&mut proc, input)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gpu_abisort_zorder", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+                    GpuAbiSorter::new(SortConfig::z_order())
+                        .sort_run(&mut proc, input)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

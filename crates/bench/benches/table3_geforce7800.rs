@@ -10,7 +10,9 @@ use stream_arch::{GpuProfile, StreamProcessor};
 
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_geforce7800");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for log_n in [12u32, 14] {
         let n = 1usize << log_n;
@@ -19,20 +21,28 @@ fn bench_table3(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cpu_quicksort", n), &input, |b, input| {
             b.iter(|| CpuSorter.sort(input))
         });
-        group.bench_with_input(BenchmarkId::new("gpusort_bitonic_network", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                GpuSortBaseline::new().sort(&mut proc, input).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("gpu_abisort_zorder", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                GpuAbiSorter::new(SortConfig::z_order())
-                    .sort_run(&mut proc, input)
-                    .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gpusort_bitonic_network", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                    GpuSortBaseline::new().sort(&mut proc, input).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gpu_abisort_zorder", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                    GpuAbiSorter::new(SortConfig::z_order())
+                        .sort_run(&mut proc, input)
+                        .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -13,7 +13,9 @@ use terasort::{
 
 fn bench_terasort(c: &mut Criterion) {
     let mut group = c.benchmark_group("terasort_pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let records = record::generate(16_384, 7);
     group.throughput(Throughput::Elements(records.len() as u64));
@@ -25,19 +27,23 @@ fn bench_terasort(c: &mut Criterion) {
     ];
 
     for (name, core_sorter) in sorters {
-        group.bench_with_input(BenchmarkId::new("core_sorter", name), &records, |b, records| {
-            b.iter(|| {
-                let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
-                let input = disk.create("table");
-                disk.append(input, records);
-                let config = TeraSortConfig {
-                    run_size: 4_096,
-                    core_sorter: core_sorter.clone(),
-                    ..TeraSortConfig::default()
-                };
-                TeraSorter::new(config).sort(&mut disk, input).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("core_sorter", name),
+            &records,
+            |b, records| {
+                b.iter(|| {
+                    let mut disk = SimulatedDisk::new(DiskProfile::raid_2006());
+                    let input = disk.create("table");
+                    disk.append(input, records);
+                    let config = TeraSortConfig {
+                        run_size: 4_096,
+                        core_sorter: core_sorter.clone(),
+                        ..TeraSortConfig::default()
+                    };
+                    TeraSorter::new(config).sort(&mut disk, input).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

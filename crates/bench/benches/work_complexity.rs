@@ -11,19 +11,25 @@ use stream_arch::{GpuProfile, StreamProcessor};
 
 fn bench_work(c: &mut Criterion) {
     let mut group = c.benchmark_group("work_complexity");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for log_n in [10u32, 12, 14] {
         let n = 1usize << log_n;
         let input = workloads::uniform(n, 9);
 
-        group.bench_with_input(BenchmarkId::new("sequential_abisort", n), &input, |b, input| {
-            b.iter(|| abisort::adaptive_bitonic_sort(input))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential_abisort", n),
+            &input,
+            |b, input| b.iter(|| abisort::adaptive_bitonic_sort(input)),
+        );
         group.bench_with_input(BenchmarkId::new("gpu_abisort", n), &input, |b, input| {
             b.iter(|| {
                 let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                GpuAbiSorter::new(SortConfig::default()).sort(&mut proc, input).unwrap()
+                GpuAbiSorter::new(SortConfig::default())
+                    .sort(&mut proc, input)
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("gpusort", n), &input, |b, input| {
@@ -32,18 +38,26 @@ fn bench_work(c: &mut Criterion) {
                 GpuSortBaseline::new().sort(&mut proc, input).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("odd_even_merge_sort", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                OddEvenMergeSort::new().sort(&mut proc, input).unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("periodic_balanced", n), &input, |b, input| {
-            b.iter(|| {
-                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                PeriodicBalancedSort::new().sort(&mut proc, input).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("odd_even_merge_sort", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                    OddEvenMergeSort::new().sort(&mut proc, input).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("periodic_balanced", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                    PeriodicBalancedSort::new().sort(&mut proc, input).unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }

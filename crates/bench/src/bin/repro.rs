@@ -16,8 +16,8 @@
 
 use bench::extended::{render_padding, render_pram, render_terasort};
 use bench::report::{
-    render_ablation, render_data_dependence, render_scaling, render_stream_ops, render_timing_table,
-    render_transfer, render_work,
+    render_ablation, render_data_dependence, render_scaling, render_stream_ops,
+    render_timing_table, render_transfer, render_work,
 };
 use bench::{experiments, extended, Report};
 
@@ -117,7 +117,10 @@ fn main() {
     }
 
     if opts.all || opts.table2 {
-        eprintln!("running Table 2 (GeForce 6800 profile), n up to 2^{} …", opts.max_log_n);
+        eprintln!(
+            "running Table 2 (GeForce 6800 profile), n up to 2^{} …",
+            opts.max_log_n
+        );
         report.table2 = experiments::table2_geforce_6800(opts.max_log_n);
         println!(
             "{}",
@@ -129,11 +132,18 @@ fn main() {
         );
         println!(
             "{}",
-            bench::chart::timing_chart("Table 2 companion chart (time in ms)", &report.table2, true)
+            bench::chart::timing_chart(
+                "Table 2 companion chart (time in ms)",
+                &report.table2,
+                true
+            )
         );
     }
     if opts.all || opts.table3 {
-        eprintln!("running Table 3 (GeForce 7800 profile), n up to 2^{} …", opts.max_log_n);
+        eprintln!(
+            "running Table 3 (GeForce 7800 profile), n up to 2^{} …",
+            opts.max_log_n
+        );
         report.table3 = experiments::table3_geforce_7800(opts.max_log_n);
         println!(
             "{}",
@@ -145,7 +155,11 @@ fn main() {
         );
         println!(
             "{}",
-            bench::chart::timing_chart("Table 3 companion chart (time in ms)", &report.table3, false)
+            bench::chart::timing_chart(
+                "Table 3 companion chart (time in ms)",
+                &report.table3,
+                false
+            )
         );
     }
     if wants("data-dependence") {

@@ -29,8 +29,10 @@ pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize)
     out.push_str(title);
     out.push('\n');
 
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if points.is_empty() {
         out.push_str("(no data)\n");
         return out;
@@ -84,16 +86,21 @@ pub fn render_chart(title: &str, series: &[Series], width: usize, height: usize)
         width = width.saturating_sub(12),
     ));
     for s in series {
-        out.push_str(&format!("{}{}  {}\n", " ".repeat(label_width + 1), s.marker, s.label));
+        out.push_str(&format!(
+            "{}{}  {}\n",
+            " ".repeat(label_width + 1),
+            s.marker,
+            s.label
+        ));
     }
     out
 }
 
 fn format_n(n: f64) -> String {
     let n = n.round() as u64;
-    if n >= 1 << 20 && n % (1 << 20) == 0 {
+    if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
         format!("{}Mi", n >> 20)
-    } else if n >= 1 << 10 && n % (1 << 10) == 0 {
+    } else if n >= 1 << 10 && n.is_multiple_of(1 << 10) {
         format!("{}Ki", n >> 10)
     } else {
         n.to_string()
@@ -113,7 +120,11 @@ pub fn timing_chart(title: &str, rows: &[TimingRow], with_rowwise: bool) -> Stri
         Series {
             label: "GPUSort (bitonic network)".into(),
             marker: 'g',
-            points: xs.iter().zip(rows).map(|(&x, r)| (x, r.gpusort_ms)).collect(),
+            points: xs
+                .iter()
+                .zip(rows)
+                .map(|(&x, r)| (x, r.gpusort_ms))
+                .collect(),
         },
     ];
     if with_rowwise {
@@ -128,9 +139,18 @@ pub fn timing_chart(title: &str, rows: &[TimingRow], with_rowwise: bool) -> Stri
         });
     }
     series.push(Series {
-        label: if with_rowwise { "GPU-ABiSort (b) Z-order" } else { "GPU-ABiSort" }.into(),
+        label: if with_rowwise {
+            "GPU-ABiSort (b) Z-order"
+        } else {
+            "GPU-ABiSort"
+        }
+        .into(),
         marker: 'b',
-        points: xs.iter().zip(rows).map(|(&x, r)| (x, r.abisort_zorder_ms)).collect(),
+        points: xs
+            .iter()
+            .zip(rows)
+            .map(|(&x, r)| (x, r.abisort_zorder_ms))
+            .collect(),
     });
     render_chart(title, &series, 60, 16)
 }
@@ -186,7 +206,10 @@ mod tests {
         let rows: Vec<&str> = text.lines().collect();
         // Row 1 is the first grid row (top, y = max), row 8 the last.
         assert!(rows[1].contains('*'), "top row should hold the maximum");
-        assert!(rows[8].contains('*'), "bottom row should hold the zero point");
+        assert!(
+            rows[8].contains('*'),
+            "bottom row should hold the zero point"
+        );
     }
 
     #[test]
@@ -200,8 +223,11 @@ mod tests {
         let text = render_chart("t", &series, 41, 4);
         // All points share y = y_max, so they land on the first grid row.
         let line = text.lines().nth(1).unwrap();
-        let positions: Vec<usize> =
-            line.char_indices().filter(|(_, c)| *c == '*').map(|(i, _)| i).collect();
+        let positions: Vec<usize> = line
+            .char_indices()
+            .filter(|(_, c)| *c == '*')
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(positions.len(), 3);
         assert_eq!(positions[1] - positions[0], positions[2] - positions[1]);
     }

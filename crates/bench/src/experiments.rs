@@ -181,7 +181,11 @@ pub struct TransferRow {
 pub fn transfer_overhead(n: usize) -> Vec<TransferRow> {
     let input = workloads::uniform(n, 3);
     [
-        (stream_arch::BusKind::Agp8x, GpuProfile::geforce_6800(), "AGP 8x (GeForce 6800 system)"),
+        (
+            stream_arch::BusKind::Agp8x,
+            GpuProfile::geforce_6800(),
+            "AGP 8x (GeForce 6800 system)",
+        ),
         (
             stream_arch::BusKind::PciExpressX16,
             GpuProfile::geforce_7800(),
@@ -231,7 +235,9 @@ pub fn stream_operation_counts(log_ns: &[u32]) -> Vec<StreamOpsRow> {
             let input = workloads::uniform(n, 5);
             let steps = |config: SortConfig| -> u64 {
                 let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-                let run = GpuAbiSorter::new(config).sort_run(&mut proc, &input).unwrap();
+                let run = GpuAbiSorter::new(config)
+                    .sort_run(&mut proc, &input)
+                    .unwrap();
                 check_sorted("gpu-abisort", &input, &run.output);
                 run.counters.steps
             };
@@ -277,8 +283,10 @@ pub fn work_complexity(log_ns: &[u32]) -> Vec<WorkRow> {
         .map(|&log_n| {
             let n = 1usize << log_n;
             let input = workloads::uniform(n, 9);
-            let (_, seq_stats) =
-                abisort::sequential::adaptive_bitonic_sort_with(&input, abisort::MergeVariant::Simplified);
+            let (_, seq_stats) = abisort::sequential::adaptive_bitonic_sort_with(
+                &input,
+                abisort::MergeVariant::Simplified,
+            );
             let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
             let stream_run = GpuAbiSorter::new(SortConfig::unoptimized())
                 .sort_run(&mut proc, &input)
@@ -286,9 +294,13 @@ pub fn work_complexity(log_ns: &[u32]) -> Vec<WorkRow> {
             let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
             let gpusort = GpuSortBaseline::new().sort(&mut proc, &input).unwrap();
             let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-            let oems = baselines::OddEvenMergeSort::new().sort(&mut proc, &input).unwrap();
+            let oems = baselines::OddEvenMergeSort::new()
+                .sort(&mut proc, &input)
+                .unwrap();
             let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
-            let pbsn = baselines::PeriodicBalancedSort::new().sort(&mut proc, &input).unwrap();
+            let pbsn = baselines::PeriodicBalancedSort::new()
+                .sort(&mut proc, &input)
+                .unwrap();
             let (_, cpu_stats) = CpuSorter.sort(&input);
             WorkRow {
                 n,
@@ -340,8 +352,7 @@ pub fn scaling_with_units(n: usize, units: &[usize]) -> Vec<ScalingRow> {
         .iter()
         .map(|&p| {
             let (multi_ms, _) = run_with(GpuProfile::idealized(p));
-            let (single_ms, _) =
-                run_with(GpuProfile::idealized(p).with_multi_block(false));
+            let (single_ms, _) = run_with(GpuProfile::idealized(p).with_multi_block(false));
             ScalingRow {
                 units: p,
                 multi_block_ms: multi_ms,
@@ -372,19 +383,33 @@ pub struct AblationRow {
 pub fn ablation(n: usize) -> Vec<AblationRow> {
     let input = workloads::uniform(n, 13);
     let configs: Vec<(String, SortConfig)> = vec![
-        ("baseline (row-wise, sequential phases, no opts)".into(),
-            SortConfig::unoptimized().with_layout(abisort::LayoutChoice::RowWise { width: 2048 })),
+        (
+            "baseline (row-wise, sequential phases, no opts)".into(),
+            SortConfig::unoptimized().with_layout(abisort::LayoutChoice::RowWise { width: 2048 }),
+        ),
         ("+ z-order layout".into(), SortConfig::unoptimized()),
-        ("+ overlapped stages".into(), SortConfig::unoptimized().with_overlapped_steps(true)),
-        ("+ local sort (Section 7.1)".into(),
-            SortConfig::unoptimized().with_overlapped_steps(true).with_local_sort(true)),
-        ("+ fixed merge (Section 7.2) = full GPU-ABiSort".into(), SortConfig::default()),
+        (
+            "+ overlapped stages".into(),
+            SortConfig::unoptimized().with_overlapped_steps(true),
+        ),
+        (
+            "+ local sort (Section 7.1)".into(),
+            SortConfig::unoptimized()
+                .with_overlapped_steps(true)
+                .with_local_sort(true),
+        ),
+        (
+            "+ fixed merge (Section 7.2) = full GPU-ABiSort".into(),
+            SortConfig::default(),
+        ),
     ];
     configs
         .into_iter()
         .map(|(name, config)| {
             let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
-            let run = GpuAbiSorter::new(config).sort_run(&mut proc, &input).unwrap();
+            let run = GpuAbiSorter::new(config)
+                .sort_run(&mut proc, &input)
+                .unwrap();
             check_sorted(&name, &input, &run.output);
             AblationRow {
                 config: name,

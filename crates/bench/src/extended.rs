@@ -167,10 +167,15 @@ pub fn terasort_pipelines(records: usize, run_size: usize) -> Vec<TeraSortRow> {
             gpu_profile: GpuProfile::geforce_7800(),
             ..TeraSortConfig::default()
         };
-        let report = TeraSorter::new(config).sort(&mut disk, input).expect("terasort failed");
+        let report = TeraSorter::new(config)
+            .sort(&mut disk, input)
+            .expect("terasort failed");
         let sorted = disk.read_all(report.output);
         assert!(record::is_sorted(&sorted), "terasort output not sorted");
-        assert!(record::is_permutation(&data, &sorted), "terasort lost records");
+        assert!(
+            record::is_permutation(&data, &sorted),
+            "terasort lost records"
+        );
         TeraSortRow {
             core_sorter: report.core_sorter.to_string(),
             records: report.records,
@@ -189,7 +194,10 @@ pub fn terasort_pipelines(records: usize, run_size: usize) -> Vec<TeraSortRow> {
 pub fn render_terasort(rows: &[TeraSortRow]) -> String {
     let mut out = String::from("E17 — hybrid out-of-core pipeline (GPUTeraSort scenario)\n");
     if let Some(first) = rows.first() {
-        out.push_str(&format!("records = {}, runs = {}\n", first.records, first.runs));
+        out.push_str(&format!(
+            "records = {}, runs = {}\n",
+            first.records, first.runs
+        ));
     }
     out.push_str(&format!(
         "{:>18} | {:>11} | {:>11} | {:>11} | {:>10} | {:>10}\n",
@@ -198,7 +206,12 @@ pub fn render_terasort(rows: &[TeraSortRow]) -> String {
     for row in rows {
         out.push_str(&format!(
             "{:>18} | {:>11.1} | {:>11.1} | {:>11.1} | {:>10.1} | {:>10.1}\n",
-            row.core_sorter, row.run_io_ms, row.run_gpu_ms, row.run_cpu_ms, row.merge_ms, row.total_ms
+            row.core_sorter,
+            row.run_io_ms,
+            row.run_gpu_ms,
+            row.run_cpu_ms,
+            row.merge_ms,
+            row.total_ms
         ));
     }
     out
@@ -228,7 +241,14 @@ pub struct PaddingRow {
 /// to future work; this experiment quantifies what that remedy would save.
 pub fn padding_overhead(log_n: u32) -> Vec<PaddingRow> {
     let base = 1usize << log_n;
-    let lengths = [base, base + 1, base + base / 4, base + base / 2, 2 * base - 1, 2 * base];
+    let lengths = [
+        base,
+        base + 1,
+        base + base / 4,
+        base + base / 2,
+        2 * base - 1,
+        2 * base,
+    ];
     let profile = GpuProfile::geforce_7800();
     lengths
         .iter()

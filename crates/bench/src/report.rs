@@ -89,7 +89,11 @@ pub fn render_data_dependence(rows: &[DataDependenceRow]) -> String {
     for row in rows {
         out.push_str(&format!(
             "{:>20} | {:>14.1} | {:>16} | {:>14.1} | {:>18}\n",
-            row.distribution, row.cpu_ms, row.cpu_comparisons, row.abisort_ms, row.abisort_comparisons
+            row.distribution,
+            row.cpu_ms,
+            row.cpu_comparisons,
+            row.abisort_ms,
+            row.abisort_comparisons
         ));
     }
     out

@@ -38,7 +38,10 @@ impl fmt::Display for PramError {
                 write!(f, "concurrent write of cell {cell}")
             }
             PramError::OutOfBounds { cell, size } => {
-                write!(f, "access to cell {cell} outside shared memory of {size} cells")
+                write!(
+                    f,
+                    "access to cell {cell} outside shared memory of {size} cells"
+                )
             }
         }
     }
@@ -52,8 +55,12 @@ mod tests {
 
     #[test]
     fn errors_render_their_cell() {
-        assert!(PramError::ReadConflict { cell: 7 }.to_string().contains('7'));
-        assert!(PramError::WriteConflict { cell: 9 }.to_string().contains('9'));
+        assert!(PramError::ReadConflict { cell: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(PramError::WriteConflict { cell: 9 }
+            .to_string()
+            .contains('9'));
         let e = PramError::OutOfBounds { cell: 11, size: 4 };
         assert!(e.to_string().contains("11"));
         assert!(e.to_string().contains('4'));

@@ -109,12 +109,20 @@ pub struct Pram<T: Copy + Default> {
 impl<T: Copy + Default> Pram<T> {
     /// Create a machine with `size` zero-initialised cells.
     pub fn new(size: usize, model: PramModel) -> Self {
-        Pram { mem: vec![T::default(); size], model, stats: PramStats::default() }
+        Pram {
+            mem: vec![T::default(); size],
+            model,
+            stats: PramStats::default(),
+        }
     }
 
     /// Create a machine whose shared memory is initialised from `values`.
     pub fn from_vec(values: Vec<T>, model: PramModel) -> Self {
-        Pram { mem: values, model, stats: PramStats::default() }
+        Pram {
+            mem: values,
+            model,
+            stats: PramStats::default(),
+        }
     }
 
     /// The access model this machine enforces.
@@ -155,7 +163,10 @@ impl<T: Copy + Default> Pram<T> {
         mut f: impl FnMut(usize, &mut ProcCtx<'_, T>) -> R,
     ) -> Result<Vec<R>> {
         let mut results = Vec::with_capacity(tasks);
-        let mut record = StepRecord { tasks: tasks as u64, ..StepRecord::default() };
+        let mut record = StepRecord {
+            tasks: tasks as u64,
+            ..StepRecord::default()
+        };
         // cell -> (first reader, #distinct readers, first writer, #writers)
         let mut uses: HashMap<usize, CellUse> = HashMap::new();
         let mut pending_writes: Vec<(usize, T)> = Vec::new();
@@ -164,7 +175,10 @@ impl<T: Copy + Default> Pram<T> {
             let mut ctx = ProcCtx::new(&self.mem);
             let result = f(task, &mut ctx);
             if let Some(cell) = ctx.out_of_bounds {
-                return Err(PramError::OutOfBounds { cell, size: self.mem.len() });
+                return Err(PramError::OutOfBounds {
+                    cell,
+                    size: self.mem.len(),
+                });
             }
             record.max_accesses = record.max_accesses.max(ctx.accesses());
             record.reads += ctx.reads.len() as u64;

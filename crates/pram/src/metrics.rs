@@ -60,7 +60,10 @@ impl PramStats {
     /// Total work: the sum over steps of `tasks × max_accesses` — what a
     /// work-time scheduling argument charges.
     pub fn work(&self) -> u64 {
-        self.steps.iter().map(|s| s.tasks * s.max_accesses.max(1)).sum()
+        self.steps
+            .iter()
+            .map(|s| s.tasks * s.max_accesses.max(1))
+            .sum()
     }
 
     /// Total shared-memory accesses actually issued (reads + writes).
@@ -118,11 +121,21 @@ mod tests {
     use super::*;
 
     fn stats_with(steps: Vec<StepRecord>) -> PramStats {
-        PramStats { steps, read_conflicts: 0, write_conflicts: 0 }
+        PramStats {
+            steps,
+            read_conflicts: 0,
+            write_conflicts: 0,
+        }
     }
 
     fn step(tasks: u64, max_accesses: u64) -> StepRecord {
-        StepRecord { tasks, max_accesses, reads: 0, writes: 0, comparisons: 0 }
+        StepRecord {
+            tasks,
+            max_accesses,
+            reads: 0,
+            writes: 0,
+            comparisons: 0,
+        }
     }
 
     #[test]

@@ -184,7 +184,9 @@ fn merge_level(pram: &mut Pram<Node>, n: usize, j: u32, schedule: Schedule) -> R
                 let mut active: Vec<usize> = Vec::new();
                 for (k, stage) in stages.iter().enumerate() {
                     let phase = i as i64 - 2 * k as i64;
-                    if phase >= 0 && (phase as u32) < j - k as u32 && phase as u32 == stage.next_phase
+                    if phase >= 0
+                        && (phase as u32) < j - k as u32
+                        && phase as u32 == stage.next_phase
                     {
                         active.push(k);
                     }
@@ -192,10 +194,14 @@ fn merge_level(pram: &mut Pram<Node>, n: usize, j: u32, schedule: Schedule) -> R
                 run_phases(pram, &mut stages, &active, j)?;
                 // A new stage starts every other step.
                 if i % 2 == 1 {
-                    let k_new = (i as usize + 1) / 2;
+                    let k_new = (i as usize).div_ceil(2);
                     if k_new < j as usize {
                         let spawned = std::mem::take(&mut stages[k_new - 1].spawned);
-                        stages.push(StageState { next_phase: 0, instances: spawned, spawned: Vec::new() });
+                        stages.push(StageState {
+                            next_phase: 0,
+                            instances: spawned,
+                            spawned: Vec::new(),
+                        });
                     }
                 }
             }
@@ -207,7 +213,11 @@ fn merge_level(pram: &mut Pram<Node>, n: usize, j: u32, schedule: Schedule) -> R
                 }
                 if (k as u32) < j - 1 {
                     let spawned = std::mem::take(&mut stages[k].spawned);
-                    stages.push(StageState { next_phase: 0, instances: spawned, spawned: Vec::new() });
+                    stages.push(StageState {
+                        next_phase: 0,
+                        instances: spawned,
+                        spawned: Vec::new(),
+                    });
                 }
             }
         }
@@ -318,7 +328,12 @@ fn phase_i(ctx: &mut ProcCtx<'_, Node>, inst: Instance) -> PhaseOutcome {
     }
     ctx.write(inst.a, p);
     ctx.write(inst.b, q);
-    PhaseOutcome { next_p, next_q, left_child: NULL_INDEX, right_child: NULL_INDEX }
+    PhaseOutcome {
+        next_p,
+        next_q,
+        left_child: NULL_INDEX,
+        right_child: NULL_INDEX,
+    }
 }
 
 #[cfg(test)]
@@ -377,8 +392,10 @@ mod tests {
             let n = 1usize << log_n;
             let input = workloads::uniform(n, log_n as u64);
             let run = sort(&input).unwrap();
-            let (_, seq) =
-                abisort::sequential::adaptive_bitonic_sort_with(&input, abisort::MergeVariant::Simplified);
+            let (_, seq) = abisort::sequential::adaptive_bitonic_sort_with(
+                &input,
+                abisort::MergeVariant::Simplified,
+            );
             assert_eq!(run.stats.comparisons(), seq.comparisons, "n={n}");
         }
     }
@@ -402,7 +419,10 @@ mod tests {
         let run = sort_with_schedule(&input, Schedule::SequentialStages).unwrap();
         let expected: u64 = (1..=log_n as u64).map(|j| j * (j + 1) / 2).sum();
         assert_eq!(run.stats.num_steps(), expected);
-        assert_eq!(run.stats.num_steps(), total_steps(n, Schedule::SequentialStages));
+        assert_eq!(
+            run.stats.num_steps(),
+            total_steps(n, Schedule::SequentialStages)
+        );
         // The overlapped schedule is shorter by a Θ(log n) factor.
         let overlapped = sort_with_schedule(&input, Schedule::Overlapped).unwrap();
         assert!(overlapped.stats.num_steps() * 2 < run.stats.num_steps());
@@ -414,7 +434,10 @@ mod tests {
             let n = 1usize << log_n;
             let input = workloads::uniform(n, 5);
             let run = sort(&input).unwrap();
-            assert!(run.stats.comparisons() < 2 * (n as u64) * log_n as u64, "n={n}");
+            assert!(
+                run.stats.comparisons() < 2 * (n as u64) * log_n as u64,
+                "n={n}"
+            );
         }
     }
 

@@ -52,7 +52,7 @@ pub(crate) fn pad_to_power_of_two(values: &[Value]) -> Vec<Value> {
 /// odd blocks descend, so that the next level sees bitonic inputs (same
 /// convention as the sequential and stream implementations).
 pub(crate) fn block_ascending(t: usize) -> bool {
-    t % 2 == 0
+    t.is_multiple_of(2)
 }
 
 /// "Out of order" under the requested direction — the single comparison

@@ -163,7 +163,10 @@ mod tests {
         let input = workloads::uniform(n, 5);
         let oem = sort(&input).unwrap().stats.comparisons();
         let bitonic = bitonic_network::sort(&input).unwrap().stats.comparisons();
-        assert!(oem < bitonic, "odd-even merge should save comparators ({oem} vs {bitonic})");
+        assert!(
+            oem < bitonic,
+            "odd-even merge should save comparators ({oem} vs {bitonic})"
+        );
         assert!(oem > 2 * (n as u64) * 10, "still Θ(n log² n) work");
     }
 

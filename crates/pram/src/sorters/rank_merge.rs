@@ -80,7 +80,11 @@ fn merge_task(ctx: &mut ProcCtx<'_, Value>, i: usize, src: usize, dst: usize, ru
     let pair_base = i & !(2 * run - 1); // start of the pair of runs containing i
     let in_first_run = i & run == 0;
     let own_offset = i & (run - 1);
-    let sibling_base = if in_first_run { pair_base + run } else { pair_base };
+    let sibling_base = if in_first_run {
+        pair_base + run
+    } else {
+        pair_base
+    };
 
     // Rank of `value` in the sibling run. Elements of the first run use a
     // strict rank (number of sibling elements < value), elements of the
@@ -106,7 +110,11 @@ fn binary_rank(
         let mid = (lo + hi) / 2;
         let probe = ctx.read(base + mid);
         ctx.charge_comparison();
-        let before = if strict { probe.lt(value) } else { !probe.gt(value) };
+        let before = if strict {
+            probe.lt(value)
+        } else {
+            !probe.gt(value)
+        };
         if before {
             lo = mid + 1;
         } else {
@@ -176,8 +184,10 @@ mod tests {
         let n = 1usize << 12;
         let input = workloads::uniform(n, 17);
         let rank_run = sort(&input).unwrap();
-        let (_, seq_stats) =
-            abisort::sequential::adaptive_bitonic_sort_with(&input, abisort::MergeVariant::Simplified);
+        let (_, seq_stats) = abisort::sequential::adaptive_bitonic_sort_with(
+            &input,
+            abisort::MergeVariant::Simplified,
+        );
         // Θ(n log² n) vs < 2 n log n: at n = 4096 the rank-based sort already
         // performs several times more comparisons.
         assert!(

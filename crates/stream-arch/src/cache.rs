@@ -114,11 +114,19 @@ const EMPTY_TAG: u64 = u64::MAX;
 impl CacheSim {
     /// Create an empty cache.
     pub fn new(config: CacheConfig) -> Self {
-        assert!(config.block_edge.is_power_of_two(), "block edge must be a power of two");
-        assert!(config.ways >= 1 && config.num_blocks % config.ways == 0,
-            "num_blocks must be a multiple of ways");
+        assert!(
+            config.block_edge.is_power_of_two(),
+            "block edge must be a power of two"
+        );
+        assert!(
+            config.ways >= 1 && config.num_blocks.is_multiple_of(config.ways),
+            "num_blocks must be a multiple of ways"
+        );
         let num_sets = config.num_blocks / config.ways;
-        assert!(num_sets.is_power_of_two(), "number of sets must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "number of sets must be a power of two"
+        );
         CacheSim {
             config,
             num_sets,

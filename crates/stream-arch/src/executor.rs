@@ -187,7 +187,15 @@ impl StreamProcessor {
             ExecMode::Sequential => {
                 let mut local = Counters::new();
                 let cache = &mut self.caches[0];
-                let result = run_chunk(0, 0, instances, &kernel, &mut local, cache, max_output_bytes);
+                let result = run_chunk(
+                    0,
+                    0,
+                    instances,
+                    &kernel,
+                    &mut local,
+                    cache,
+                    max_output_bytes,
+                );
                 self.counters += &local;
                 // Subtract the fields launch() already counted.
                 self.counters.launches -= 0;
@@ -198,7 +206,7 @@ impl StreamProcessor {
                 let chunk = instances.div_ceil(units);
                 let merged: Mutex<Counters> = Mutex::new(Counters::new());
                 let first_error: Mutex<Option<StreamError>> = Mutex::new(None);
-                crossbeam::scope(|scope| {
+                std::thread::scope(|scope| {
                     for (unit, cache) in self.caches.iter_mut().take(units).enumerate() {
                         let start = unit * chunk;
                         let end = ((unit + 1) * chunk).min(instances);
@@ -208,7 +216,7 @@ impl StreamProcessor {
                         let kernel = &kernel;
                         let merged = &merged;
                         let first_error = &first_error;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             let mut local = Counters::new();
                             let r = run_chunk(
                                 unit,
@@ -228,8 +236,7 @@ impl StreamProcessor {
                             }
                         });
                     }
-                })
-                .expect("stream processor worker panicked");
+                });
                 self.counters += &merged.into_inner();
                 match first_error.into_inner() {
                     Some(e) => Err(e),
@@ -357,7 +364,11 @@ mod tests {
         let write = WriteView::contiguous(&mut out, 0, 16, 8).unwrap();
         p.launch("local-sort", 2, |ctx| {
             for slot in 0..8 {
-                write.set(ctx, slot, Value::new(slot as f32, ctx.instance_index() as u32));
+                write.set(
+                    ctx,
+                    slot,
+                    Value::new(slot as f32, ctx.instance_index() as u32),
+                );
             }
         })
         .unwrap();

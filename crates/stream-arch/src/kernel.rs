@@ -346,8 +346,8 @@ impl<'a, T: StreamElement> WriteView<'a, T> {
         let global = self.blocks.locate(pos);
         ctx.charge_write(T::BYTES);
         let _ = self.layout; // writes bypass the texture cache (ROP path)
-        // SAFETY: `global` is unique to (instance, slot); see the type-level
-        // safety comment.
+                             // SAFETY: `global` is unique to (instance, slot); see the type-level
+                             // safety comment.
         unsafe {
             let base = self.data.get() as *mut T;
             *base.add(global) = value;

@@ -56,6 +56,9 @@ pub trait Mapping1Dto2D {
     fn to_2d(&self, index: usize) -> (u32, u32);
 
     /// Map a 2D texture coordinate back to the 1D element index.
+    // The name pairs with `to_2d`; it is a coordinate conversion, not a
+    // constructor, so the `from_*` self convention does not apply.
+    #[allow(clippy::wrong_self_convention)]
     fn from_2d(&self, x: u32, y: u32) -> usize;
 
     /// Texture width in elements needed to hold `len` elements.
@@ -179,9 +182,10 @@ impl Mapping1Dto2D for ZOrder2D {
 }
 
 /// Runtime-selectable layout used by [`crate::Stream`].
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Layout {
     /// Pure 1D layout (no 2D packing); used for host-side reference streams.
+    #[default]
     Linear,
     /// Row-wise 1D→2D mapping with the given power-of-two width
     /// (Section 6.2.1).
@@ -191,12 +195,6 @@ pub enum Layout {
     },
     /// Z-order / Morton 1D→2D mapping (Section 6.2.2).
     ZOrder,
-}
-
-impl Default for Layout {
-    fn default() -> Self {
-        Layout::Linear
-    }
 }
 
 impl Layout {
@@ -264,7 +262,7 @@ pub fn block_footprint(layout: &Layout, start: usize, len: usize) -> (u32, u32) 
 /// Fast path of [`block_footprint`] for aligned power-of-two blocks, where
 /// the shape is known analytically (the propositions of Section 6.2).
 fn analytic_footprint(layout: &Layout, start: usize, len: usize) -> Option<(u32, u32)> {
-    if !len.is_power_of_two() || start % len != 0 {
+    if !len.is_power_of_two() || !start.is_multiple_of(len) {
         return None;
     }
     match *layout {

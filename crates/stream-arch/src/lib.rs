@@ -19,8 +19,8 @@
 //!     memory traffic),
 //!   - and write a fixed number of elements *linearly* to each output
 //!     substream (`push_onto_stream`).
-//!   Random-access *writes* (scatter) are not expressible — exactly the
-//!   restriction the paper designs around.
+//!     Random-access *writes* (scatter) are not expressible — exactly
+//!     the restriction the paper designs around.
 //! * **Stream operations** launch a kernel over every element of a
 //!   substream. Each operation carries a fixed launch overhead; the work of
 //!   all kernel instances is distributed over `p` processor units.

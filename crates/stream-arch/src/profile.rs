@@ -178,8 +178,7 @@ impl GpuProfile {
             + c.cache.misses as f64 * self.cache_miss_ns;
         let compute_ms = compute_ns / self.units as f64 / 1_000_000.0;
 
-        let memory_ms =
-            c.traffic_bytes() as f64 / (self.mem_bandwidth_gbs * 1e9) * 1_000.0;
+        let memory_ms = c.traffic_bytes() as f64 / (self.mem_bandwidth_gbs * 1e9) * 1_000.0;
 
         let transfer_ms = self.bus.transfer_ms(c.transfer_bytes);
 

@@ -287,7 +287,10 @@ mod tests {
         s.set(3, Value::new(7.5, 1));
         assert_eq!(s.get(3), Value::new(7.5, 1));
         s.write_at(4, &[Value::new(1.0, 2), Value::new(2.0, 3)]);
-        assert_eq!(s.read_range(4, 2), vec![Value::new(1.0, 2), Value::new(2.0, 3)]);
+        assert_eq!(
+            s.read_range(4, 2),
+            vec![Value::new(1.0, 2), Value::new(2.0, 3)]
+        );
         assert_eq!(s.len(), 8);
         assert!(!s.is_empty());
     }

@@ -124,7 +124,10 @@ mod tests {
         let bytes = (n * 8) as u64;
         let via_bus = BusKind::PciExpressX16.transfer_ms(2 * bytes);
         let via_model = TransferModel::new(BusKind::PciExpressX16).round_trip_ms(n, 8);
-        assert!((via_bus - via_model).abs() < 0.05, "{via_bus} vs {via_model}");
+        assert!(
+            (via_bus - via_model).abs() < 0.05,
+            "{via_bus} vs {via_model}"
+        );
     }
 
     #[test]

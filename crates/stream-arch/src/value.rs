@@ -104,7 +104,7 @@ impl Eq for Value {}
 impl PartialOrd for Value {
     #[inline]
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 

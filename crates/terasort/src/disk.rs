@@ -23,19 +23,28 @@ impl DiskProfile {
     /// A single 2006-era SATA/SCSI disk: ~8 ms positioning, ~60 MB/s
     /// sequential bandwidth.
     pub fn hdd_2006() -> Self {
-        DiskProfile { seek_ms: 8.0, bandwidth_mb_s: 60.0 }
+        DiskProfile {
+            seek_ms: 8.0,
+            bandwidth_mb_s: 60.0,
+        }
     }
 
     /// A small RAID array of the kind the GPUTeraSort experiments used:
     /// same positioning overhead, ~200 MB/s aggregate bandwidth.
     pub fn raid_2006() -> Self {
-        DiskProfile { seek_ms: 8.0, bandwidth_mb_s: 200.0 }
+        DiskProfile {
+            seek_ms: 8.0,
+            bandwidth_mb_s: 200.0,
+        }
     }
 
     /// An idealized zero-latency, effectively infinite-bandwidth store, for
     /// isolating the compute part of the pipeline in experiments.
     pub fn ideal() -> Self {
-        DiskProfile { seek_ms: 0.0, bandwidth_mb_s: f64::INFINITY }
+        DiskProfile {
+            seek_ms: 0.0,
+            bandwidth_mb_s: f64::INFINITY,
+        }
     }
 
     /// Time in milliseconds to transfer `bytes` in one request.
@@ -91,7 +100,11 @@ pub struct SimulatedDisk {
 impl SimulatedDisk {
     /// Create an empty disk with the given performance profile.
     pub fn new(profile: DiskProfile) -> Self {
-        SimulatedDisk { profile, files: Vec::new(), stats: DiskStats::default() }
+        SimulatedDisk {
+            profile,
+            files: Vec::new(),
+            stats: DiskStats::default(),
+        }
     }
 
     /// The disk's performance profile.
@@ -101,7 +114,10 @@ impl SimulatedDisk {
 
     /// Create an empty file and return its handle.
     pub fn create(&mut self, name: &str) -> FileId {
-        self.files.push(DiskFile { name: name.to_string(), records: Vec::new() });
+        self.files.push(DiskFile {
+            name: name.to_string(),
+            records: Vec::new(),
+        });
         FileId(self.files.len() - 1)
     }
 
@@ -171,7 +187,10 @@ mod tests {
 
     #[test]
     fn request_time_is_seek_plus_transfer() {
-        let p = DiskProfile { seek_ms: 5.0, bandwidth_mb_s: 100.0 };
+        let p = DiskProfile {
+            seek_ms: 5.0,
+            bandwidth_mb_s: 100.0,
+        };
         // 10 MB at 100 MB/s = 100 ms, plus 5 ms seek.
         assert!((p.request_ms(10_000_000) - 105.0).abs() < 1e-9);
         assert_eq!(DiskProfile::ideal().request_ms(1 << 30), 0.0);

@@ -83,7 +83,10 @@ struct CountingHeap {
 
 impl CountingHeap {
     fn new() -> Self {
-        CountingHeap { entries: Vec::new(), comparisons: 0 }
+        CountingHeap {
+            entries: Vec::new(),
+            comparisons: 0,
+        }
     }
 
     #[cfg(test)]
@@ -124,8 +127,11 @@ impl CountingHeap {
             if left >= self.entries.len() {
                 break;
             }
-            let smaller =
-                if right < self.entries.len() && self.less(right, left) { right } else { left };
+            let smaller = if right < self.entries.len() && self.less(right, left) {
+                right
+            } else {
+                left
+            };
             if self.less(smaller, parent) {
                 self.entries.swap(smaller, parent);
                 parent = smaller;
@@ -146,12 +152,20 @@ pub fn merge_runs(
 ) -> MergeStats {
     assert!(config.page_records > 0 && config.output_page_records > 0);
     let io_before = disk.stats();
-    let mut stats = MergeStats { runs: runs.len(), ..MergeStats::default() };
+    let mut stats = MergeStats {
+        runs: runs.len(),
+        ..MergeStats::default()
+    };
 
     let mut cursors: Vec<RunCursor> = runs
         .iter()
         .map(|&file| {
-            let mut cursor = RunCursor { file, next_offset: 0, page: Vec::new(), page_pos: 0 };
+            let mut cursor = RunCursor {
+                file,
+                next_offset: 0,
+                page: Vec::new(),
+                page_pos: 0,
+            };
             cursor.refill(disk, config.page_records);
             cursor
         })
@@ -198,11 +212,7 @@ mod tests {
     use crate::record;
 
     /// Split `records` into `k` sorted runs written to disk.
-    fn write_runs(
-        disk: &mut SimulatedDisk,
-        records: &[WideRecord],
-        k: usize,
-    ) -> Vec<FileId> {
+    fn write_runs(disk: &mut SimulatedDisk, records: &[WideRecord], k: usize) -> Vec<FileId> {
         let per_run = records.len().div_ceil(k);
         records
             .chunks(per_run)
@@ -252,8 +262,16 @@ mod tests {
         let output = disk.create("output");
         let stats = merge_runs(&mut disk, &runs, output, &MergeConfig::default());
         let n_log_k = (n as f64) * (k as f64).log2();
-        assert!(stats.comparisons as f64 > 0.5 * n_log_k, "{}", stats.comparisons);
-        assert!(stats.comparisons as f64 <= 2.5 * n_log_k, "{}", stats.comparisons);
+        assert!(
+            stats.comparisons as f64 > 0.5 * n_log_k,
+            "{}",
+            stats.comparisons
+        );
+        assert!(
+            stats.comparisons as f64 <= 2.5 * n_log_k,
+            "{}",
+            stats.comparisons
+        );
     }
 
     #[test]
@@ -263,7 +281,11 @@ mod tests {
         let runs = write_runs(&mut disk, &records, 4);
         let output = disk.create("output");
         let before = disk.stats();
-        let config = MergeConfig { page_records: 256, output_page_records: 512, ..Default::default() };
+        let config = MergeConfig {
+            page_records: 256,
+            output_page_records: 512,
+            ..Default::default()
+        };
         let stats = merge_runs(&mut disk, &runs, output, &config);
         assert!(record::is_sorted(&disk.read_all(output)));
         // 4000 records in pages of ≤256 per run read, ≤512 per write.

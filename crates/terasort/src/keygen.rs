@@ -63,9 +63,12 @@ pub struct FixupStats {
 /// `sorted_keys` must be the key-generator output of `records` after
 /// sorting; the `id` of each entry indexes into `records`.
 pub fn reorder(records: &[WideRecord], sorted_keys: &[Value]) -> (Vec<WideRecord>, FixupStats) {
-    assert_eq!(records.len(), sorted_keys.len(), "key stream does not match the chunk");
-    let mut out: Vec<WideRecord> =
-        sorted_keys.iter().map(|v| records[v.id as usize]).collect();
+    assert_eq!(
+        records.len(),
+        sorted_keys.len(),
+        "key stream does not match the chunk"
+    );
+    let mut out: Vec<WideRecord> = sorted_keys.iter().map(|v| records[v.id as usize]).collect();
     let mut stats = FixupStats::default();
 
     // Walk maximal runs of equal partial keys and sort each by the full key.
@@ -111,7 +114,18 @@ mod tests {
         // the boundaries and a stride).
         let make = |p: u32| {
             WideRecord::new(
-                [(p >> 16) as u8, (p >> 8) as u8, p as u8, 0, 0, 0, 0, 0, 0, 0],
+                [
+                    (p >> 16) as u8,
+                    (p >> 8) as u8,
+                    p as u8,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                    0,
+                ],
                 0,
             )
         };

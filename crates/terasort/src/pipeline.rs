@@ -60,8 +60,17 @@ pub struct PhaseTime {
 impl PhaseTime {
     fn new(io_ms: f64, gpu_ms: f64, cpu_ms: f64, overlap: bool) -> Self {
         let compute = gpu_ms + cpu_ms;
-        let elapsed_ms = if overlap { io_ms.max(compute) } else { io_ms + compute };
-        PhaseTime { io_ms, gpu_ms, cpu_ms, elapsed_ms }
+        let elapsed_ms = if overlap {
+            io_ms.max(compute)
+        } else {
+            io_ms + compute
+        };
+        PhaseTime {
+            io_ms,
+            gpu_ms,
+            cpu_ms,
+            elapsed_ms,
+        }
     }
 }
 
@@ -160,7 +169,11 @@ mod tests {
     use crate::record;
     use abisort::SortConfig;
 
-    fn setup(n: usize, seed: u64, profile: DiskProfile) -> (SimulatedDisk, FileId, Vec<record::WideRecord>) {
+    fn setup(
+        n: usize,
+        seed: u64,
+        profile: DiskProfile,
+    ) -> (SimulatedDisk, FileId, Vec<record::WideRecord>) {
         let mut disk = SimulatedDisk::new(profile);
         let input = disk.create("table");
         let records = record::generate(n, seed);
@@ -169,7 +182,11 @@ mod tests {
     }
 
     fn small_config(core_sorter: CoreSorter) -> TeraSortConfig {
-        TeraSortConfig { run_size: 2048, core_sorter, ..TeraSortConfig::default() }
+        TeraSortConfig {
+            run_size: 2048,
+            core_sorter,
+            ..TeraSortConfig::default()
+        }
     }
 
     #[test]
@@ -200,8 +217,9 @@ mod tests {
             let mut disk = SimulatedDisk::new(DiskProfile::ideal());
             let input = disk.create("table");
             disk.append(input, &records);
-            let report =
-                TeraSorter::new(small_config(sorter)).sort(&mut disk, input).unwrap();
+            let report = TeraSorter::new(small_config(sorter))
+                .sort(&mut disk, input)
+                .unwrap();
             outputs.push(disk.read_all(report.output));
         }
         assert_eq!(outputs[0], outputs[1]);
@@ -216,7 +234,10 @@ mod tests {
             let mut disk = SimulatedDisk::new(DiskProfile::hdd_2006());
             let input = disk.create("table");
             disk.append(input, &records);
-            let config = TeraSortConfig { overlap_io: overlap, ..small_config(CoreSorter::default()) };
+            let config = TeraSortConfig {
+                overlap_io: overlap,
+                ..small_config(CoreSorter::default())
+            };
             let report = TeraSorter::new(config).sort(&mut disk, input).unwrap();
             totals.push(report.total_ms);
         }
@@ -226,7 +247,10 @@ mod tests {
     #[test]
     fn phase_times_compose_io_gpu_and_cpu() {
         let (mut disk, input, _) = setup(4_096, 5, DiskProfile::hdd_2006());
-        let config = TeraSortConfig { overlap_io: false, ..small_config(CoreSorter::default()) };
+        let config = TeraSortConfig {
+            overlap_io: false,
+            ..small_config(CoreSorter::default())
+        };
         let report = TeraSorter::new(config).sort(&mut disk, input).unwrap();
         let p = report.run_phase;
         assert!(p.io_ms > 0.0 && p.gpu_ms > 0.0 && p.cpu_ms > 0.0);
@@ -250,7 +274,10 @@ mod tests {
     #[test]
     fn single_run_input_skips_real_merging() {
         let (mut disk, input, records) = setup(1_000, 9, DiskProfile::raid_2006());
-        let config = TeraSortConfig { run_size: 4_096, ..small_config(CoreSorter::default()) };
+        let config = TeraSortConfig {
+            run_size: 4_096,
+            ..small_config(CoreSorter::default())
+        };
         let report = TeraSorter::new(config).sort(&mut disk, input).unwrap();
         assert_eq!(report.runs, 1);
         assert_eq!(report.merge_comparisons, 0);
@@ -263,7 +290,9 @@ mod tests {
     fn empty_input_produces_an_empty_output() {
         let mut disk = SimulatedDisk::new(DiskProfile::ideal());
         let input = disk.create("table");
-        let report = TeraSorter::new(TeraSortConfig::default()).sort(&mut disk, input).unwrap();
+        let report = TeraSorter::new(TeraSortConfig::default())
+            .sort(&mut disk, input)
+            .unwrap();
         assert_eq!(report.records, 0);
         assert!(disk.is_empty(report.output));
     }

@@ -38,13 +38,15 @@ impl WideRecord {
     /// Full-key comparison (lexicographic over all ten key bytes, payload as
     /// a tie breaker so generated data always has a strict total order).
     pub fn full_cmp(&self, other: &Self) -> Ordering {
-        self.key.cmp(&other.key).then(self.payload.cmp(&other.payload))
+        self.key
+            .cmp(&other.key)
+            .then(self.payload.cmp(&other.payload))
     }
 }
 
 impl PartialOrd for WideRecord {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.full_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -87,7 +89,9 @@ pub fn generate_skewed(n: usize, distinct_prefixes: u32, seed: u64) -> Vec<WideR
 
 /// True if `records` is sorted ascending by the full wide key.
 pub fn is_sorted(records: &[WideRecord]) -> bool {
-    records.windows(2).all(|w| w[0].full_cmp(&w[1]) != Ordering::Greater)
+    records
+        .windows(2)
+        .all(|w| w[0].full_cmp(&w[1]) != Ordering::Greater)
 }
 
 /// True if `a` and `b` contain the same multiset of records.
@@ -135,8 +139,10 @@ mod tests {
     #[test]
     fn skewed_generation_limits_prefixes() {
         let records = generate_skewed(500, 4, 3);
-        let mut prefixes: Vec<[u8; 3]> =
-            records.iter().map(|r| [r.key[0], r.key[1], r.key[2]]).collect();
+        let mut prefixes: Vec<[u8; 3]> = records
+            .iter()
+            .map(|r| [r.key[0], r.key[1], r.key[2]])
+            .collect();
         prefixes.sort_unstable();
         prefixes.dedup();
         assert!(prefixes.len() <= 4);

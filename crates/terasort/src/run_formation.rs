@@ -103,7 +103,10 @@ pub fn form_runs(
     assert!(config.run_size > 0, "run size must be positive");
     let total = disk.len(input);
     let io_before = disk.stats();
-    let mut stats = RunFormationStats { records: total, ..RunFormationStats::default() };
+    let mut stats = RunFormationStats {
+        records: total,
+        ..RunFormationStats::default()
+    };
     let mut runs = Vec::new();
 
     let mut offset = 0usize;
@@ -173,8 +176,7 @@ fn finish_gpu_chunk(
     stats: &mut RunFormationStats,
 ) -> Result<Vec<WideRecord>> {
     let (sorted, fixup) = keygen::reorder(chunk, sorted_keys);
-    stats.cpu_time_ms +=
-        fixup.comparisons as f64 * config.cpu_model.ns_per_comparison / 1e6;
+    stats.cpu_time_ms += fixup.comparisons as f64 * config.cpu_model.ns_per_comparison / 1e6;
     stats.fixup.tie_groups += fixup.tie_groups;
     stats.fixup.tied_records += fixup.tied_records;
     stats.fixup.comparisons += fixup.comparisons;
@@ -200,7 +202,11 @@ mod tests {
     }
 
     fn config_with(core_sorter: CoreSorter, run_size: usize) -> RunFormationConfig {
-        RunFormationConfig { run_size, core_sorter, ..RunFormationConfig::default() }
+        RunFormationConfig {
+            run_size,
+            core_sorter,
+            ..RunFormationConfig::default()
+        }
     }
 
     #[test]
@@ -254,8 +260,12 @@ mod tests {
         assert!(stats.cpu_time_ms > 0.0); // key generation is never free
 
         let (mut disk, input, _) = setup(4096, 9);
-        let (_, cpu_stats) =
-            form_runs(&mut disk, input, &config_with(CoreSorter::CpuQuicksort, 2048)).unwrap();
+        let (_, cpu_stats) = form_runs(
+            &mut disk,
+            input,
+            &config_with(CoreSorter::CpuQuicksort, 2048),
+        )
+        .unwrap();
         assert_eq!(cpu_stats.gpu_time_ms, 0.0);
         assert_eq!(cpu_stats.stream_ops, 0);
         assert!(cpu_stats.cpu_time_ms > 0.0);
@@ -264,8 +274,12 @@ mod tests {
     #[test]
     fn io_statistics_cover_reads_and_run_writes() {
         let (mut disk, input, _) = setup(5000, 3);
-        let (_, stats) =
-            form_runs(&mut disk, input, &config_with(CoreSorter::CpuQuicksort, 2000)).unwrap();
+        let (_, stats) = form_runs(
+            &mut disk,
+            input,
+            &config_with(CoreSorter::CpuQuicksort, 2000),
+        )
+        .unwrap();
         assert_eq!(stats.io.read_requests, 3);
         assert_eq!(stats.io.write_requests, 3);
         assert_eq!(stats.io.bytes_read, stats.io.bytes_written);

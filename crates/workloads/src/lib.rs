@@ -138,7 +138,10 @@ pub fn uniform(n: usize, seed: u64) -> Vec<Value> {
 /// sorting two random halves in opposite directions. Used by the merge
 /// tests.
 pub fn bitonic(n: usize, seed: u64) -> Vec<Value> {
-    assert!(n.is_power_of_two(), "bitonic workload length must be a power of two");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic workload length must be a power of two"
+    );
     let mut values = uniform(n, seed);
     let half = n / 2;
     values[..half].sort();

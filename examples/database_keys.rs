@@ -38,9 +38,18 @@ fn main() {
     assert_eq!(reordered.len(), rows);
 
     println!("sort stage (GPU-ABiSort, {}):", sorter.config().describe());
-    println!("  simulated time incl. transfer: {:>8.2} ms", run.sim_time.total_ms);
-    println!("  transfer share               : {:>8.2} ms", run.sim_time.breakdown.transfer_ms);
-    println!("  stream operations            : {:>8}", run.counters.effective_ops(true));
+    println!(
+        "  simulated time incl. transfer: {:>8.2} ms",
+        run.sim_time.total_ms
+    );
+    println!(
+        "  transfer share               : {:>8.2} ms",
+        run.sim_time.breakdown.transfer_ms
+    );
+    println!(
+        "  stream operations            : {:>8}",
+        run.counters.effective_ops(true)
+    );
 
     // Compare with the CPU-only pipeline (no transfer needed).
     let (cpu_sorted, cpu_stats) = CpuSorter.sort(&keys);

@@ -67,7 +67,9 @@ fn main() {
         println!("{}", figure_table_overlapped(4, 5, 0).render());
     }
     if show(7) {
-        println!("Figure 7 — merging 2^6 values when the optimized 2^4 bitonic merge runs afterwards");
+        println!(
+            "Figure 7 — merging 2^6 values when the optimized 2^4 bitonic merge runs afterwards"
+        );
         println!("{}", figure_table_overlapped(6, 6, 4).render());
     }
 }

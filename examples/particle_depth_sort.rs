@@ -45,8 +45,16 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     let mut particles: Vec<Particle> = (0..num_particles)
         .map(|_| Particle {
-            position: [rng.gen_range(-50.0..50.0), rng.gen_range(0.0..80.0), rng.gen_range(-50.0..50.0)],
-            velocity: [rng.gen_range(-0.5..0.5), rng.gen_range(-1.0..0.1), rng.gen_range(-0.5..0.5)],
+            position: [
+                rng.gen_range(-50.0..50.0),
+                rng.gen_range(0.0..80.0),
+                rng.gen_range(-50.0..50.0),
+            ],
+            velocity: [
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-1.0..0.1),
+                rng.gen_range(-0.5..0.5),
+            ],
         })
         .collect();
     let camera = [0.0f32, 20.0, -120.0];

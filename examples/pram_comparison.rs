@@ -18,7 +18,10 @@ use gpu_abisort::pram::PramModel;
 use gpu_abisort::prelude::*;
 
 fn main() {
-    let log_n: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let log_n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let n = 1usize << log_n;
     let p = (n / log_n as usize).max(1) as u64;
     let input = workloads::uniform(n, 2006);
@@ -30,8 +33,15 @@ fn main() {
     );
 
     let print_run = |name: &str, run: &gpu_abisort::pram::SortRun| {
-        assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "{name}: not sorted");
-        let model = if run.stats.conflicts(PramModel::Erew) == 0 { "EREW" } else { "CREW" };
+        assert!(
+            run.output.windows(2).all(|w| w[0] <= w[1]),
+            "{name}: not sorted"
+        );
+        let model = if run.stats.conflicts(PramModel::Erew) == 0 {
+            "EREW"
+        } else {
+            "CREW"
+        };
         println!(
             "{:<28} {:>8} {:>12} {:>14} {:>9.1}x {:>12}",
             name,
@@ -46,8 +56,9 @@ fn main() {
     let abi = abisort_pram::sort(&input).expect("adaptive bitonic sort failed");
     print_run("adaptive bitonic (BN89)", &abi);
 
-    let abi_seq = abisort_pram::sort_with_schedule(&input, abisort_pram::Schedule::SequentialStages)
-        .expect("adaptive bitonic sort failed");
+    let abi_seq =
+        abisort_pram::sort_with_schedule(&input, abisort_pram::Schedule::SequentialStages)
+            .expect("adaptive bitonic sort failed");
     print_run("adaptive bitonic, seq. stages", &abi_seq);
 
     let net = bitonic_network::sort(&input).expect("bitonic network failed");

@@ -22,13 +22,25 @@ fn main() {
     let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
     let sorter = GpuAbiSorter::new(SortConfig::default());
     let run = sorter.sort_run(&mut gpu, &input).expect("sort failed");
-    assert!(run.output.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+    assert!(
+        run.output.windows(2).all(|w| w[0] <= w[1]),
+        "output not sorted"
+    );
 
     println!("GPU-ABiSort ({}):", sorter.config().describe());
     println!("  simulated time      : {:>10.2} ms", run.sim_time.total_ms);
-    println!("  host wall-clock time: {:>10.2} ms", run.wall_time.as_secs_f64() * 1e3);
-    println!("  stream operations   : {:>10}", run.counters.effective_ops(true));
-    println!("  kernel instances    : {:>10}", run.counters.kernel_instances);
+    println!(
+        "  host wall-clock time: {:>10.2} ms",
+        run.wall_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  stream operations   : {:>10}",
+        run.counters.effective_ops(true)
+    );
+    println!(
+        "  kernel instances    : {:>10}",
+        run.counters.kernel_instances
+    );
     println!("  comparisons         : {:>10}", run.counters.comparisons);
     println!(
         "  texture cache hits  : {:>9.1} %",
@@ -44,8 +56,14 @@ fn main() {
 
     let cpu_model = baselines::CpuSortModel::athlon_64_4200();
     println!("\nCPU quicksort baseline ({}):", cpu_model.name);
-    println!("  simulated time      : {:>10.2} ms", cpu_model.time_ms(&cpu_stats));
-    println!("  host wall-clock time: {:>10.2} ms", cpu_wall.as_secs_f64() * 1e3);
+    println!(
+        "  simulated time      : {:>10.2} ms",
+        cpu_model.time_ms(&cpu_stats)
+    );
+    println!(
+        "  host wall-clock time: {:>10.2} ms",
+        cpu_wall.as_secs_f64() * 1e3
+    );
     println!("  comparisons         : {:>10}", cpu_stats.comparisons);
 
     let speedup = cpu_model.time_ms(&cpu_stats) / run.sim_time.total_ms;

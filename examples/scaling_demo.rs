@@ -29,7 +29,9 @@ fn main() {
         ("fully optimized (Section 7)", SortConfig::default()),
     ] {
         let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
-        let run = GpuAbiSorter::new(config).sort_run(&mut gpu, &input).unwrap();
+        let run = GpuAbiSorter::new(config)
+            .sort_run(&mut gpu, &input)
+            .unwrap();
         println!(
             "  {name:<34} steps = {:>6}   launches = {:>6}   simulated = {:>8.2} ms",
             run.counters.steps, run.counters.launches, run.sim_time.total_ms
@@ -46,7 +48,10 @@ fn main() {
         let run = sorter.sort_run(&mut gpu, &input).unwrap();
         let ms = run.sim_time.total_ms;
         let speedup = base_ms.get_or_insert(ms);
-        println!("  p = {p:>3}: {ms:>9.2} ms   speed-up over p=1: {:>5.2}x", *speedup / ms);
+        println!(
+            "  p = {p:>3}: {ms:>9.2} ms   speed-up over p=1: {:>5.2}x",
+            *speedup / ms
+        );
     }
     println!("\n(The speed-up saturates once the per-stream-operation overhead");
     println!(" dominates — the p ≤ n/log n limit discussed in the abstract.)");

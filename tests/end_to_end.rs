@@ -32,12 +32,27 @@ fn all_sorters_agree_on_uniform_input() {
     let (cpu_out, _) = CpuSorter.sort(&input);
     assert_eq!(cpu_out, expected);
     let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
-    assert_eq!(GpuSortBaseline::new().sort(&mut gpu, &input).unwrap().output, expected);
-    let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
-    assert_eq!(OddEvenMergeSort::new().sort(&mut gpu, &input).unwrap().output, expected);
+    assert_eq!(
+        GpuSortBaseline::new()
+            .sort(&mut gpu, &input)
+            .unwrap()
+            .output,
+        expected
+    );
     let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
     assert_eq!(
-        PeriodicBalancedSort::new().sort(&mut gpu, &input).unwrap().output,
+        OddEvenMergeSort::new()
+            .sort(&mut gpu, &input)
+            .unwrap()
+            .output,
+        expected
+    );
+    let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
+    assert_eq!(
+        PeriodicBalancedSort::new()
+            .sort(&mut gpu, &input)
+            .unwrap()
+            .output,
         expected
     );
 }
@@ -53,7 +68,10 @@ fn all_sorters_agree_on_every_distribution() {
             .unwrap();
         assert_eq!(abisort_out, expected, "GPU-ABiSort on {}", dist.name());
         let mut gpu = StreamProcessor::new(GpuProfile::geforce_6800());
-        let gpusort_out = GpuSortBaseline::new().sort(&mut gpu, &input).unwrap().output;
+        let gpusort_out = GpuSortBaseline::new()
+            .sort(&mut gpu, &input)
+            .unwrap()
+            .output;
         assert_eq!(gpusort_out, expected, "GPUSort on {}", dist.name());
     }
 }
@@ -72,9 +90,15 @@ fn parallel_host_execution_matches_sequential_host_execution() {
 
     assert_eq!(seq_run.output, par_run.output);
     // Work-related counters are identical regardless of host execution mode.
-    assert_eq!(seq_run.counters.kernel_instances, par_run.counters.kernel_instances);
+    assert_eq!(
+        seq_run.counters.kernel_instances,
+        par_run.counters.kernel_instances
+    );
     assert_eq!(seq_run.counters.comparisons, par_run.counters.comparisons);
-    assert_eq!(seq_run.counters.stream_writes, par_run.counters.stream_writes);
+    assert_eq!(
+        seq_run.counters.stream_writes,
+        par_run.counters.stream_writes
+    );
     assert_eq!(seq_run.counters.launches, par_run.counters.launches);
 }
 
@@ -107,7 +131,9 @@ fn record_table_pipeline_round_trips() {
     let table = RecordTable::generate(5000, 8);
     let keys = table.sort_keys();
     let mut gpu = StreamProcessor::new(GpuProfile::geforce_7800());
-    let sorted = GpuAbiSorter::new(SortConfig::default()).sort(&mut gpu, &keys).unwrap();
+    let sorted = GpuAbiSorter::new(SortConfig::default())
+        .sort(&mut gpu, &keys)
+        .unwrap();
     let reordered = table.reorder(&sorted);
     assert!(reordered.windows(2).all(|w| w[0].key <= w[1].key));
     assert_eq!(reordered.len(), table.len());

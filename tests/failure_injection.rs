@@ -3,9 +3,7 @@
 //! instead of silently producing wrong results.
 
 use gpu_abisort::prelude::*;
-use stream_arch::{
-    BlockSet, GatherView, ReadView, Stream, StreamError, WriteView,
-};
+use stream_arch::{BlockSet, GatherView, ReadView, Stream, StreamError, WriteView};
 
 #[test]
 fn oversized_streams_are_rejected() {

@@ -26,7 +26,10 @@ fn all_pram_sorters_agree_with_the_stream_sorter() {
 
         for (name, output) in [
             ("pram-abisort", abisort_pram::sort(&input).unwrap().output),
-            ("pram-network", bitonic_network::sort(&input).unwrap().output),
+            (
+                "pram-network",
+                bitonic_network::sort(&input).unwrap().output,
+            ),
             ("pram-rank-merge", rank_merge::sort(&input).unwrap().output),
         ] {
             assert_eq!(output, expected, "{name} wrong at n={n}");

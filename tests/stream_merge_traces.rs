@@ -71,7 +71,16 @@ fn phase_by_phase_trace_follows_figures_2_and_3() {
 
     // --- Stage 0 ----------------------------------------------------------
     let len0 = num_trees;
-    kernels::phase0(&mut t.proc, &t.trees_a, &mut t.trees_b, &mut t.pq[0], 0, len0, 1).unwrap();
+    kernels::phase0(
+        &mut t.proc,
+        &t.trees_a,
+        &mut t.trees_b,
+        &mut t.pq[0],
+        0,
+        len0,
+        1,
+    )
+    .unwrap();
     kernels::copy_back(&mut t.proc, &t.trees_b, &mut t.trees_a, (0, 2 * len0)).unwrap();
     for tree in 0..num_trees {
         let ascending = tree % 2 == 0;
@@ -127,9 +136,8 @@ fn phase_by_phase_trace_follows_figures_2_and_3() {
         if phase + 1 < J {
             for offset in 0..out_block.1 {
                 let node = t.trees_a.get(out_block.0 + offset);
-                let in_next_block = |idx: u32| {
-                    (next_start..next_start + out_block.1).contains(&(idx as usize))
-                };
+                let in_next_block =
+                    |idx: u32| (next_start..next_start + out_block.1).contains(&(idx as usize));
                 assert!(
                     in_next_block(node.left) || in_next_block(node.right),
                     "phase {phase}: node at {} should point into the next block",
@@ -152,7 +160,9 @@ fn phase_by_phase_trace_follows_figures_2_and_3() {
     // Property 3: every output tree is monotone in its direction and a
     // permutation of its input block.
     for tree in 0..num_trees {
-        let block: Vec<Value> = (0..8).map(|i| streams.trees_a.get(8 * tree + i).value).collect();
+        let block: Vec<Value> = (0..8)
+            .map(|i| streams.trees_a.get(8 * tree + i).value)
+            .collect();
         let mut expected = input2[8 * tree..8 * (tree + 1)].to_vec();
         expected.sort();
         if tree % 2 == 1 {

@@ -9,7 +9,10 @@ fn sort_table(
     core_sorter: CoreSorter,
     run_size: usize,
     profile: DiskProfile,
-) -> (Vec<gpu_abisort::terasort::WideRecord>, gpu_abisort::terasort::TeraSortReport) {
+) -> (
+    Vec<gpu_abisort::terasort::WideRecord>,
+    gpu_abisort::terasort::TeraSortReport,
+) {
     let mut disk = SimulatedDisk::new(profile);
     let input = disk.create("table");
     disk.append(input, records);
@@ -19,15 +22,21 @@ fn sort_table(
         gpu_profile: GpuProfile::geforce_7800(),
         ..TeraSortConfig::default()
     };
-    let report = TeraSorter::new(config).sort(&mut disk, input).expect("terasort failed");
+    let report = TeraSorter::new(config)
+        .sort(&mut disk, input)
+        .expect("terasort failed");
     (disk.read_all(report.output), report)
 }
 
 #[test]
 fn sorts_a_table_many_times_larger_than_the_run_size() {
     let records = record::generate(50_000, 1);
-    let (sorted, report) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::raid_2006());
+    let (sorted, report) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        4_096,
+        DiskProfile::raid_2006(),
+    );
     assert_eq!(report.runs, 13);
     assert!(record::is_sorted(&sorted));
     assert!(record::is_permutation(&records, &sorted));
@@ -38,9 +47,24 @@ fn sorts_a_table_many_times_larger_than_the_run_size() {
 #[test]
 fn the_three_in_core_sorters_agree_record_for_record() {
     let records = record::generate(12_000, 3);
-    let (a, _) = sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 2_048, DiskProfile::ideal());
-    let (b, _) = sort_table(&records, CoreSorter::GpuBitonicNetwork, 2_048, DiskProfile::ideal());
-    let (c, _) = sort_table(&records, CoreSorter::CpuQuicksort, 2_048, DiskProfile::ideal());
+    let (a, _) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        2_048,
+        DiskProfile::ideal(),
+    );
+    let (b, _) = sort_table(
+        &records,
+        CoreSorter::GpuBitonicNetwork,
+        2_048,
+        DiskProfile::ideal(),
+    );
+    let (c, _) = sort_table(
+        &records,
+        CoreSorter::CpuQuicksort,
+        2_048,
+        DiskProfile::ideal(),
+    );
     assert_eq!(a, b);
     assert_eq!(b, c);
 }
@@ -68,8 +92,12 @@ fn skewed_wide_keys_are_resolved_by_the_reorder_stage() {
     // Heavy partial-key collisions: the GPU can only order the 3-byte
     // prefixes, the CPU reorder stage must finish the job.
     let records = record::generate_skewed(20_000, 16, 7);
-    let (sorted, report) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::ideal());
+    let (sorted, report) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        4_096,
+        DiskProfile::ideal(),
+    );
     assert!(record::is_sorted(&sorted));
     assert!(record::is_permutation(&records, &sorted));
     assert!(report.fixup.tied_records > 0);
@@ -79,10 +107,18 @@ fn skewed_wide_keys_are_resolved_by_the_reorder_stage() {
 #[test]
 fn disk_profile_shifts_the_io_compute_balance_not_the_result() {
     let records = record::generate(16_384, 11);
-    let (hdd_out, hdd) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::hdd_2006());
-    let (raid_out, raid) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 4_096, DiskProfile::raid_2006());
+    let (hdd_out, hdd) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        4_096,
+        DiskProfile::hdd_2006(),
+    );
+    let (raid_out, raid) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        4_096,
+        DiskProfile::raid_2006(),
+    );
     assert_eq!(hdd_out, raid_out);
     assert!(hdd.run_phase.io_ms > raid.run_phase.io_ms);
     assert!(hdd.total_ms >= raid.total_ms);
@@ -91,10 +127,18 @@ fn disk_profile_shifts_the_io_compute_balance_not_the_result() {
 #[test]
 fn larger_runs_mean_fewer_runs_and_less_merge_work() {
     let records = record::generate(32_768, 13);
-    let (_, small_runs) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 2_048, DiskProfile::ideal());
-    let (_, large_runs) =
-        sort_table(&records, CoreSorter::GpuAbiSort(SortConfig::default()), 8_192, DiskProfile::ideal());
+    let (_, small_runs) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        2_048,
+        DiskProfile::ideal(),
+    );
+    let (_, large_runs) = sort_table(
+        &records,
+        CoreSorter::GpuAbiSort(SortConfig::default()),
+        8_192,
+        DiskProfile::ideal(),
+    );
     assert!(large_runs.runs < small_runs.runs);
     assert!(large_runs.merge_comparisons < small_runs.merge_comparisons);
 }

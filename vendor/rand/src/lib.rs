@@ -1,0 +1,309 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of `rand` the workspace uses — [`rngs::StdRng`], [`SeedableRng`],
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::gen_bool`] and
+//! [`seq::SliceRandom::shuffle`] — backed by xoshiro256** seeded via
+//! SplitMix64. The generator is deterministic for a given seed, which is all
+//! the workloads and tests rely on; it is *not* cryptographically secure.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::ops::Range;
+
+/// Low-level source of randomness: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Produce the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Produce the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's raw bits
+/// (the role of `Standard`/`Distribution` in real `rand`).
+pub trait StandardSample {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Types over which a half-open `Range` can be sampled uniformly
+/// (the role of `SampleUniform` in real `rand`).
+pub trait SampleUniform: Sized {
+    /// Draw one value uniformly from `range`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unit-interval double in `[0, 1)` built from the top 53 bits.
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl StandardSample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // The span is computed in the unsigned type of the same
+                // width so a signed range wider than half the type (e.g.
+                // -100i8..100) does not wrap to a negative, sign-extended
+                // span. The truncating cast + wrapping add then lands back
+                // in range under two's complement.
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                // Modulo sampling: the bias is < 2^-40 for every span used in
+                // this workspace, which is immaterial for benchmarks/tests.
+                range.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+/// Unit-interval float in `[0, 1)` built from 24 random bits, so the
+/// result is exact in f32 and the upper bound stays exclusive (a 53-bit
+/// f64 sample rounded to f32 could round up to 1.0).
+#[inline]
+fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f32(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        range.start + (range.end - range.start) * unit_f32(rng)
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        range.start + (range.end - range.start) * unit_f64(rng)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the full uniform distribution
+    /// (floats are drawn from `[0, 1)`).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from the half-open `range`.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Return `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+
+    /// Fill `dest` with random data.
+    #[inline]
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+/// Types that can be filled with random data via [`Rng::fill`].
+pub trait Fill {
+    /// Overwrite `self` with bytes from `rng`.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for chunk in self.chunks_mut(8) {
+            let bytes = rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stand-in for `rand::rngs::StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait providing `shuffle` on slices.
+    pub trait SliceRandom {
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn wide_signed_ranges_stay_in_bounds() {
+        // Spans wider than half the type: the naive signed subtraction
+        // would wrap negative and sign-extend.
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2000 {
+            let a = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&a), "i8 out of range: {a}");
+            let b = rng.gen_range(i32::MIN / 2 - 10..i32::MAX / 2 + 10);
+            assert!((i32::MIN / 2 - 10..i32::MAX / 2 + 10).contains(&b));
+        }
+    }
+
+    #[test]
+    fn f32_unit_sample_is_exclusive_of_one() {
+        // A 53-bit f64 sample rounded to f32 can round up to exactly 1.0;
+        // the 24-bit f32 path must not.
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100_000 {
+            let u: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&u), "unit sample out of range: {u}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

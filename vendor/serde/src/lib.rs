@@ -1,0 +1,330 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of serde the workspace uses: a [`Serialize`] trait driven by a
+//! concrete pretty-printing JSON [`Serializer`] (rather than serde's generic
+//! data model), a [`Deserialize`] marker trait (nothing in the workspace
+//! deserializes yet), and `#[derive(Serialize, Deserialize)]` macros
+//! re-exported from the vendored `serde_derive`.
+//!
+//! The derive generates field-by-field serialization for structs, tuple
+//! structs and enums (unit, tuple and struct variants), following serde's
+//! externally-tagged JSON conventions, so `serde_json::to_string_pretty`
+//! output matches what real serde would produce for the types in this
+//! workspace.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A pretty-printing JSON writer. This replaces serde's generic
+/// `Serializer` trait: the only serializer this workspace needs is JSON.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+    depth: usize,
+    /// Whether the next `key`/`elem` at the current depth is the first one
+    /// (controls comma placement); one flag per open container.
+    first: Vec<bool>,
+}
+
+impl Serializer {
+    /// Create an empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the serializer and return the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.depth {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn separate(&mut self) {
+        if let Some(first) = self.first.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+            self.newline_indent();
+        }
+    }
+
+    /// Open a JSON object. Pair with [`Serializer::end_object`].
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.first.push(true);
+    }
+
+    /// Close the innermost JSON object.
+    pub fn end_object(&mut self) {
+        self.depth -= 1;
+        let was_empty = self.first.pop() == Some(true);
+        if !was_empty {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Open a JSON array. Pair with [`Serializer::end_array`].
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.first.push(true);
+    }
+
+    /// Close the innermost JSON array.
+    pub fn end_array(&mut self) {
+        self.depth -= 1;
+        let was_empty = self.first.pop() == Some(true);
+        if !was_empty {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Write an object key; the caller must write exactly one value next.
+    pub fn key(&mut self, name: &str) {
+        self.separate();
+        self.string(name);
+        self.out.push_str(": ");
+    }
+
+    /// Write one object field: a key plus its serialized value.
+    pub fn field(&mut self, name: &str, value: &dyn Serialize) {
+        self.key(name);
+        value.serialize(self);
+    }
+
+    /// Write one array element.
+    pub fn elem(&mut self, value: &dyn Serialize) {
+        self.separate();
+        value.serialize(self);
+    }
+
+    /// Write `null`.
+    pub fn null(&mut self) {
+        self.out.push_str("null");
+    }
+
+    /// Write a JSON boolean.
+    pub fn boolean(&mut self, value: bool) {
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Write a JSON string with the mandatory escapes applied.
+    pub fn string(&mut self, value: &str) {
+        self.out.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Write an integer.
+    pub fn integer(&mut self, value: i128) {
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write an unsigned integer.
+    pub fn unsigned(&mut self, value: u128) {
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write a float the way `serde_json` renders it: whole numbers keep a
+    /// trailing `.0`, non-finite values become `null` (real `serde_json`
+    /// rejects them; a report should degrade gracefully instead).
+    pub fn float(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.null();
+        } else if value == value.trunc() && value.abs() < 1e15 {
+            self.out.push_str(&format!("{value:.1}"));
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+    }
+}
+
+/// Types that can write themselves as JSON through a [`Serializer`].
+pub trait Serialize {
+    /// Append this value's JSON representation to `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// Marker trait paired with `#[derive(Deserialize)]`. Nothing in the
+/// workspace deserializes yet, so the trait carries no methods; the derive
+/// emits an empty impl so trait bounds keep working when deserialization
+/// arrives.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.integer(*self as i128);
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.unsigned(*self as u128);
+            }
+        }
+    )*};
+}
+
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.float(f64::from(*self));
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.float(*self);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.boolean(*self);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.string(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.null(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.begin_array();
+        for item in self {
+            s.elem(item);
+        }
+        s.end_array();
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, s: &mut Serializer) {
+                s.begin_array();
+                $(s.elem(&self.$idx);)+
+                s.end_array();
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json(v: &dyn Serialize) -> String {
+        let mut s = Serializer::new();
+        v.serialize(&mut s);
+        s.into_string()
+    }
+
+    #[test]
+    fn scalars_render_like_serde_json() {
+        assert_eq!(to_json(&13.0f64), "13.0");
+        assert_eq!(to_json(&0.5f64), "0.5");
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&"a\"b"), "\"a\\\"b\"");
+        assert_eq!(to_json(&Option::<u32>::None), "null");
+        assert_eq!(to_json(&f64::NAN), "null");
+    }
+
+    #[test]
+    fn containers_pretty_print() {
+        assert_eq!(to_json(&vec![1u32, 2]), "[\n  1,\n  2\n]");
+        assert_eq!(to_json(&Vec::<u32>::new()), "[]");
+        assert_eq!(to_json(&(1.5f64, 2u32)), "[\n  1.5,\n  2\n]");
+    }
+
+    #[test]
+    fn objects_pretty_print() {
+        let mut s = Serializer::new();
+        s.begin_object();
+        s.field("a", &1u32);
+        s.field("b", &vec![true]);
+        s.end_object();
+        assert_eq!(
+            s.into_string(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}"
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! is written against `proc_macro` alone — no `syn`, no `quote`. It parses
+//! the derive input with a small hand-rolled token walker and emits
+//! field-by-field JSON serialization against the vendored `serde` shim's
+//! concrete [`Serializer`] API.
+//!
+//! Supported shapes (everything this workspace derives): non-generic named
+//! structs, tuple structs, unit structs, and enums with unit, tuple and
+//! struct variants. Generic types produce a `compile_error!` so a future
+//! need is loud rather than silently mis-serialized.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant and the shape of its payload.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Parser {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: TokenStream) -> Self {
+        Self {
+            toks: input.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any number of `#[...]` attributes (including doc comments).
+    fn skip_attrs(&mut self) {
+        loop {
+            match (self.toks.get(self.pos), self.toks.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Some(i.to_string()),
+            _ => None,
+        }
+    }
+
+    /// Skip tokens until a comma at angle-bracket depth zero, consuming the
+    /// comma. Groups are atomic tokens, so only `<`/`>` need tracking.
+    fn skip_until_toplevel_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Parse `{ field: Type, ... }` contents into field names.
+fn parse_named_fields(group: TokenStream) -> Option<Vec<String>> {
+    let mut p = Parser::new(group);
+    let mut fields = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.peek().is_none() {
+            return Some(fields);
+        }
+        p.skip_vis();
+        let name = p.ident()?;
+        match p.next() {
+            Some(TokenTree::Punct(c)) if c.as_char() == ':' => {}
+            _ => return None,
+        }
+        fields.push(name);
+        p.skip_until_toplevel_comma();
+    }
+}
+
+/// Count the comma-separated types in a tuple struct/variant payload.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut p = Parser::new(group);
+    let mut arity = 0;
+    loop {
+        p.skip_attrs();
+        p.skip_vis();
+        if p.peek().is_none() {
+            return arity;
+        }
+        arity += 1;
+        p.skip_until_toplevel_comma();
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Option<Vec<Variant>> {
+    let mut p = Parser::new(group);
+    let mut variants = Vec::new();
+    loop {
+        p.skip_attrs();
+        if p.peek().is_none() {
+            return Some(variants);
+        }
+        let name = p.ident()?;
+        let kind = match p.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                p.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                p.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional `= discriminant` and the trailing comma.
+        p.skip_until_toplevel_comma();
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut p = Parser::new(input);
+    p.skip_attrs();
+    p.skip_vis();
+    let kw = p
+        .ident()
+        .ok_or_else(|| "expected `struct` or `enum`".to_string())?;
+    let name = p.ident().ok_or_else(|| "expected type name".to_string())?;
+    if let Some(TokenTree::Punct(punct)) = p.peek() {
+        if punct.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde_derive shim does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kw.as_str() {
+        "struct" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())
+                    .ok_or_else(|| format!("could not parse fields of struct `{name}`"))?;
+                Ok(Shape::NamedStruct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(punct)) if punct.as_char() == ';' => {
+                Ok(Shape::UnitStruct { name })
+            }
+            _ => Err(format!("could not parse body of struct `{name}`")),
+        },
+        "enum" => match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())
+                    .ok_or_else(|| format!("could not parse variants of enum `{name}`"))?;
+                Ok(Shape::Enum { name, variants })
+            }
+            _ => Err(format!("could not parse body of enum `{name}`")),
+        },
+        other => Err(format!(
+            "the vendored serde_derive shim cannot derive for `{other}` items"
+        )),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn serialize_body(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { fields, .. } => {
+            let mut body = String::from("s.begin_object();\n");
+            for f in fields {
+                body.push_str(&format!("s.field({f:?}, &self.{f});\n"));
+            }
+            body.push_str("s.end_object();");
+            body
+        }
+        // serde convention: a one-field (newtype) struct is transparent.
+        Shape::TupleStruct { arity: 1, .. } => {
+            "::serde::Serialize::serialize(&self.0, s);".to_string()
+        }
+        Shape::TupleStruct { arity, .. } => {
+            let mut body = String::from("s.begin_array();\n");
+            for i in 0..*arity {
+                body.push_str(&format!("s.elem(&self.{i});\n"));
+            }
+            body.push_str("s.end_array();");
+            body
+        }
+        Shape::UnitStruct { .. } => "s.null();".to_string(),
+        Shape::Enum { variants, .. } => {
+            let mut body = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("Self::{vname} => s.string({vname:?}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        body.push_str(&format!(
+                            "Self::{vname}(f0) => {{ s.begin_object(); s.key({vname:?}); \
+                             ::serde::Serialize::serialize(f0, s); s.end_object(); }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "Self::{vname}({}) => {{ s.begin_object(); s.key({vname:?}); \
+                             s.begin_array(); ",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!("s.elem({b}); "));
+                        }
+                        arm.push_str("s.end_array(); s.end_object(); }\n");
+                        body.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut arm = format!(
+                            "Self::{vname} {{ {} }} => {{ s.begin_object(); s.key({vname:?}); \
+                             s.begin_object(); ",
+                            fields.join(", ")
+                        );
+                        for f in fields {
+                            arm.push_str(&format!("s.field({f:?}, {f}); "));
+                        }
+                        arm.push_str("s.end_object(); s.end_object(); }\n");
+                        body.push_str(&arm);
+                    }
+                }
+            }
+            body.push('}');
+            body
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (JSON writer model — see the crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let name = match &shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name.clone(),
+    };
+    let body = serialize_body(&shape);
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self, s: &mut ::serde::Serializer) {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().unwrap_or_else(|_| {
+        error("serde_derive shim generated invalid code; please report the input type")
+    })
+}
+
+/// Derive `serde::Deserialize` (marker impl — nothing in the workspace
+/// deserializes yet; see the vendored serde crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return error(&e),
+    };
+    let name = match &shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name.clone(),
+    };
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the single entry point this workspace uses,
+//! [`to_string_pretty`], on top of the vendored `serde` shim's concrete
+//! JSON [`serde::Serializer`]. Output matches real `serde_json` pretty
+//! formatting (two-space indent, `": "` separators, floats keep `.0`),
+//! except that non-finite floats serialize as `null` instead of erroring.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible, so this is never
+/// constructed; it exists so call sites keep the `Result` shape of real
+/// `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` as a pretty-printed JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut s = serde::Serializer::new();
+    value.serialize(&mut s);
+    Ok(s.into_string())
+}
+
+/// Serialize `value` as a compact JSON string.
+///
+/// The vendored writer always pretty-prints, so this is an alias of
+/// [`to_string_pretty`]; compact output can be added when something needs it.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Row {
+        n: usize,
+        ms: f64,
+        label: String,
+        opt: Option<f64>,
+        pair: (f64, f64),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Layout {
+        Linear,
+        RowMajor { width: u32 },
+        Tagged(u32),
+        Pair(u32, u32),
+    }
+
+    #[derive(Serialize, Deserialize)]
+    struct Newtype(u32);
+
+    #[test]
+    fn derived_struct_matches_serde_json_pretty_format() {
+        let row = Row {
+            n: 32768,
+            ms: 13.0,
+            label: "abc".into(),
+            opt: None,
+            pair: (1.0, 2.5),
+        };
+        let json = super::to_string_pretty(&row).unwrap();
+        assert!(json.contains("\"ms\": 13.0"), "got: {json}");
+        assert!(json.contains("\"n\": 32768"));
+        assert!(json.contains("\"opt\": null"));
+        assert!(json.contains("\"label\": \"abc\""));
+        assert!(json.starts_with("{\n  \""));
+        assert!(json.ends_with("\n}"));
+    }
+
+    #[test]
+    fn derived_enum_uses_external_tagging() {
+        assert_eq!(
+            super::to_string_pretty(&Layout::Linear).unwrap(),
+            "\"Linear\""
+        );
+        let rm = super::to_string_pretty(&Layout::RowMajor { width: 8 }).unwrap();
+        assert!(rm.contains("\"RowMajor\": {"), "got: {rm}");
+        assert!(rm.contains("\"width\": 8"));
+        let tagged = super::to_string_pretty(&Layout::Tagged(5)).unwrap();
+        assert!(tagged.contains("\"Tagged\": 5"), "got: {tagged}");
+        let pair = super::to_string_pretty(&Layout::Pair(1, 2)).unwrap();
+        assert!(pair.contains("\"Pair\": ["), "got: {pair}");
+    }
+
+    #[test]
+    fn newtype_struct_is_transparent() {
+        assert_eq!(super::to_string_pretty(&Newtype(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn vec_of_structs_nests() {
+        let rows = vec![Newtype(1), Newtype(2)];
+        assert_eq!(super::to_string_pretty(&rows).unwrap(), "[\n  1,\n  2\n]");
+    }
+}
