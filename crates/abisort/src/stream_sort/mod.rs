@@ -22,4 +22,4 @@ pub mod layout_plan;
 pub mod merge;
 pub mod sort;
 
-pub use sort::{GpuAbiSorter, SortRun};
+pub use sort::{GpuAbiSorter, SegmentedRun, SortRun};

@@ -37,6 +37,26 @@ pub struct SortRun {
     pub padded_len: usize,
 }
 
+/// The outcome of one *batched segmented* sort: many equal-sized segments
+/// sorted independently but in shared stream operations (see
+/// [`GpuAbiSorter::sort_segments_run`]).
+#[derive(Clone, Debug)]
+pub struct SegmentedRun {
+    /// The concatenation of the sorted segments, each ascending.
+    pub output: Vec<Value>,
+    /// Event counters accumulated by this run (the processor is reset at
+    /// the start of the run).
+    pub counters: Counters,
+    /// Simulated running time under the processor's hardware profile.
+    pub sim_time: SimTime,
+    /// Host wall-clock time spent executing the run.
+    pub wall_time: std::time::Duration,
+    /// Length of every segment (a power of two).
+    pub segment_len: usize,
+    /// Number of segments (a power of two).
+    pub segments: usize,
+}
+
 impl GpuAbiSorter {
     /// Create a sorter with the given configuration.
     pub fn new(config: SortConfig) -> Self {
@@ -81,15 +101,108 @@ impl GpuAbiSorter {
             padded.push(Value::padding_sentinel(i));
         }
 
+        let mut output = self.run_stream_program(proc, &padded, n.trailing_zeros())?;
+        output.truncate(original_len);
+
+        let counters = proc.counters();
+        Ok(SortRun {
+            output,
+            sim_time: proc.simulated_time(),
+            counters,
+            wall_time: started.elapsed(),
+            padded_len: n,
+        })
+    }
+
+    /// Sort many equal-sized segments of `values` independently — but in
+    /// *shared* stream operations — and return the full [`SegmentedRun`]
+    /// record.
+    ///
+    /// This is the device side of a batched sorting service: the recursion
+    /// of Listing 2 is simply stopped at level `log₂ segment_len`, so every
+    /// `segment_len`-aligned block ends up sorted on its own while all
+    /// blocks share each level's kernel launches. The number of stream
+    /// operations is therefore that of sorting *one* segment, not
+    /// `segments` times that — exactly the launch-overhead amortization the
+    /// paper's cost model (Section 3.1) rewards for coalescing many small
+    /// sorts into one device submission.
+    ///
+    /// Requirements: `segment_len` and `values.len() / segment_len` are
+    /// powers of two, `values.len()` is a multiple of `segment_len`, and
+    /// the elements of each segment are distinct under the total order
+    /// (the adaptive-bitonic precondition; unique `id`s per segment
+    /// suffice). Callers pad short segments with
+    /// [`Value::padding_sentinel`]s and truncate after the run.
+    pub fn sort_segments_run(
+        &self,
+        proc: &mut StreamProcessor,
+        values: &[Value],
+        segment_len: usize,
+    ) -> Result<SegmentedRun> {
+        assert!(
+            segment_len.is_power_of_two(),
+            "segment_len must be a power of two"
+        );
+        assert!(
+            values.len().is_multiple_of(segment_len),
+            "values length must be a multiple of segment_len"
+        );
+        let segments = values.len() / segment_len;
+        assert!(
+            segments == 0 || segments.is_power_of_two(),
+            "segment count must be a power of two"
+        );
+
+        let started = std::time::Instant::now();
+        proc.reset();
+
+        let mut output = if values.is_empty() || segment_len == 1 {
+            // Zero or single-element segments are sorted by definition.
+            values.to_vec()
+        } else {
+            self.run_stream_program(proc, values, segment_len.trailing_zeros())?
+        };
+
+        // Simultaneously merged trees alternate between ascending and
+        // descending order (Listings 3/4); the service wants every segment
+        // ascending, so the odd segments are read back in reverse.
+        for t in (1..segments).step_by(2) {
+            output[t * segment_len..(t + 1) * segment_len].reverse();
+        }
+
+        let counters = proc.counters();
+        Ok(SegmentedRun {
+            output,
+            sim_time: proc.simulated_time(),
+            counters,
+            wall_time: started.elapsed(),
+            segment_len,
+            segments,
+        })
+    }
+
+    /// The stream program shared by [`Self::sort_run`] (runs all
+    /// `log₂ n` recursion levels) and [`Self::sort_segments_run`] (stops at
+    /// level `top_level`, leaving every `2^top_level`-aligned block sorted
+    /// with alternating directions).
+    ///
+    /// `padded.len()` must be a power-of-two multiple of `2^top_level`.
+    fn run_stream_program(
+        &self,
+        proc: &mut StreamProcessor,
+        padded: &[Value],
+        top_level: u32,
+    ) -> Result<Vec<Value>> {
+        let n = padded.len();
         proc.check_stream_size::<Node>(2 * n)?;
         let layout = self.config.layout.to_layout();
-        let log_n = n.trailing_zeros();
+        let block = 1usize << top_level;
 
-        // The Section 7 optimizations assume at least 16 elements (8-element
-        // local-sort blocks, 16-element fixed merges); below that the plain
-        // algorithm runs.
-        let local_sort = self.config.local_sort_optimization && n >= 16;
-        let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
+        // The Section 7 optimizations assume at least 16 elements per
+        // independently sorted block (8-element local-sort blocks,
+        // 16-element fixed merges); below that the plain algorithm runs.
+        let local_sort = self.config.local_sort_optimization && block >= 16;
+        let fixed_merge = self.config.fixed_merge_optimization && block >= 16;
 
         if self.config.include_transfer {
             // Upload of the input pairs and readback of the sorted output
@@ -113,7 +226,7 @@ impl GpuAbiSorter {
         let first_level = if local_sort {
             // Section 7.1: local sort of 8 value/pointer pairs per kernel
             // instance, then conversion to bitonic trees of 16 nodes.
-            let source = Stream::from_vec("source-values", padded.clone(), layout);
+            let source = Stream::from_vec("source-values", padded.to_vec(), layout);
             kernels::local_sort8(proc, &source, &mut scratch_values, n)?;
             proc.record_step();
             kernels::build_trees16(proc, &scratch_values, &mut streams.trees_b, n)?;
@@ -124,12 +237,12 @@ impl GpuAbiSorter {
             // Listing 2: the input half of the node stream holds the source
             // data with the fixed in-order child indices (host-side
             // initialization / data upload).
-            kernels::init_input_trees(&mut streams.trees_a, &padded);
+            kernels::init_input_trees(&mut streams.trees_a, padded);
             1
         };
 
         // --- Recursion levels (Listing 2 main loop) -----------------------
-        for j in first_level..=log_n {
+        for j in first_level..=top_level {
             let skip = if fixed_merge && j >= 4 { 4.min(j) } else { 0 };
             let outcome =
                 merge_level(proc, &mut streams, n, j, self.config.overlapped_steps, skip)?;
@@ -166,17 +279,7 @@ impl GpuAbiSorter {
             }
         }
 
-        let mut output = kernels::read_back_values(&streams.trees_a, n);
-        output.truncate(original_len);
-
-        let counters = proc.counters();
-        Ok(SortRun {
-            output,
-            sim_time: proc.simulated_time(),
-            counters,
-            wall_time: started.elapsed(),
-            padded_len: n,
-        })
+        Ok(kernels::read_back_values(&streams.trees_a, n))
     }
 
     /// The Section 7.2 tail of an (optionally truncated) level merge:
@@ -403,6 +506,147 @@ mod tests {
         assert!(sorter.sort(&mut proc, &[]).unwrap().is_empty());
         let one = vec![Value::new(2.0, 7)];
         assert_eq!(sorter.sort(&mut proc, &one).unwrap(), one);
+    }
+
+    /// Reference for the segmented sort: sort each `segment_len` block of
+    /// `input` on its own.
+    fn per_segment_sorted(input: &[Value], segment_len: usize) -> Vec<Value> {
+        let mut expected = input.to_vec();
+        for chunk in expected.chunks_mut(segment_len.max(1)) {
+            chunk.sort();
+        }
+        expected
+    }
+
+    #[test]
+    fn segmented_sort_sorts_every_segment_ascending() {
+        for &(segments, segment_len) in &[
+            (1usize, 16usize),
+            (2, 16),
+            (2, 8),
+            (4, 4),
+            (8, 2),
+            (16, 1),
+            (4, 64),
+            (8, 32),
+            (2, 256),
+        ] {
+            let input = workloads::uniform(segments * segment_len, (segments * segment_len) as u64);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .sort_segments_run(&mut proc, &input, segment_len)
+                .expect("segmented sort failed");
+            assert_eq!(run.segments, segments);
+            assert_eq!(
+                run.output,
+                per_segment_sorted(&input, segment_len),
+                "segments={segments} segment_len={segment_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn segmented_sort_works_for_every_configuration() {
+        let segments = 4;
+        let segment_len = 64;
+        let input = workloads::uniform(segments * segment_len, 7);
+        let expected = per_segment_sorted(&input, segment_len);
+        for config in [
+            SortConfig::default(),
+            SortConfig::unoptimized(),
+            SortConfig::unoptimized().with_overlapped_steps(true),
+            SortConfig::default().with_fixed_merge(false),
+            SortConfig::default().with_local_sort(false),
+            SortConfig::row_wise(64),
+        ] {
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(config)
+                .sort_segments_run(&mut proc, &input, segment_len)
+                .expect("segmented sort failed");
+            assert_eq!(run.output, expected, "{}", config.describe());
+        }
+    }
+
+    #[test]
+    fn segmented_sort_amortizes_stream_operations() {
+        // Sorting k segments in one batched submission costs exactly the
+        // stream operations of sorting ONE segment — every level's launches
+        // are shared by all segments — while a one-job-per-launch submission
+        // pays them k times. This is the economics the sorting service is
+        // built on (Section 3.1 launch overhead).
+        let segment_len = 256;
+        let segments = 8;
+        let input = workloads::uniform(segments * segment_len, 3);
+
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let batched = sorter
+            .sort_segments_run(&mut proc, &input, segment_len)
+            .unwrap();
+
+        let single = sorter.sort_run(&mut proc, &input[..segment_len]).unwrap();
+
+        assert_eq!(batched.counters.steps, single.counters.steps);
+        assert_eq!(
+            batched.counters.kernel_instances,
+            segments as u64 * single.counters.kernel_instances
+        );
+        // The batch is nevertheless cheaper than k separate submissions in
+        // simulated time.
+        let naive_ms = segments as f64 * single.sim_time.total_ms;
+        assert!(
+            batched.sim_time.total_ms < naive_ms,
+            "batched {:.3} ms vs naive {:.3} ms",
+            batched.sim_time.total_ms,
+            naive_ms
+        );
+    }
+
+    #[test]
+    fn segmented_sort_with_sentinel_padding_truncates_cleanly() {
+        // Two jobs of uneven length padded into 16-element segments: after
+        // the run the sentinels sit at the end of each segment, so cutting
+        // each segment back to its job length yields the per-job sorted
+        // data.
+        let jobs: Vec<Vec<Value>> = vec![workloads::uniform(11, 1), workloads::uniform(5, 2)];
+        let segment_len = 16;
+        let mut packed = Vec::new();
+        let mut pad = 0usize;
+        for job in &jobs {
+            packed.extend_from_slice(job);
+            for _ in job.len()..segment_len {
+                packed.push(Value::padding_sentinel(pad));
+                pad += 1;
+            }
+        }
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let run = GpuAbiSorter::new(SortConfig::default())
+            .sort_segments_run(&mut proc, &packed, segment_len)
+            .unwrap();
+        for (t, job) in jobs.iter().enumerate() {
+            let got = &run.output[t * segment_len..t * segment_len + job.len()];
+            let mut expected = job.clone();
+            expected.sort();
+            assert_eq!(got, &expected[..], "job {t}");
+        }
+    }
+
+    #[test]
+    fn segmented_sort_handles_empty_input() {
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let run = GpuAbiSorter::new(SortConfig::default())
+            .sort_segments_run(&mut proc, &[], 16)
+            .unwrap();
+        assert!(run.output.is_empty());
+        assert_eq!(run.segments, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn segmented_sort_rejects_non_power_of_two_segment_count() {
+        let input = workloads::uniform(48, 0); // 3 segments of 16
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        let _ = GpuAbiSorter::new(SortConfig::default()).sort_segments_run(&mut proc, &input, 16);
     }
 
     #[test]

@@ -1,0 +1,43 @@
+//! Wall-clock throughput of the sorting service over a seeded small-job
+//! mix, coalesced versus one-job-per-launch — the host-side cost of the
+//! serving layer on top of the simulated device time the `repro` service
+//! scenario reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sortsvc::{ServiceConfig, SortJob, SortService};
+use std::time::Duration;
+use workloads::RequestMix;
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    let mix = RequestMix::small_job_heavy(64);
+    let jobs = SortJob::from_requests(mix.generate(7));
+
+    let base = SortService::new(ServiceConfig::default());
+    for (mode, coalescing) in [("coalesced", true), ("one-job-per-launch", false)] {
+        let service = SortService::with_policy(
+            ServiceConfig {
+                coalescing,
+                ..ServiceConfig::default()
+            },
+            base.policy().clone(),
+        );
+        group.bench_with_input(BenchmarkId::new(mode, jobs.len()), &jobs, |b, jobs| {
+            b.iter(|| {
+                service
+                    .process(jobs.clone())
+                    .expect("service run failed")
+                    .metrics
+                    .throughput_kelems_per_s
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -8,7 +8,9 @@
 //!   --table 2|3           the timing tables (E8 / E9)
 //!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
-//!                         scaling | ablation | pram | terasort | padding
+//!                         scaling | ablation | pram | terasort | padding |
+//!                         service
+//!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
 //!   --json PATH           additionally write all collected results as JSON
@@ -65,7 +67,7 @@ fn parse_args() -> Options {
                 opts.figures = true;
                 any = true;
             }
-            "--experiment" => {
+            "--experiment" | "--scenario" => {
                 let name = args.next().unwrap_or_default();
                 opts.experiments.push(name);
                 any = true;
@@ -214,6 +216,12 @@ fn main() {
         eprintln!("running padding-overhead experiment (base 2^{log_n}) …");
         report.padding = extended::padding_overhead(log_n);
         println!("{}", render_padding(&report.padding));
+    }
+    if wants("service") {
+        let jobs = if opts.max_log_n >= 18 { 400 } else { 160 };
+        eprintln!("running sorting-service scenario ({jobs} jobs) …");
+        report.service = bench::service::service_scenario(jobs);
+        println!("{}", bench::service::render_service(&report.service));
     }
 
     if let Some(path) = &opts.json {

@@ -4,6 +4,7 @@ use crate::experiments::{
     AblationRow, DataDependenceRow, ScalingRow, StreamOpsRow, TimingRow, TransferRow, WorkRow,
 };
 use crate::extended::{PaddingRow, PramRow, TeraSortRow};
+use crate::service::ServiceRow;
 use serde::Serialize;
 
 /// A collection of experiment results that can be rendered as text (the
@@ -32,6 +33,8 @@ pub struct Report {
     pub terasort: Vec<TeraSortRow>,
     /// Padding-overhead rows (E18), if run.
     pub padding: Vec<PaddingRow>,
+    /// Sorting-service rows (E19), if run.
+    pub service: Vec<ServiceRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

@@ -1,0 +1,189 @@
+//! The serving-path experiment (E19): run the batched sorting service over
+//! a seeded request mix, coalesced versus one-job-per-launch, and collect
+//! the service metrics (throughput, tail latency, batch occupancy, engine
+//! mix) that BENCH_*.json files track for the serving path.
+
+use serde::Serialize;
+use sortsvc::{ServiceConfig, SortJob, SortService};
+use workloads::RequestMix;
+
+/// One service-scenario result row.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServiceRow {
+    /// Submission mode: `coalesced` or `one-job-per-launch`.
+    pub mode: String,
+    /// Traffic mix name.
+    pub mix: String,
+    /// Jobs submitted.
+    pub jobs: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs rejected by admission control.
+    pub rejected: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Thousand elements sorted per simulated second.
+    pub throughput_kelems_per_s: f64,
+    /// Median simulated latency (ms).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile simulated latency (ms).
+    pub latency_p99_ms: f64,
+    /// Capacity-weighted mean batch occupancy.
+    pub batch_occupancy: f64,
+    /// Mean jobs per batch.
+    pub jobs_per_batch: f64,
+    /// Jobs served by the CPU quicksort engine.
+    pub cpu_jobs: usize,
+    /// Jobs served by the batched GPU engine.
+    pub gpu_jobs: usize,
+    /// Jobs served by the out-of-core engine.
+    pub tera_jobs: usize,
+    /// The policy's calibrated CPU/GPU crossover (elements).
+    pub policy_crossover: u64,
+}
+
+/// The deterministic seed every service scenario uses.
+pub const SCENARIO_SEED: u64 = 2006;
+
+/// Run one service over one mix and collect its row. `mode` is a label
+/// (`coalesced` / `one-job-per-launch`).
+pub fn run_mode(service: &SortService, mix: &RequestMix, mix_name: &str, mode: &str) -> ServiceRow {
+    let jobs = SortJob::from_requests(mix.generate(SCENARIO_SEED));
+    let submitted = jobs.len();
+    let report = service.process(jobs).expect("service run failed");
+    let m = &report.metrics;
+    ServiceRow {
+        mode: mode.into(),
+        mix: mix_name.into(),
+        jobs: submitted,
+        completed: m.jobs_completed,
+        rejected: m.jobs_rejected,
+        batches: m.batches,
+        throughput_kelems_per_s: m.throughput_kelems_per_s,
+        latency_p50_ms: m.latency_p50_ms,
+        latency_p99_ms: m.latency_p99_ms,
+        batch_occupancy: m.mean_batch_occupancy,
+        jobs_per_batch: m.mean_jobs_per_batch,
+        cpu_jobs: m.cpu_jobs,
+        gpu_jobs: m.gpu_jobs,
+        tera_jobs: m.tera_jobs,
+        policy_crossover: m.policy_crossover,
+    }
+}
+
+/// Run the service scenario: a small-job-heavy mix (the coalescing regime)
+/// and a mixed-size mix (the policy-crossover regime), each served
+/// coalesced and one-job-per-launch — first with the calibrated policy,
+/// then (small mix only) with the policy pinned to the device, which
+/// isolates the launch-overhead amortization the coalescer exists for.
+pub fn service_scenario(jobs: usize) -> Vec<ServiceRow> {
+    // One calibration shared by all six service instances.
+    let base = SortService::new(ServiceConfig::default());
+    let service = |coalescing: bool, all_gpu: bool| {
+        let policy = if all_gpu {
+            base.policy().clone().with_crossover(0)
+        } else {
+            base.policy().clone()
+        };
+        SortService::with_policy(
+            ServiceConfig {
+                coalescing,
+                ..ServiceConfig::default()
+            },
+            policy,
+        )
+    };
+    let mut rows = Vec::new();
+    for (mix_name, mix) in [
+        ("small-job-heavy", RequestMix::small_job_heavy(jobs)),
+        ("mixed", RequestMix::mixed(jobs / 2)),
+    ] {
+        for (mode, coalescing) in [("coalesced", true), ("one-job-per-launch", false)] {
+            rows.push(run_mode(&service(coalescing, false), &mix, mix_name, mode));
+        }
+    }
+    // The all-GPU ablation on the small-job mix: every job hits the
+    // device, so the throughput gap is purely the per-launch overhead the
+    // segmented batches amortize.
+    let mix = RequestMix::small_job_heavy(jobs);
+    for (mode, coalescing) in [
+        ("coalesced (all-GPU)", true),
+        ("one-job-per-launch (all-GPU)", false),
+    ] {
+        rows.push(run_mode(
+            &service(coalescing, true),
+            &mix,
+            "small-job-heavy",
+            mode,
+        ));
+    }
+    rows
+}
+
+/// Render the service rows as a report table.
+pub fn render_service(rows: &[ServiceRow]) -> String {
+    let mut out = String::from("E19 — sorting service: batched coalescing vs one-job-per-launch\n");
+    out.push_str(&format!(
+        "{:>16} | {:>28} | {:>5} | {:>7} | {:>12} | {:>9} | {:>9} | {:>9} | {:>14}\n",
+        "mix",
+        "mode",
+        "jobs",
+        "batches",
+        "kelem/s",
+        "p50 ms",
+        "p99 ms",
+        "occupancy",
+        "cpu/gpu/tera"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>16} | {:>28} | {:>5} | {:>7} | {:>12.1} | {:>9.2} | {:>9.2} | {:>8.0}% | {:>14}\n",
+            row.mix,
+            row.mode,
+            row.completed,
+            row.batches,
+            row.throughput_kelems_per_s,
+            row.latency_p50_ms,
+            row.latency_p99_ms,
+            100.0 * row.batch_occupancy,
+            format!("{}/{}/{}", row.cpu_jobs, row.gpu_jobs, row.tera_jobs),
+        ));
+    }
+    if let Some(first) = rows.first() {
+        out.push_str(&format!(
+            "(policy crossover: CPU below {} keys, GPU-ABiSort above)\n",
+            first.policy_crossover
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_job_rows_show_coalescing_and_render() {
+        // Only the small-job mix here: the mixed preset's large jobs are a
+        // release-mode (repro) workload, not a unit-test one.
+        let mix = RequestMix::small_job_heavy(40);
+        let rows: Vec<ServiceRow> = [("coalesced", true), ("one-job-per-launch", false)]
+            .into_iter()
+            .map(|(mode, coalescing)| {
+                let service = SortService::new(ServiceConfig {
+                    coalescing,
+                    ..ServiceConfig::default()
+                });
+                run_mode(&service, &mix, "small-job-heavy", mode)
+            })
+            .collect();
+        let (coalesced, naive) = (&rows[0], &rows[1]);
+        assert_eq!(coalesced.completed, 40);
+        assert_eq!(naive.completed, 40);
+        assert!(coalesced.jobs_per_batch > naive.jobs_per_batch);
+        assert!(coalesced.batches < naive.batches);
+        let rendered = render_service(&rows);
+        assert!(rendered.contains("small-job-heavy"));
+        assert!(rendered.contains("policy crossover"));
+    }
+}

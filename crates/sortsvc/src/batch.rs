@@ -1,0 +1,405 @@
+//! Batch formation and execution.
+//!
+//! The coalescer concatenates many small jobs into one *segmented* device
+//! submission: each job gets a power-of-two segment padded with
+//! [`Value::padding_sentinel`]s, the segment count is padded to a power of
+//! two with all-sentinel dummy segments, the whole buffer is sorted with
+//! [`GpuAbiSorter::sort_segments_run`] (one set of stream operations for
+//! the entire batch), and the per-job results are split back out and
+//! truncated. The results are byte-identical to sorting every job alone —
+//! sorted output is unique under the total order — which the workspace's
+//! property tests assert.
+
+use crate::job::SortJob;
+use crate::policy::{Engine, SortPolicy};
+use abisort::GpuAbiSorter;
+use baselines::{CpuSortModel, CpuSorter};
+use stream_arch::{Counters, Result, StreamProcessor, Value};
+use terasort::{record::KEY_BYTES, SimulatedDisk, TeraSortConfig, TeraSorter, WideRecord};
+
+/// Smallest segment the coalescer uses. 16 keeps the Section 7
+/// optimizations (8-element local sort, 16-element fixed merge) applicable
+/// to every batch.
+pub const MIN_SEGMENT: usize = 16;
+
+/// The padded segment a job of `len` elements occupies.
+pub fn segment_for(len: usize) -> usize {
+    len.next_power_of_two().max(MIN_SEGMENT)
+}
+
+/// A planned batch: jobs, engine, device slot and timing estimates.
+#[derive(Clone, Debug)]
+pub struct BatchPlan {
+    /// Batch id (formation order).
+    pub id: usize,
+    /// Device slot the batch is pinned to.
+    pub slot: usize,
+    /// The engine the policy selected.
+    pub engine: Engine,
+    /// Simulated time at which the batch was closed (earliest start).
+    pub ready_ms: f64,
+    /// Estimated duration used for scheduling and admission.
+    pub est_ms: f64,
+    /// Per-job segment length (power of two, ≥ [`MIN_SEGMENT`]).
+    pub segment_len: usize,
+    /// Padded segment count (power of two, ≥ number of jobs).
+    pub segments: usize,
+    /// The coalesced jobs.
+    pub jobs: Vec<SortJob>,
+}
+
+impl BatchPlan {
+    /// Padded device capacity of the batch in elements.
+    pub fn capacity(&self) -> usize {
+        self.segment_len * self.segments
+    }
+
+    /// Real elements carried by the batch.
+    pub fn elements(&self) -> usize {
+        self.jobs.iter().map(SortJob::len).sum()
+    }
+
+    /// Total bytes of the batch's jobs.
+    pub fn bytes(&self) -> usize {
+        self.jobs.iter().map(SortJob::bytes).sum()
+    }
+
+    /// Fraction of the padded capacity carrying real elements — the
+    /// batch-occupancy service metric.
+    pub fn occupancy(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.elements() as f64 / self.capacity() as f64
+        }
+    }
+}
+
+/// Incremental capacity bookkeeping while a batch fills.
+#[derive(Default)]
+pub struct BatchBuilder {
+    jobs: Vec<SortJob>,
+    segment_len: usize,
+}
+
+impl BatchBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Jobs currently collected.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no jobs are collected.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Add a job.
+    pub fn push(&mut self, job: SortJob) {
+        self.segment_len = self.segment_len.max(segment_for(job.len()));
+        self.jobs.push(job);
+    }
+
+    /// Take the collected jobs and their segmented layout, leaving the
+    /// builder empty.
+    pub fn take(&mut self) -> (Vec<SortJob>, usize, usize) {
+        let jobs = std::mem::take(&mut self.jobs);
+        let segment_len = self.segment_len;
+        self.segment_len = 0;
+        let segments = jobs.len().next_power_of_two();
+        (jobs, segment_len, segments)
+    }
+}
+
+/// What executing one batch produced.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The batch id this outcome belongs to.
+    pub id: usize,
+    /// Simulated duration of the batch on its engine.
+    pub duration_ms: f64,
+    /// Host wall-clock execution time.
+    pub wall_ms: f64,
+    /// Stream-processor counters (zero for CPU/terasort batches).
+    pub counters: Counters,
+    /// Per-job sorted outputs, aligned with `BatchPlan::jobs`.
+    pub outputs: Vec<Vec<Value>>,
+}
+
+/// Execute a batch on its selected engine. GPU batches run on the pooled
+/// `proc`; the processor's counters are taken (and reset) afterwards so the
+/// next batch on the same slot starts clean. Terasort batches run against
+/// a fresh simulated disk with the policy's [`DiskProfile`].
+pub fn execute(
+    plan: &BatchPlan,
+    proc: &mut StreamProcessor,
+    sorter: &GpuAbiSorter,
+    policy: &SortPolicy,
+    tera: &TeraSortConfig,
+) -> Result<BatchOutcome> {
+    let started = std::time::Instant::now();
+    let (duration_ms, counters, outputs) = match plan.engine {
+        Engine::GpuAbiSort => execute_gpu(plan, proc, sorter)?,
+        Engine::CpuQuicksort => execute_cpu(plan, policy.cpu_model()),
+        Engine::TeraSort => execute_tera(plan, tera, policy)?,
+    };
+    Ok(BatchOutcome {
+        id: plan.id,
+        duration_ms,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        counters,
+        outputs,
+    })
+}
+
+fn execute_gpu(
+    plan: &BatchPlan,
+    proc: &mut StreamProcessor,
+    sorter: &GpuAbiSorter,
+) -> Result<(f64, Counters, Vec<Vec<Value>>)> {
+    let m = plan.segment_len;
+    let mut packed = Vec::with_capacity(plan.capacity());
+    let mut pad = 0usize;
+    for job in &plan.jobs {
+        packed.extend_from_slice(&job.values);
+        for _ in job.len()..m {
+            packed.push(Value::padding_sentinel(pad));
+            pad += 1;
+        }
+    }
+    // Dummy segments padding the count to a power of two.
+    while packed.len() < plan.capacity() {
+        packed.push(Value::padding_sentinel(pad));
+        pad += 1;
+    }
+
+    let run = sorter.sort_segments_run(proc, &packed, m)?;
+    // Leave the pooled processor clean for the next batch on this slot.
+    let counters = proc.take_counters();
+
+    let outputs = plan
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(t, job)| run.output[t * m..t * m + job.len()].to_vec())
+        .collect();
+    Ok((run.sim_time.total_ms, counters, outputs))
+}
+
+fn execute_cpu(plan: &BatchPlan, cpu_model: &CpuSortModel) -> (f64, Counters, Vec<Vec<Value>>) {
+    let mut duration_ms = 0.0;
+    let outputs = plan
+        .jobs
+        .iter()
+        .map(|job| {
+            let (sorted, stats) = CpuSorter.sort(&job.values);
+            duration_ms += cpu_model.time_ms(&stats);
+            sorted
+        })
+        .collect();
+    (duration_ms, Counters::new(), outputs)
+}
+
+fn execute_tera(
+    plan: &BatchPlan,
+    tera: &TeraSortConfig,
+    policy: &SortPolicy,
+) -> Result<(f64, Counters, Vec<Vec<Value>>)> {
+    let mut duration_ms = 0.0;
+    let mut outputs = Vec::with_capacity(plan.jobs.len());
+    for job in &plan.jobs {
+        if job.len() <= 1 {
+            outputs.push(job.values.clone());
+            continue;
+        }
+        let mut disk = SimulatedDisk::new(*policy.tera_disk());
+        let input = disk.create(&format!("job-{}", job.id));
+        let records: Vec<WideRecord> = job.values.iter().map(value_to_record).collect();
+        disk.append(input, &records);
+        let report = TeraSorter::new(tera.clone()).sort(&mut disk, input)?;
+        duration_ms += report.total_ms;
+        outputs.push(
+            disk.read_all(report.output)
+                .iter()
+                .map(record_to_value)
+                .collect(),
+        );
+    }
+    Ok((duration_ms, Counters::new(), outputs))
+}
+
+/// Monotone bijection from `f32` under `total_cmp` to `u32` under integer
+/// order (the standard sign-flip trick), so wide keys sort records exactly
+/// like [`Value::total_cmp`] sorts values.
+fn total_order_bits(key: f32) -> u32 {
+    let b = key.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+fn value_to_record(v: &Value) -> WideRecord {
+    let mut key = [0u8; KEY_BYTES];
+    key[..4].copy_from_slice(&total_order_bits(v.key).to_be_bytes());
+    key[4..8].copy_from_slice(&v.id.to_be_bytes());
+    WideRecord::new(key, v.id as u64)
+}
+
+fn record_to_value(r: &WideRecord) -> Value {
+    let bits = u32::from_be_bytes(r.key[..4].try_into().expect("4 key bytes"));
+    let raw = if bits & 0x8000_0000 != 0 {
+        bits & 0x7FFF_FFFF
+    } else {
+        !bits
+    };
+    Value::new(
+        f32::from_bits(raw),
+        u32::from_be_bytes(r.key[4..8].try_into().expect("4 id bytes")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyConfig;
+    use abisort::SortConfig;
+    use std::sync::OnceLock;
+    use stream_arch::GpuProfile;
+
+    fn shared_policy() -> &'static SortPolicy {
+        static POLICY: OnceLock<SortPolicy> = OnceLock::new();
+        POLICY.get_or_init(|| {
+            SortPolicy::calibrate(
+                &GpuProfile::geforce_7800(),
+                &SortConfig::default(),
+                &PolicyConfig::default(),
+            )
+        })
+    }
+
+    fn plan(jobs: Vec<SortJob>, engine: Engine) -> BatchPlan {
+        let mut builder = BatchBuilder::new();
+        for job in jobs {
+            builder.push(job);
+        }
+        let (jobs, segment_len, segments) = builder.take();
+        BatchPlan {
+            id: 0,
+            slot: 0,
+            engine,
+            ready_ms: 0.0,
+            est_ms: 0.0,
+            segment_len,
+            segments,
+            jobs,
+        }
+    }
+
+    fn reference(job: &SortJob) -> Vec<Value> {
+        let mut v = job.values.clone();
+        v.sort();
+        v
+    }
+
+    fn check_engine(engine: Engine) {
+        let jobs: Vec<SortJob> = [(0usize, 17u64), (1, 1), (100, 2), (257, 3), (64, 4)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, seed))| {
+                SortJob::new(i as u64, i as u32 % 2, workloads::uniform(n, seed))
+            })
+            .collect();
+        let expected: Vec<Vec<Value>> = jobs.iter().map(reference).collect();
+        let plan = plan(jobs, engine);
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+        let out = execute(
+            &plan,
+            &mut proc,
+            &GpuAbiSorter::new(SortConfig::default()),
+            shared_policy(),
+            &TeraSortConfig {
+                run_size: 128,
+                ..TeraSortConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.outputs, expected, "{}", engine.name());
+        assert!(out.duration_ms >= 0.0);
+    }
+
+    #[test]
+    fn gpu_batch_outputs_match_per_job_sorts() {
+        check_engine(Engine::GpuAbiSort);
+    }
+
+    #[test]
+    fn cpu_batch_outputs_match_per_job_sorts() {
+        check_engine(Engine::CpuQuicksort);
+    }
+
+    #[test]
+    fn terasort_batch_outputs_match_per_job_sorts() {
+        check_engine(Engine::TeraSort);
+    }
+
+    #[test]
+    fn gpu_execution_leaves_the_pooled_processor_clean() {
+        let jobs = vec![SortJob::new(0, 0, workloads::uniform(64, 5))];
+        let plan = plan(jobs, Engine::GpuAbiSort);
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+        let out = execute(
+            &plan,
+            &mut proc,
+            &GpuAbiSorter::new(SortConfig::default()),
+            shared_policy(),
+            &TeraSortConfig::default(),
+        )
+        .unwrap();
+        assert!(out.counters.launches > 0);
+        assert_eq!(proc.counters(), Counters::new(), "no metric bleed");
+    }
+
+    #[test]
+    fn builder_layout_accounts_for_padding() {
+        let mut b = BatchBuilder::new();
+        b.push(SortJob::new(0, 0, workloads::uniform(100, 0))); // pads to 128
+        b.push(SortJob::new(1, 0, workloads::uniform(20, 1)));
+        b.push(SortJob::new(2, 0, workloads::uniform(20, 2)));
+        assert_eq!(b.len(), 3);
+        // The largest job sets the segment; three jobs pad to four
+        // segments.
+        let (jobs, segment_len, segments) = b.take();
+        assert_eq!((jobs.len(), segment_len, segments), (3, 128, 4));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn segment_for_clamps_to_the_minimum() {
+        assert_eq!(segment_for(0), MIN_SEGMENT);
+        assert_eq!(segment_for(1), MIN_SEGMENT);
+        assert_eq!(segment_for(16), 16);
+        assert_eq!(segment_for(17), 32);
+        assert_eq!(segment_for(1000), 1024);
+    }
+
+    #[test]
+    fn wide_record_conversion_preserves_the_total_order() {
+        let mut values = workloads::uniform(256, 9);
+        values.push(Value::new(f32::NEG_INFINITY, 300));
+        values.push(Value::new(-0.0, 301));
+        values.push(Value::new(0.0, 302));
+        values.push(Value::new(f32::INFINITY, 303));
+        let mut by_value = values.clone();
+        by_value.sort();
+        let mut by_record: Vec<WideRecord> = values.iter().map(value_to_record).collect();
+        by_record.sort();
+        let back: Vec<Value> = by_record.iter().map(record_to_value).collect();
+        assert_eq!(back, by_value);
+    }
+}

@@ -1,0 +1,153 @@
+//! Sort jobs and their results.
+
+use crate::policy::Engine;
+use stream_arch::Value;
+use workloads::{Distribution, Request};
+
+/// Identifier of a job within one service run.
+pub type JobId = u64;
+
+/// Identifier of a tenant (client) of the service.
+pub type TenantId = u32;
+
+/// One client sort request: a batch of value/pointer records plus the
+/// metadata the admission queue and policy engine act on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortJob {
+    /// Unique id within the service run.
+    pub id: JobId,
+    /// The tenant submitting the job (per-tenant fairness key).
+    pub tenant: TenantId,
+    /// Simulated arrival time in milliseconds.
+    pub arrival_ms: f64,
+    /// The records to sort.
+    pub values: Vec<Value>,
+    /// Optional distribution hint for the policy engine (CPU quicksort is
+    /// data dependent, so the hint shifts the CPU-cost estimate; the GPU
+    /// engines are data independent).
+    pub hint: Option<Distribution>,
+}
+
+impl SortJob {
+    /// Create a job arriving at time zero with no hint.
+    pub fn new(id: JobId, tenant: TenantId, values: Vec<Value>) -> Self {
+        SortJob {
+            id,
+            tenant,
+            arrival_ms: 0.0,
+            values,
+            hint: None,
+        }
+    }
+
+    /// Builder-style: set the arrival time.
+    pub fn arriving_at(mut self, arrival_ms: f64) -> Self {
+        self.arrival_ms = arrival_ms;
+        self
+    }
+
+    /// Builder-style: set the distribution hint.
+    pub fn with_hint(mut self, hint: Distribution) -> Self {
+        self.hint = Some(hint);
+        self
+    }
+
+    /// Convert a generated [`workloads::Request`] into a job. The request's
+    /// distribution becomes the policy hint.
+    pub fn from_request(id: JobId, request: Request) -> Self {
+        SortJob {
+            id,
+            tenant: request.tenant,
+            arrival_ms: request.arrival_ms,
+            values: request.values,
+            hint: Some(request.dist),
+        }
+    }
+
+    /// Convert a generated request stream into jobs, ids assigned by
+    /// position.
+    pub fn from_requests(requests: Vec<Request>) -> Vec<SortJob> {
+        requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Self::from_request(i as u64, r))
+            .collect()
+    }
+
+    /// Number of elements in the job.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the job carries no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// In-flight memory this job accounts for (8 bytes per value/pointer
+    /// pair, the paper's record size).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+/// The completed result of one job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The job's id.
+    pub id: JobId,
+    /// The job's tenant.
+    pub tenant: TenantId,
+    /// The sorted records (ascending; same multiset as the input).
+    pub output: Vec<Value>,
+    /// Which engine sorted the job.
+    pub engine: Engine,
+    /// Id of the batch the job was coalesced into.
+    pub batch: usize,
+    /// Simulated time spent between arrival and batch start.
+    pub queue_ms: f64,
+    /// Simulated end-to-end latency (arrival → batch completion).
+    pub latency_ms: f64,
+    /// Host wall-clock time of the batch that executed the job.
+    pub batch_wall_ms: f64,
+}
+
+/// Why the admission queue turned a job away.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue already holds the configured maximum number of jobs.
+    QueueFull,
+    /// Admitting the job would exceed the bounded in-flight memory.
+    MemoryPressure,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessors_and_builders() {
+        let job = SortJob::new(3, 1, workloads::uniform(10, 0))
+            .arriving_at(2.5)
+            .with_hint(Distribution::Sorted);
+        assert_eq!(job.len(), 10);
+        assert!(!job.is_empty());
+        assert_eq!(job.bytes(), 80);
+        assert_eq!(job.arrival_ms, 2.5);
+        assert_eq!(job.hint, Some(Distribution::Sorted));
+        assert!(SortJob::new(0, 0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn from_request_preserves_metadata() {
+        let mix = workloads::RequestMix::small_job_heavy(3);
+        let request = mix.generate(9).remove(1);
+        let expected_values = request.values.clone();
+        let job = SortJob::from_request(7, request.clone());
+        assert_eq!(job.id, 7);
+        assert_eq!(job.tenant, request.tenant);
+        assert_eq!(job.arrival_ms, request.arrival_ms);
+        assert_eq!(job.hint, Some(request.dist));
+        assert_eq!(job.values, expected_values);
+    }
+}

@@ -1,0 +1,91 @@
+//! Service-level metrics: throughput, latency percentiles, batch
+//! occupancy, engine mix and device utilization.
+
+use serde::Serialize;
+
+/// Aggregate metrics of one service run. All times are simulated
+/// milliseconds unless the field name says otherwise.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ServiceMetrics {
+    /// Jobs submitted (admitted + rejected).
+    pub jobs_submitted: usize,
+    /// Jobs that completed.
+    pub jobs_completed: usize,
+    /// Jobs rejected by admission control.
+    pub jobs_rejected: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Real elements sorted (excluding padding).
+    pub elements_sorted: u64,
+    /// First arrival → last completion, simulated.
+    pub makespan_ms: f64,
+    /// Completed jobs per simulated second.
+    pub throughput_jobs_per_s: f64,
+    /// Thousand elements per simulated second.
+    pub throughput_kelems_per_s: f64,
+    /// Mean end-to-end latency.
+    pub latency_mean_ms: f64,
+    /// Median end-to-end latency.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99_ms: f64,
+    /// Mean time jobs spent queued/coalescing before their batch started.
+    pub queue_mean_ms: f64,
+    /// Capacity-weighted mean batch occupancy (real / padded elements).
+    pub mean_batch_occupancy: f64,
+    /// Mean number of jobs per batch.
+    pub mean_jobs_per_batch: f64,
+    /// Jobs executed by the CPU quicksort engine.
+    pub cpu_jobs: usize,
+    /// Jobs executed by the batched GPU-ABiSort engine.
+    pub gpu_jobs: usize,
+    /// Jobs executed by the out-of-core terasort engine.
+    pub tera_jobs: usize,
+    /// Total simulated busy time across device slots.
+    pub device_busy_ms: f64,
+    /// `device_busy_ms / (slots × makespan)` — mean slot utilization.
+    pub device_utilization: f64,
+    /// Total host wall-clock execution time across batches.
+    pub wall_ms: f64,
+    /// The policy's calibrated single-job CPU/GPU crossover, for
+    /// visibility in reports (`u64::MAX` ⇒ never GPU).
+    pub policy_crossover: u64,
+}
+
+/// Nearest-rank percentile of an **already sorted** slice; 0 for empty
+/// input. `q` in `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.5), 50.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+        assert_eq!(percentile(&v, 1.0), 100.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn metrics_serialize_to_json() {
+        let m = ServiceMetrics {
+            jobs_submitted: 3,
+            latency_p99_ms: 1.5,
+            ..ServiceMetrics::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.contains("\"jobs_submitted\": 3"));
+        assert!(json.contains("latency_p99_ms"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Admission control and per-tenant fair queueing.
+//!
+//! The service bounds what it takes on: a maximum number of queued jobs
+//! and a maximum amount of in-flight memory (queued plus scheduled but
+//! unfinished). Jobs beyond either bound are rejected at submission —
+//! backpressure instead of unbounded buffering.
+//!
+//! Admitted jobs park in per-tenant FIFO queues. Batch formation drains
+//! them **round-robin across tenants**, so one tenant flooding the service
+//! delays its own backlog, not everyone else's.
+
+use crate::job::{RejectReason, SortJob, TenantId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-tenant FIFO queues with round-robin fair draining.
+#[derive(Default)]
+pub struct TenantQueues {
+    queues: BTreeMap<TenantId, VecDeque<SortJob>>,
+    /// Round-robin order over tenants that currently have queued jobs.
+    rotation: VecDeque<TenantId>,
+    jobs: usize,
+    bytes: usize,
+}
+
+impl TenantQueues {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued jobs across all tenants.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Total queued bytes across all tenants.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True if no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs == 0
+    }
+
+    /// Earliest arrival time among queued jobs (the batch-window anchor).
+    pub fn oldest_arrival_ms(&self) -> Option<f64> {
+        self.queues
+            .values()
+            .filter_map(|q| q.front())
+            .map(|j| j.arrival_ms)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// Enqueue a job at the back of its tenant's FIFO.
+    pub fn push(&mut self, job: SortJob) {
+        self.jobs += 1;
+        self.bytes += job.bytes();
+        let queue = self.queues.entry(job.tenant).or_default();
+        if queue.is_empty() {
+            self.rotation.push_back(job.tenant);
+        }
+        queue.push_back(job);
+    }
+
+    /// Dequeue round-robin: the front job of the tenant whose turn it is,
+    /// then rotate to the next tenant.
+    pub fn pop_fair(&mut self) -> Option<SortJob> {
+        let tenant = self.rotation.pop_front()?;
+        let queue = self.queues.get_mut(&tenant).expect("rotation entry");
+        let job = queue.pop_front().expect("non-empty rotation entry");
+        if !queue.is_empty() {
+            self.rotation.push_back(tenant);
+        }
+        self.jobs -= 1;
+        self.bytes -= job.bytes();
+        Some(job)
+    }
+}
+
+/// The admission controller: rejects submissions that would exceed the
+/// queue-depth or in-flight-memory bounds.
+///
+/// "In flight" covers queued bytes plus the bytes of scheduled batches
+/// whose *estimated* completion lies in the future — the controller cannot
+/// see actual durations at admission time, exactly like a real server.
+pub struct AdmissionController {
+    max_inflight_bytes: usize,
+    max_queued_jobs: usize,
+    /// (estimated completion sim-time ms, bytes) of scheduled batches.
+    scheduled: Vec<(f64, usize)>,
+}
+
+impl AdmissionController {
+    /// Create a controller with the given bounds.
+    pub fn new(max_inflight_bytes: usize, max_queued_jobs: usize) -> Self {
+        AdmissionController {
+            max_inflight_bytes,
+            max_queued_jobs,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// Bytes of scheduled-but-unfinished batches as of `now_ms`.
+    pub fn scheduled_bytes(&mut self, now_ms: f64) -> usize {
+        self.scheduled.retain(|&(done_ms, _)| done_ms > now_ms);
+        self.scheduled.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// Decide whether a job arriving at `now_ms` may be admitted, given the
+    /// current totals across all queues.
+    pub fn admit(
+        &mut self,
+        now_ms: f64,
+        job: &SortJob,
+        queued_jobs: usize,
+        queued_bytes: usize,
+    ) -> Result<(), RejectReason> {
+        if queued_jobs >= self.max_queued_jobs {
+            return Err(RejectReason::QueueFull);
+        }
+        let inflight = self.scheduled_bytes(now_ms) + queued_bytes;
+        if inflight + job.bytes() > self.max_inflight_bytes {
+            return Err(RejectReason::MemoryPressure);
+        }
+        Ok(())
+    }
+
+    /// Record a scheduled batch so its memory stays accounted until its
+    /// estimated completion.
+    pub fn on_scheduled(&mut self, est_completion_ms: f64, bytes: usize) {
+        if bytes > 0 {
+            self.scheduled.push((est_completion_ms, bytes));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, tenant: TenantId, len: usize) -> SortJob {
+        SortJob::new(id, tenant, workloads::uniform(len, id))
+    }
+
+    #[test]
+    fn pop_fair_round_robins_across_tenants() {
+        let mut q = TenantQueues::new();
+        // Tenant 0 floods; tenant 1 submits two jobs afterwards.
+        for i in 0..4 {
+            q.push(job(i, 0, 4));
+        }
+        q.push(job(10, 1, 4));
+        q.push(job(11, 1, 4));
+        let order: Vec<(TenantId, u64)> = std::iter::from_fn(|| q.pop_fair())
+            .map(|j| (j.tenant, j.id))
+            .collect();
+        assert_eq!(
+            order,
+            vec![(0, 0), (1, 10), (0, 1), (1, 11), (0, 2), (0, 3)],
+            "round-robin must interleave the flooded tenant with the light one"
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn pops_are_fifo_within_a_tenant() {
+        let mut q = TenantQueues::new();
+        q.push(job(1, 3, 2));
+        q.push(job(2, 3, 2));
+        assert_eq!(q.pop_fair().unwrap().id, 1);
+        assert_eq!(q.pop_fair().unwrap().id, 2);
+        assert!(q.pop_fair().is_none());
+    }
+
+    #[test]
+    fn oldest_arrival_tracks_the_queue_front() {
+        let mut q = TenantQueues::new();
+        assert_eq!(q.oldest_arrival_ms(), None);
+        q.push(job(1, 0, 2).arriving_at(5.0));
+        q.push(job(2, 1, 2).arriving_at(3.0));
+        assert_eq!(q.oldest_arrival_ms(), Some(3.0));
+        // Pop both (rotation starts at tenant 0).
+        q.pop_fair();
+        assert_eq!(q.oldest_arrival_ms(), Some(3.0));
+        q.pop_fair();
+        assert_eq!(q.oldest_arrival_ms(), None);
+    }
+
+    #[test]
+    fn queue_depth_bound_rejects() {
+        let mut admission = AdmissionController::new(usize::MAX, 2);
+        let mut q = TenantQueues::new();
+        for i in 0..2 {
+            let j = job(i, 0, 4);
+            assert!(admission.admit(0.0, &j, q.jobs(), q.bytes()).is_ok());
+            q.push(j);
+        }
+        assert_eq!(
+            admission.admit(0.0, &job(9, 1, 4), q.jobs(), q.bytes()),
+            Err(RejectReason::QueueFull)
+        );
+    }
+
+    #[test]
+    fn memory_bound_counts_queued_and_scheduled_bytes() {
+        let mut admission = AdmissionController::new(100, usize::MAX);
+        // 64 bytes scheduled until t = 10.
+        admission.on_scheduled(10.0, 64);
+        let eight = job(1, 0, 8); // 64 bytes
+        assert_eq!(
+            admission.admit(5.0, &eight, 0, 0),
+            Err(RejectReason::MemoryPressure)
+        );
+        // After the scheduled batch's estimated completion the memory is
+        // free again.
+        assert!(admission.admit(10.5, &eight, 0, 0).is_ok());
+    }
+}

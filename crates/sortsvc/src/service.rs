@@ -1,0 +1,830 @@
+//! The sorting service: planning, parallel execution, and the simulated
+//! timeline.
+//!
+//! A service run has three deterministic phases:
+//!
+//! 1. **Planning** — a single-threaded sweep over the jobs in arrival
+//!    order: admission control (backpressure), per-tenant fair queueing,
+//!    and batch formation. A batch closes when its padded capacity would
+//!    exceed the configured maximum, when the oldest queued job has waited
+//!    a full batch window, or at end of input. Large jobs bypass the
+//!    coalescer. Every closed batch is routed through the policy engine
+//!    and pinned to the device slot with the earliest *estimated* free
+//!    time.
+//! 2. **Execution** — one worker thread per device slot
+//!    (`std::thread::scope`), each owning a pooled [`StreamProcessor`]
+//!    that is take-and-reset between batches. Workers only touch their
+//!    own slot's batches, so the phase is deterministic regardless of
+//!    thread scheduling.
+//! 3. **Timeline** — the measured batch durations are replayed over the
+//!    slot schedule to produce per-job simulated latencies and the
+//!    service metrics.
+//!
+//! Phase 1 decides with *estimates* (a real server cannot see the future);
+//! phases 2–3 charge *measured* simulated durations.
+
+use crate::batch::{self, BatchBuilder, BatchOutcome, BatchPlan};
+use crate::job::{JobId, JobResult, RejectReason, SortJob};
+use crate::metrics::{percentile, ServiceMetrics};
+use crate::policy::{Engine, PolicyConfig, SortPolicy};
+use crate::queue::{AdmissionController, TenantQueues};
+use abisort::{GpuAbiSorter, SortConfig};
+use serde::Serialize;
+use stream_arch::{GpuProfile, Result, StreamProcessor};
+use terasort::TeraSortConfig;
+use workloads::Distribution;
+
+/// Configuration of a [`SortService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Hardware profile of every device slot.
+    pub profile: GpuProfile,
+    /// Number of device slots (worker threads, pooled processors).
+    pub device_slots: usize,
+    /// Coalesce small jobs into shared batched launches. With `false`
+    /// every job becomes its own submission (the naive baseline the
+    /// batching demo compares against).
+    pub coalescing: bool,
+    /// Maximum padded elements per coalesced batch.
+    pub max_batch_elements: usize,
+    /// How long (simulated ms) a queued job may wait for its batch to
+    /// fill before the batch is closed anyway.
+    pub batch_window_ms: f64,
+    /// Jobs at or above this many elements skip the coalescer and are
+    /// dispatched as single-job batches.
+    pub large_job_cutoff: usize,
+    /// Bound on in-flight memory (queued + scheduled-but-unfinished job
+    /// bytes); admissions beyond it are rejected.
+    pub max_inflight_bytes: usize,
+    /// Bound on queued jobs; admissions beyond it are rejected.
+    pub max_queued_jobs: usize,
+    /// GPU-ABiSort configuration used by the device engine.
+    pub sort_config: SortConfig,
+    /// Policy calibration knobs.
+    pub policy: PolicyConfig,
+    /// Records per run of the out-of-core engine.
+    pub tera_run_size: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            profile: GpuProfile::geforce_7800(),
+            device_slots: 2,
+            coalescing: true,
+            max_batch_elements: 1 << 14,
+            batch_window_ms: 2.0,
+            large_job_cutoff: 1 << 12,
+            max_inflight_bytes: 64 << 20,
+            max_queued_jobs: 4096,
+            sort_config: SortConfig::default(),
+            policy: PolicyConfig::default(),
+            tera_run_size: 1 << 14,
+        }
+    }
+}
+
+/// One executed batch, summarised for reports.
+#[derive(Clone, Debug, Serialize)]
+pub struct BatchSummary {
+    /// Batch id (formation order).
+    pub id: usize,
+    /// Device slot the batch ran on.
+    pub slot: usize,
+    /// Engine name.
+    pub engine: String,
+    /// Number of coalesced jobs.
+    pub jobs: usize,
+    /// Real elements carried.
+    pub elements: usize,
+    /// Padded device capacity.
+    pub capacity: usize,
+    /// `elements / capacity`.
+    pub occupancy: f64,
+    /// Simulated start time.
+    pub start_ms: f64,
+    /// Measured simulated duration.
+    pub duration_ms: f64,
+}
+
+/// The outcome of one service run.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Completed jobs in submission (id) order.
+    pub results: Vec<JobResult>,
+    /// Rejected jobs and why.
+    pub rejected: Vec<(JobId, RejectReason)>,
+    /// Executed batches in formation order.
+    pub batches: Vec<BatchSummary>,
+    /// Aggregate service metrics.
+    pub metrics: ServiceMetrics,
+}
+
+/// The multi-tenant batched sorting service.
+pub struct SortService {
+    config: ServiceConfig,
+    policy: SortPolicy,
+    sorter: GpuAbiSorter,
+}
+
+impl SortService {
+    /// Build a service, calibrating the policy for the configured profile.
+    pub fn new(config: ServiceConfig) -> Self {
+        let mut policy_cfg = config.policy.clone();
+        // Out-of-core jobs must actually not fit the device comfortably.
+        policy_cfg.out_of_core_threshold = policy_cfg
+            .out_of_core_threshold
+            .min(config.profile.max_stream_elements() / 2);
+        let policy = SortPolicy::calibrate(&config.profile, &config.sort_config, &policy_cfg);
+        Self::with_policy(config, policy)
+    }
+
+    /// Build a service around an already calibrated policy (lets tests and
+    /// sweeps share one calibration).
+    pub fn with_policy(config: ServiceConfig, policy: SortPolicy) -> Self {
+        assert!(config.device_slots >= 1, "need at least one device slot");
+        let sorter = GpuAbiSorter::new(config.sort_config);
+        SortService {
+            config,
+            policy,
+            sorter,
+        }
+    }
+
+    /// The service's calibrated policy.
+    pub fn policy(&self) -> &SortPolicy {
+        &self.policy
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Run the service over a set of jobs until everything admitted has
+    /// completed, and report per-job results plus service metrics.
+    pub fn process(&self, mut jobs: Vec<SortJob>) -> Result<ServiceReport> {
+        jobs.sort_by(|a, b| a.arrival_ms.total_cmp(&b.arrival_ms).then(a.id.cmp(&b.id)));
+        let submitted = jobs.len();
+
+        let (plans, rejected) = self.plan(jobs);
+        let outcomes = self.execute(&plans)?;
+        Ok(self.assemble(submitted, plans, outcomes, rejected))
+    }
+
+    // --- Phase 1: planning ----------------------------------------------
+
+    fn plan(&self, jobs: Vec<SortJob>) -> (Vec<BatchPlan>, Vec<(JobId, RejectReason)>) {
+        let mut planner = Planner {
+            config: &self.config,
+            policy: &self.policy,
+            classes: std::collections::BTreeMap::new(),
+            admission: AdmissionController::new(
+                self.config.max_inflight_bytes,
+                self.config.max_queued_jobs,
+            ),
+            slot_free_est: vec![0.0; self.config.device_slots],
+            plans: Vec::new(),
+            rejected: Vec::new(),
+            solo_cutoff: self
+                .config
+                .large_job_cutoff
+                .min(self.policy.out_of_core_threshold()),
+        };
+        for job in jobs {
+            planner.on_arrival(job);
+        }
+        planner.drain();
+        (planner.plans, planner.rejected)
+    }
+
+    // --- Phase 2: execution ---------------------------------------------
+
+    fn execute(&self, plans: &[BatchPlan]) -> Result<Vec<BatchOutcome>> {
+        let mut by_slot: Vec<Vec<usize>> = vec![Vec::new(); self.config.device_slots];
+        for plan in plans {
+            by_slot[plan.slot].push(plan.id);
+        }
+        let tera = TeraSortConfig {
+            run_size: self.config.tera_run_size,
+            gpu_profile: self.config.profile.clone(),
+            ..TeraSortConfig::default()
+        };
+
+        let mut per_slot: Vec<Result<Vec<BatchOutcome>>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = by_slot
+                .iter()
+                .map(|ids| {
+                    let tera = &tera;
+                    scope.spawn(move || -> Result<Vec<BatchOutcome>> {
+                        let mut proc = StreamProcessor::new(self.config.profile.clone());
+                        ids.iter()
+                            .map(|&id| {
+                                batch::execute(
+                                    &plans[id],
+                                    &mut proc,
+                                    &self.sorter,
+                                    &self.policy,
+                                    tera,
+                                )
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_slot.push(handle.join().expect("service worker thread panicked"));
+            }
+        });
+
+        let mut outcomes: Vec<Option<BatchOutcome>> = vec![None; plans.len()];
+        for slot_result in per_slot {
+            for outcome in slot_result? {
+                let id = outcome.id;
+                outcomes[id] = Some(outcome);
+            }
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every batch executed"))
+            .collect())
+    }
+
+    // --- Phase 3: timeline + metrics ------------------------------------
+
+    fn assemble(
+        &self,
+        submitted: usize,
+        plans: Vec<BatchPlan>,
+        outcomes: Vec<BatchOutcome>,
+        rejected: Vec<(JobId, RejectReason)>,
+    ) -> ServiceReport {
+        let slots = self.config.device_slots;
+        let mut slot_free = vec![0.0f64; slots];
+        let mut busy = 0.0f64;
+        let mut wall_ms = 0.0f64;
+        let mut results = Vec::new();
+        let mut batches = Vec::new();
+        let mut first_arrival = f64::INFINITY;
+        let mut last_completion = 0.0f64;
+        let mut elements: u64 = 0;
+        let mut occupancy_weighted = 0.0f64;
+        let mut capacity_total = 0.0f64;
+        let (mut cpu_jobs, mut gpu_jobs, mut tera_jobs) = (0usize, 0usize, 0usize);
+
+        for (plan, outcome) in plans.iter().zip(outcomes) {
+            let start = plan.ready_ms.max(slot_free[plan.slot]);
+            let end = start + outcome.duration_ms;
+            slot_free[plan.slot] = end;
+            busy += outcome.duration_ms;
+            wall_ms += outcome.wall_ms;
+            last_completion = last_completion.max(end);
+            occupancy_weighted += plan.occupancy() * plan.capacity() as f64;
+            capacity_total += plan.capacity() as f64;
+
+            batches.push(BatchSummary {
+                id: plan.id,
+                slot: plan.slot,
+                engine: plan.engine.name().to_string(),
+                jobs: plan.jobs.len(),
+                elements: plan.elements(),
+                capacity: plan.capacity(),
+                occupancy: plan.occupancy(),
+                start_ms: start,
+                duration_ms: outcome.duration_ms,
+            });
+
+            for (job, output) in plan.jobs.iter().zip(outcome.outputs) {
+                first_arrival = first_arrival.min(job.arrival_ms);
+                elements += job.len() as u64;
+                match plan.engine {
+                    Engine::CpuQuicksort => cpu_jobs += 1,
+                    Engine::GpuAbiSort => gpu_jobs += 1,
+                    Engine::TeraSort => tera_jobs += 1,
+                }
+                results.push(JobResult {
+                    id: job.id,
+                    tenant: job.tenant,
+                    output,
+                    engine: plan.engine,
+                    batch: plan.id,
+                    queue_ms: start - job.arrival_ms,
+                    latency_ms: end - job.arrival_ms,
+                    batch_wall_ms: outcome.wall_ms,
+                });
+            }
+        }
+        results.sort_by_key(|r| r.id);
+
+        let completed = results.len();
+        let makespan_ms = if completed == 0 {
+            0.0
+        } else {
+            (last_completion - first_arrival).max(f64::MIN_POSITIVE)
+        };
+        let mut latencies: Vec<f64> = results.iter().map(|r| r.latency_ms).collect();
+        latencies.sort_by(f64::total_cmp);
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        let queue_times: Vec<f64> = results.iter().map(|r| r.queue_ms).collect();
+
+        let metrics = ServiceMetrics {
+            jobs_submitted: submitted,
+            jobs_completed: completed,
+            jobs_rejected: rejected.len(),
+            batches: batches.len(),
+            elements_sorted: elements,
+            makespan_ms,
+            throughput_jobs_per_s: if makespan_ms > 0.0 {
+                completed as f64 / makespan_ms * 1_000.0
+            } else {
+                0.0
+            },
+            throughput_kelems_per_s: if makespan_ms > 0.0 {
+                elements as f64 / makespan_ms
+            } else {
+                0.0
+            },
+            latency_mean_ms: mean(&latencies),
+            latency_p50_ms: percentile(&latencies, 0.5),
+            latency_p99_ms: percentile(&latencies, 0.99),
+            queue_mean_ms: mean(&queue_times),
+            mean_batch_occupancy: if capacity_total > 0.0 {
+                occupancy_weighted / capacity_total
+            } else {
+                0.0
+            },
+            mean_jobs_per_batch: if batches.is_empty() {
+                0.0
+            } else {
+                completed as f64 / batches.len() as f64
+            },
+            cpu_jobs,
+            gpu_jobs,
+            tera_jobs,
+            device_busy_ms: busy,
+            device_utilization: if makespan_ms > 0.0 {
+                busy / (slots as f64 * makespan_ms)
+            } else {
+                0.0
+            },
+            wall_ms,
+            policy_crossover: self.policy.crossover().try_into().unwrap_or(u64::MAX),
+        };
+
+        ServiceReport {
+            results,
+            rejected,
+            batches,
+            metrics,
+        }
+    }
+}
+
+/// Mutable planning state (phase 1).
+///
+/// Queued jobs are bucketed by their padded segment size ("class"), so a
+/// coalesced batch only carries equally padded segments and occupancy
+/// stays ≥ ½ (heterogeneous batches would pad every small job to the
+/// largest one's segment). Within a class, tenants are drained round-robin.
+struct Planner<'a> {
+    config: &'a ServiceConfig,
+    policy: &'a SortPolicy,
+    /// Per-segment-class fair queues.
+    classes: std::collections::BTreeMap<usize, TenantQueues>,
+    admission: AdmissionController,
+    slot_free_est: Vec<f64>,
+    plans: Vec<BatchPlan>,
+    rejected: Vec<(JobId, RejectReason)>,
+    /// Jobs at or above this size are dispatched solo.
+    solo_cutoff: usize,
+}
+
+impl Planner<'_> {
+    fn queued_jobs(&self) -> usize {
+        self.classes.values().map(TenantQueues::jobs).sum()
+    }
+
+    fn queued_bytes(&self) -> usize {
+        self.classes.values().map(TenantQueues::bytes).sum()
+    }
+
+    fn min_slot_free(&self) -> f64 {
+        self.slot_free_est
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The earliest time some class wants to close a batch, or `None`.
+    ///
+    /// A class asks to close when it can fill the configured batch
+    /// capacity, or when its oldest job has waited a full batch window.
+    /// Either way the close is deferred until a device slot is *estimated*
+    /// free — batches are formed when they can start, so later arrivals
+    /// (fairly interleaved across tenants) still make it into the next
+    /// batch instead of queueing behind a pre-planned backlog.
+    fn next_close(&self) -> Option<(usize, f64)> {
+        let slot_free = self.min_slot_free();
+        self.classes
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&class, q)| {
+                let oldest = q.oldest_arrival_ms().expect("non-empty class");
+                let capacity_full = class * q.jobs() >= self.config.max_batch_elements;
+                let want = if capacity_full {
+                    oldest
+                } else {
+                    oldest + self.config.batch_window_ms
+                };
+                (class, want.max(slot_free))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    fn on_arrival(&mut self, job: SortJob) {
+        let now = job.arrival_ms;
+        // Close every batch that is due before this arrival.
+        while let Some((class, at)) = self.next_close() {
+            if at <= now {
+                self.close_batch(class, at);
+            } else {
+                break;
+            }
+        }
+
+        if let Err(reason) =
+            self.admission
+                .admit(now, &job, self.queued_jobs(), self.queued_bytes())
+        {
+            self.rejected.push((job.id, reason));
+            return;
+        }
+        let class = batch::segment_for(job.len());
+        // A job whose padded segment alone exceeds the batch bound cannot
+        // be coalesced without violating it — it goes solo like any large
+        // job.
+        if !self.config.coalescing
+            || job.len() >= self.solo_cutoff
+            || class > self.config.max_batch_elements
+        {
+            self.dispatch_solo(job, now);
+            return;
+        }
+        self.classes.entry(class).or_default().push(job);
+        while let Some((class, at)) = self.next_close() {
+            if at <= now {
+                self.close_batch(class, at);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// End of input: close everything that is still queued, in due order.
+    fn drain(&mut self) {
+        while let Some((class, at)) = self.next_close() {
+            self.close_batch(class, at);
+        }
+    }
+
+    /// Form one batch from `class` (round-robin across tenants) and
+    /// schedule it no earlier than `at`.
+    fn close_batch(&mut self, class: usize, at: f64) {
+        let queue = self.classes.get_mut(&class).expect("known class");
+        // Segment counts are padded to a power of two, so cap the job count
+        // at the largest power of two whose capacity fits the batch bound.
+        let cap = (self.config.max_batch_elements / class).max(1);
+        let max_jobs = if cap.is_power_of_two() {
+            cap
+        } else {
+            cap.next_power_of_two() / 2
+        };
+        let mut builder = BatchBuilder::new();
+        while builder.len() < max_jobs {
+            match queue.pop_fair() {
+                Some(job) => builder.push(job),
+                None => break,
+            }
+        }
+        if queue.is_empty() {
+            self.classes.remove(&class);
+        }
+        if builder.is_empty() {
+            return;
+        }
+        let (jobs, segment_len, segments) = builder.take();
+        // A deferred close may pick up jobs that arrived while the slots
+        // were busy; the batch cannot be ready before its youngest job.
+        let ready = jobs.iter().map(|j| j.arrival_ms).fold(at, f64::max);
+        self.schedule(jobs, segment_len, segments, ready);
+    }
+
+    fn dispatch_solo(&mut self, job: SortJob, now: f64) {
+        let segment_len = batch::segment_for(job.len());
+        self.schedule(vec![job], segment_len, 1, now);
+    }
+
+    fn schedule(&mut self, jobs: Vec<SortJob>, segment_len: usize, segments: usize, now: f64) {
+        let lens_hints: Vec<(usize, Option<Distribution>)> =
+            jobs.iter().map(|j| (j.len(), j.hint)).collect();
+        let engine = self.policy.select_batch(&lens_hints, segment_len, segments);
+        let est_ms = self
+            .policy
+            .est_batch_ms(engine, &lens_hints, segment_len, segments);
+
+        // Pin to the slot with the earliest estimated free time.
+        let slot = (0..self.slot_free_est.len())
+            .min_by(|&a, &b| self.slot_free_est[a].total_cmp(&self.slot_free_est[b]))
+            .expect("at least one slot");
+        let start_est = now.max(self.slot_free_est[slot]);
+        self.slot_free_est[slot] = start_est + est_ms;
+
+        let bytes: usize = jobs.iter().map(SortJob::bytes).sum();
+        self.admission.on_scheduled(start_est + est_ms, bytes);
+
+        self.plans.push(BatchPlan {
+            id: self.plans.len(),
+            slot,
+            engine,
+            ready_ms: now,
+            est_ms,
+            segment_len,
+            segments,
+            jobs,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// One shared calibration for all service tests (calibration runs probe
+    /// sorts; no need to repeat it per test).
+    fn shared_policy() -> SortPolicy {
+        static POLICY: OnceLock<SortPolicy> = OnceLock::new();
+        POLICY
+            .get_or_init(|| {
+                SortPolicy::calibrate(
+                    &GpuProfile::geforce_7800(),
+                    &SortConfig::default(),
+                    &PolicyConfig::default(),
+                )
+            })
+            .clone()
+    }
+
+    fn service(config: ServiceConfig) -> SortService {
+        SortService::with_policy(config, shared_policy())
+    }
+
+    fn small_mix_jobs(jobs: usize, seed: u64) -> Vec<SortJob> {
+        SortJob::from_requests(workloads::RequestMix::small_job_heavy(jobs).generate(seed))
+    }
+
+    fn test_config() -> ServiceConfig {
+        ServiceConfig {
+            max_batch_elements: 4096,
+            ..ServiceConfig::default()
+        }
+    }
+
+    fn assert_outputs_correct(jobs: &[SortJob], report: &ServiceReport) {
+        let rejected: std::collections::HashSet<JobId> =
+            report.rejected.iter().map(|&(id, _)| id).collect();
+        assert_eq!(
+            report.results.len() + rejected.len(),
+            jobs.len(),
+            "every job completes or is rejected"
+        );
+        let mut results = report.results.iter();
+        for job in jobs {
+            if rejected.contains(&job.id) {
+                continue;
+            }
+            let result = results.next().expect("result for admitted job");
+            assert_eq!(result.id, job.id);
+            let mut expected = job.values.clone();
+            expected.sort();
+            assert_eq!(result.output, expected, "job {}", job.id);
+        }
+    }
+
+    #[test]
+    fn service_sorts_a_mixed_stream_correctly() {
+        let jobs = small_mix_jobs(40, 3);
+        let report = service(test_config()).process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &report);
+        assert!(report.metrics.batches > 0);
+        assert!(report.metrics.throughput_kelems_per_s > 0.0);
+        assert!(report.metrics.latency_p99_ms >= report.metrics.latency_p50_ms);
+    }
+
+    #[test]
+    fn service_runs_are_deterministic() {
+        let jobs = small_mix_jobs(30, 11);
+        let svc = service(test_config());
+        let a = svc.process(jobs.clone()).unwrap();
+        let b = svc.process(jobs).unwrap();
+        assert_eq!(a.metrics.latency_p99_ms, b.metrics.latency_p99_ms);
+        assert_eq!(a.metrics.makespan_ms, b.metrics.makespan_ms);
+        assert_eq!(a.batches.len(), b.batches.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.output, y.output);
+            assert_eq!(x.latency_ms, y.latency_ms);
+        }
+    }
+
+    #[test]
+    fn coalescing_beats_one_job_per_launch_submission() {
+        // The acceptance scenario: a small-job-heavy stream sent to the
+        // device either coalesced (segmented batches) or one job per
+        // launch set. The policy is pinned to the GPU on both sides so the
+        // comparison isolates the launch-overhead amortization.
+        let all_gpu = |coalescing: bool| {
+            SortService::new(ServiceConfig {
+                coalescing,
+                policy: PolicyConfig {
+                    crossover_override: Some(0),
+                    ..PolicyConfig::default()
+                },
+                ..ServiceConfig::default()
+            })
+        };
+        let jobs: Vec<SortJob> = (0..96)
+            .map(|i| {
+                SortJob::new(
+                    i,
+                    (i % 4) as u32,
+                    workloads::uniform(140 + (i as usize % 100), i),
+                )
+                .arriving_at(i as f64 * 0.02)
+            })
+            .collect();
+        let coalesced = all_gpu(true).process(jobs.clone()).unwrap();
+        let naive = all_gpu(false).process(jobs).unwrap();
+        assert_eq!(coalesced.metrics.gpu_jobs, 96);
+        assert_eq!(naive.metrics.gpu_jobs, 96);
+        assert!(
+            coalesced.metrics.throughput_kelems_per_s > 2.0 * naive.metrics.throughput_kelems_per_s,
+            "coalesced {:.1} kelem/s must clearly beat naive {:.1} kelem/s",
+            coalesced.metrics.throughput_kelems_per_s,
+            naive.metrics.throughput_kelems_per_s
+        );
+        assert!(coalesced.metrics.mean_jobs_per_batch > naive.metrics.mean_jobs_per_batch);
+        assert!(coalesced.metrics.batches < naive.metrics.batches);
+    }
+
+    #[test]
+    fn tenant_fairness_interleaves_a_flood_with_light_traffic() {
+        // Tenant 0 floods 40 equal-sized jobs at t=0 — far more than one
+        // batch — and tenant 1 submits 4 jobs shortly after, while the
+        // single device slot is still busy with the first batch. Fair
+        // (round-robin) batch filling must interleave the light tenant into
+        // the *next* batch instead of queueing it behind the flood.
+        let mut jobs: Vec<SortJob> = (0..40)
+            .map(|i| SortJob::new(i, 0, workloads::uniform(200, i)))
+            .collect();
+        for i in 0..4 {
+            jobs.push(SortJob::new(1000 + i, 1, workloads::uniform(200, 77 + i)).arriving_at(0.01));
+        }
+        let config = ServiceConfig {
+            device_slots: 1,
+            max_batch_elements: 2048, // 8 jobs of class 256 per batch
+            ..ServiceConfig::default()
+        };
+        let report = service(config).process(jobs).unwrap();
+        let light_batches: Vec<usize> = report
+            .results
+            .iter()
+            .filter(|r| r.tenant == 1)
+            .map(|r| r.batch)
+            .collect();
+        assert_eq!(light_batches.len(), 4);
+        assert!(
+            light_batches.iter().all(|&b| b <= 1),
+            "light tenant stuck behind the flood: batches {light_batches:?}"
+        );
+    }
+
+    #[test]
+    fn backpressure_rejects_beyond_the_queue_bound() {
+        let config = ServiceConfig {
+            max_queued_jobs: 8,
+            batch_window_ms: 1000.0, // nothing closes early
+            ..test_config()
+        };
+        // 20 tiny jobs all arriving at t=0: at most 8 fit the queue.
+        let jobs: Vec<SortJob> = (0..20)
+            .map(|i| SortJob::new(i, 0, workloads::uniform(32, i)))
+            .collect();
+        let report = service(config).process(jobs).unwrap();
+        assert!(
+            report.metrics.jobs_rejected >= 12,
+            "expected rejections, got {}",
+            report.metrics.jobs_rejected
+        );
+        assert_eq!(
+            report.metrics.jobs_completed + report.metrics.jobs_rejected,
+            20
+        );
+        assert!(report
+            .rejected
+            .iter()
+            .all(|&(_, r)| r == RejectReason::QueueFull));
+    }
+
+    #[test]
+    fn memory_backpressure_rejects_oversized_influx() {
+        let config = ServiceConfig {
+            max_inflight_bytes: 8 * 1024, // 1k elements
+            ..test_config()
+        };
+        let jobs: Vec<SortJob> = (0..6)
+            .map(|i| SortJob::new(i, i as u32, workloads::uniform(512, i)))
+            .collect();
+        let report = service(config).process(jobs).unwrap();
+        assert!(report
+            .rejected
+            .iter()
+            .any(|&(_, r)| r == RejectReason::MemoryPressure));
+    }
+
+    #[test]
+    fn jobs_padding_beyond_the_batch_bound_go_solo() {
+        // A 3000-element job pads to a 4096 segment — larger than this
+        // config's whole batch bound, but below the large-job cutoff. It
+        // must be dispatched solo rather than in a "coalesced" batch that
+        // exceeds max_batch_elements.
+        let config = ServiceConfig {
+            max_batch_elements: 2048,
+            ..ServiceConfig::default()
+        };
+        let jobs = vec![
+            SortJob::new(0, 0, workloads::uniform(3000, 1)),
+            SortJob::new(1, 0, workloads::uniform(3000, 2)),
+        ];
+        let report = service(config).process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &report);
+        assert_eq!(report.batches.len(), 2);
+        for batch in &report.batches {
+            assert_eq!(batch.jobs, 1, "must not coalesce past the bound");
+        }
+    }
+
+    #[test]
+    fn out_of_core_jobs_route_to_terasort() {
+        let config = ServiceConfig {
+            policy: PolicyConfig {
+                out_of_core_threshold: 3000,
+                ..PolicyConfig::default()
+            },
+            tera_run_size: 2048,
+            ..test_config()
+        };
+        // Needs its own policy (non-default out-of-core threshold).
+        let svc = SortService::new(config);
+        let jobs = vec![
+            SortJob::new(0, 0, workloads::uniform(5000, 1)),
+            SortJob::new(1, 0, workloads::uniform(100, 2)),
+        ];
+        let report = svc.process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &report);
+        assert_eq!(report.results[0].engine, Engine::TeraSort);
+        assert_eq!(report.metrics.tera_jobs, 1);
+    }
+
+    #[test]
+    fn empty_job_and_empty_run_are_handled() {
+        let svc = service(test_config());
+        let empty_run = svc.process(Vec::new()).unwrap();
+        assert_eq!(empty_run.metrics.jobs_completed, 0);
+        assert_eq!(empty_run.metrics.makespan_ms, 0.0);
+
+        let jobs = vec![
+            SortJob::new(0, 0, Vec::new()),
+            SortJob::new(1, 0, workloads::uniform(1, 1)),
+        ];
+        let report = svc.process(jobs).unwrap();
+        assert_eq!(report.results[0].output, Vec::new());
+        assert_eq!(report.results[1].output.len(), 1);
+    }
+
+    #[test]
+    fn policy_crossover_is_visible_in_metrics() {
+        let jobs = small_mix_jobs(10, 1);
+        let report = service(test_config()).process(jobs).unwrap();
+        assert_eq!(
+            report.metrics.policy_crossover,
+            shared_policy().crossover() as u64
+        );
+    }
+}

@@ -102,6 +102,19 @@ impl StreamProcessor {
         }
     }
 
+    /// Return the accumulated counters (cache statistics merged in) and
+    /// reset the processor in one step.
+    ///
+    /// This is the reuse hook for processor pooling: a service that keeps
+    /// one processor per device slot takes the counters after every batch,
+    /// so the next batch starts from a clean record and no metrics bleed
+    /// between tenants or batches.
+    pub fn take_counters(&mut self) -> Counters {
+        let c = self.counters();
+        self.reset();
+        c
+    }
+
     /// Simulated running time of everything executed since the last reset.
     pub fn simulated_time(&self) -> SimTime {
         self.profile.simulate(&self.counters())
@@ -456,6 +469,33 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out.as_slice(), &[3, 4, 0, 0, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn take_counters_returns_totals_and_resets_for_reuse() {
+        let mut p = StreamProcessor::new(GpuProfile::geforce_6800());
+        let input = Stream::from_vec("in", (0u32..64).collect(), Layout::ZOrder);
+        let mut out: Stream<u32> = Stream::new("out", 64, Layout::ZOrder);
+        doubling_op(&mut p, &input, &mut out);
+        p.record_step();
+        p.charge_transfer(128);
+
+        let taken = p.take_counters();
+        assert_eq!(taken.launches, 1);
+        assert_eq!(taken.steps, 1);
+        assert_eq!(taken.kernel_instances, 64);
+        assert_eq!(taken.transfer_bytes, 128);
+        assert!(taken.cache.accesses > 0, "cache stats must be merged in");
+
+        // The pooled processor is now clean: no metric bleed into the next
+        // batch, and a second take returns zeros.
+        assert_eq!(p.counters(), Counters::new());
+        assert_eq!(p.simulated_time().total_ms, 0.0);
+        assert_eq!(p.take_counters(), Counters::new());
+
+        // A batch executed after the take is accounted from zero.
+        doubling_op(&mut p, &input, &mut out);
+        assert_eq!(p.counters().launches, 1);
     }
 
     #[test]

@@ -21,7 +21,10 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use stream_arch::Value;
 
+pub mod mix;
 pub mod records;
+
+pub use mix::{Request, RequestMix, SizeClass};
 
 /// The input distributions used by the experiments.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -72,6 +75,45 @@ impl Distribution {
             Distribution::FewDistinct { distinct } => format!("few-distinct({distinct})"),
             Distribution::OrganPipe => "organ-pipe".into(),
             Distribution::Constant => "constant".into(),
+        }
+    }
+}
+
+impl std::str::FromStr for Distribution {
+    type Err = String;
+
+    /// Parse the textual form produced by [`Distribution::name`], so
+    /// command lines like `--dist uniform` or `--dist nearly-sorted(64)`
+    /// round-trip. The parameterized variants also accept their bare names
+    /// (`nearly-sorted` → 64 swaps, `few-distinct` → 16 keys).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (base, param) = match (s.find('('), s.strip_suffix(')')) {
+            (Some(open), Some(stripped)) => {
+                let value: usize = stripped[open + 1..]
+                    .parse()
+                    .map_err(|e| format!("invalid parameter in {s:?}: {e}"))?;
+                (&s[..open], Some(value))
+            }
+            (None, None) => (s, None),
+            _ => return Err(format!("mismatched parentheses in {s:?}")),
+        };
+        match (base, param) {
+            ("uniform", None) => Ok(Distribution::Uniform),
+            ("sorted", None) => Ok(Distribution::Sorted),
+            ("reverse", None) => Ok(Distribution::Reverse),
+            ("organ-pipe", None) => Ok(Distribution::OrganPipe),
+            ("constant", None) => Ok(Distribution::Constant),
+            ("nearly-sorted", swaps) => Ok(Distribution::NearlySorted {
+                swaps: swaps.unwrap_or(64),
+            }),
+            ("few-distinct", distinct) => Ok(Distribution::FewDistinct {
+                distinct: distinct.unwrap_or(16),
+            }),
+            _ => Err(format!(
+                "unknown distribution {s:?} (expected uniform | sorted | reverse | \
+                 nearly-sorted[(swaps)] | few-distinct[(keys)] | organ-pipe | constant)"
+            )),
         }
     }
 }
@@ -256,6 +298,40 @@ mod tests {
         let inversions_adjacent = v.windows(2).filter(|w| w[0].key > w[1].key).count();
         // 8 transpositions can create at most 32 adjacent inversions.
         assert!(inversions_adjacent <= 32);
+    }
+
+    #[test]
+    fn distribution_names_round_trip_through_from_str() {
+        let mut all = Distribution::all_for_data_dependence();
+        all.push(Distribution::Constant);
+        for dist in all {
+            let parsed: Distribution = dist.name().parse().unwrap();
+            assert_eq!(parsed, dist, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn from_str_accepts_bare_parameterized_names_with_defaults() {
+        assert_eq!(
+            "nearly-sorted".parse::<Distribution>().unwrap(),
+            Distribution::NearlySorted { swaps: 64 }
+        );
+        assert_eq!(
+            "few-distinct".parse::<Distribution>().unwrap(),
+            Distribution::FewDistinct { distinct: 16 }
+        );
+        assert_eq!(
+            " uniform ".parse::<Distribution>().unwrap(),
+            Distribution::Uniform
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_unknown_and_malformed_inputs() {
+        assert!("gaussian".parse::<Distribution>().is_err());
+        assert!("nearly-sorted(".parse::<Distribution>().is_err());
+        assert!("nearly-sorted(x)".parse::<Distribution>().is_err());
+        assert!("uniform(3)".parse::<Distribution>().is_err());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Seeded request-mix generators for the sorting service.
+//!
+//! A serving layer is exercised by a *traffic mix*, not a single array: many
+//! tenants submit sort jobs of different sizes and key distributions at
+//! different times. [`RequestMix`] describes such a mix declaratively
+//! (size classes with weights, a distribution pool, tenant count, mean
+//! inter-arrival gap) and [`RequestMix::generate`] materialises it into a
+//! deterministic, seeded stream of [`Request`]s — every run of an
+//! experiment or benchmark sees byte-identical traffic.
+//!
+//! The presets mirror the regimes of the paper's evaluation: the
+//! [`RequestMix::small_job_heavy`] mix lives below the CPU/GPU crossover of
+//! Section 8 (where per-launch overhead dominates and coalescing pays), the
+//! [`RequestMix::mixed`] preset straddles it so an engine-selection policy
+//! has real decisions to make.
+
+use crate::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stream_arch::Value;
+
+/// One synthetic client request: a sort job the service will admit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Simulated arrival time in milliseconds (non-decreasing across the
+    /// generated stream).
+    pub arrival_ms: f64,
+    /// Tenant the request belongs to.
+    pub tenant: u32,
+    /// The key distribution the values were drawn from (usable as a policy
+    /// hint).
+    pub dist: Distribution,
+    /// The value/pointer pairs to sort.
+    pub values: Vec<Value>,
+}
+
+/// A weighted job-size class.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SizeClass {
+    /// Relative weight of this class in the mix.
+    pub weight: u32,
+    /// Minimum job size (elements, inclusive).
+    pub min: usize,
+    /// Maximum job size (elements, inclusive).
+    pub max: usize,
+}
+
+/// A declarative description of service traffic.
+#[derive(Clone, Debug)]
+pub struct RequestMix {
+    /// Number of requests to generate.
+    pub jobs: usize,
+    /// Number of tenants the requests are spread over.
+    pub tenants: u32,
+    /// Mean gap between consecutive arrivals in simulated milliseconds
+    /// (actual gaps are uniform in `[0, 2·mean)`).
+    pub mean_interarrival_ms: f64,
+    /// Weighted size classes jobs are drawn from.
+    pub size_classes: Vec<SizeClass>,
+    /// Distributions jobs are drawn from (uniformly).
+    pub distributions: Vec<Distribution>,
+}
+
+impl RequestMix {
+    /// A mix dominated by jobs far below the CPU/GPU crossover (Section 8:
+    /// quicksort wins below ~32k keys) — the regime where batched
+    /// coalescing amortizes the per-stream-op launch overhead.
+    pub fn small_job_heavy(jobs: usize) -> Self {
+        RequestMix {
+            jobs,
+            tenants: 4,
+            mean_interarrival_ms: 0.05,
+            size_classes: vec![
+                SizeClass {
+                    weight: 6,
+                    min: 32,
+                    max: 256,
+                },
+                SizeClass {
+                    weight: 3,
+                    min: 256,
+                    max: 1024,
+                },
+                SizeClass {
+                    weight: 1,
+                    min: 1024,
+                    max: 2048,
+                },
+            ],
+            distributions: vec![
+                Distribution::Uniform,
+                Distribution::Sorted,
+                Distribution::NearlySorted { swaps: 16 },
+                Distribution::FewDistinct { distinct: 8 },
+            ],
+        }
+        .normalized()
+    }
+
+    /// A mix that straddles the CPU/GPU crossover: mostly small jobs with a
+    /// tail of large ones, so the policy engine routes work to both
+    /// engines.
+    pub fn mixed(jobs: usize) -> Self {
+        RequestMix {
+            jobs,
+            tenants: 8,
+            mean_interarrival_ms: 0.2,
+            size_classes: vec![
+                SizeClass {
+                    weight: 8,
+                    min: 64,
+                    max: 512,
+                },
+                SizeClass {
+                    weight: 3,
+                    min: 2048,
+                    max: 8192,
+                },
+                SizeClass {
+                    weight: 1,
+                    min: 16384,
+                    max: 65536,
+                },
+            ],
+            distributions: vec![
+                Distribution::Uniform,
+                Distribution::Reverse,
+                Distribution::OrganPipe,
+                Distribution::NearlySorted { swaps: 64 },
+            ],
+        }
+        .normalized()
+    }
+
+    /// Generate the deterministic request stream for `seed`.
+    ///
+    /// Requests arrive in non-decreasing `arrival_ms` order; tenants,
+    /// sizes and distributions are sampled independently per request, and
+    /// every request's values come from their own derived seed, so two
+    /// mixes differing only in `seed` share no data.
+    pub fn generate(&self, seed: u64) -> Vec<Request> {
+        assert!(self.tenants > 0, "need at least one tenant");
+        assert!(
+            !self.size_classes.is_empty(),
+            "need at least one size class"
+        );
+        assert!(
+            !self.distributions.is_empty(),
+            "need at least one distribution"
+        );
+        let total_weight: u32 = self.size_classes.iter().map(|c| c.weight).sum();
+        assert!(total_weight > 0, "size-class weights must not all be zero");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut arrival_ms = 0.0f64;
+        let mut requests = Vec::with_capacity(self.jobs);
+        for _ in 0..self.jobs {
+            arrival_ms +=
+                rng.gen_range(0.0..2.0 * self.mean_interarrival_ms.max(f64::MIN_POSITIVE));
+            let tenant = rng.gen_range(0..self.tenants);
+
+            let mut pick = rng.gen_range(0..total_weight);
+            let class = self
+                .size_classes
+                .iter()
+                .find(|c| {
+                    if pick < c.weight {
+                        true
+                    } else {
+                        pick -= c.weight;
+                        false
+                    }
+                })
+                .expect("weighted pick is within the total weight");
+            let n = class.min + rng.gen_range(0..(class.max - class.min + 1));
+
+            let dist = self.distributions[rng.gen_range(0..self.distributions.len())];
+            let values = crate::generate(dist, n, rng.gen::<u64>());
+            requests.push(Request {
+                arrival_ms,
+                tenant,
+                dist,
+                values,
+            });
+        }
+        requests
+    }
+
+    fn normalized(mut self) -> Self {
+        for class in &mut self.size_classes {
+            assert!(class.min <= class.max, "size class min must be <= max");
+        }
+        self.tenants = self.tenants.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mix = RequestMix::small_job_heavy(50);
+        let a = mix.generate(7);
+        let b = mix.generate(7);
+        let c = mix.generate(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_non_decreasing() {
+        let reqs = RequestMix::mixed(100).generate(3);
+        assert_eq!(reqs.len(), 100);
+        assert!(reqs.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms));
+        assert!(reqs[0].arrival_ms >= 0.0);
+    }
+
+    #[test]
+    fn sizes_and_tenants_respect_the_mix() {
+        let mix = RequestMix::small_job_heavy(200);
+        let lo = mix.size_classes.iter().map(|c| c.min).min().unwrap();
+        let hi = mix.size_classes.iter().map(|c| c.max).max().unwrap();
+        for r in mix.generate(11) {
+            assert!(r.values.len() >= lo && r.values.len() <= hi);
+            assert!(r.tenant < mix.tenants);
+            assert!(mix.distributions.contains(&r.dist));
+            // Generated ids are positions, the distinctness property the
+            // sorters rely on.
+            for (i, v) in r.values.iter().enumerate() {
+                assert_eq!(v.id, i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn small_job_heavy_stays_below_the_paper_crossover() {
+        // The preset exists to exercise the coalescing regime, so every job
+        // must stay below the ~32k-key crossover of Section 8.
+        for r in RequestMix::small_job_heavy(100).generate(1) {
+            assert!(r.values.len() < 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn mixed_preset_produces_both_sides_of_the_crossover() {
+        let reqs = RequestMix::mixed(300).generate(5);
+        assert!(reqs.iter().any(|r| r.values.len() < 1024));
+        assert!(reqs.iter().any(|r| r.values.len() > 16 * 1024));
+    }
+}

@@ -1,0 +1,120 @@
+//! Sorting-as-a-service demo: serve a seeded, small-job-heavy request mix
+//! through the batched sorting service and show (a) the calibrated
+//! CPU/GPU policy crossover in action and (b) batched coalescing beating
+//! naive one-job-per-launch submission on simulated throughput.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sort_service [-- <jobs> [<dist>]]
+//! ```
+//!
+//! The optional second argument is a key distribution accepted by
+//! `workloads::Distribution::from_str` (`uniform`, `sorted`,
+//! `nearly-sorted(64)`, …) that overrides the mix's distribution pool.
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::sortsvc::ServiceReport;
+
+fn jobs_from_mix(mix: &workloads::RequestMix, seed: u64) -> Vec<SortJob> {
+    SortJob::from_requests(mix.generate(seed))
+}
+
+fn print_report(label: &str, report: &ServiceReport) {
+    let m = &report.metrics;
+    println!("{label}:");
+    println!(
+        "  completed/rejected  : {:>8} / {}",
+        m.jobs_completed, m.jobs_rejected
+    );
+    println!("  batches             : {:>8}", m.batches);
+    println!("  jobs per batch      : {:>10.1}", m.mean_jobs_per_batch);
+    println!(
+        "  batch occupancy     : {:>9.0}%",
+        100.0 * m.mean_batch_occupancy
+    );
+    println!(
+        "  throughput          : {:>10.1} kelem/s (simulated)",
+        m.throughput_kelems_per_s
+    );
+    println!(
+        "  latency p50 / p99   : {:>7.2} / {:.2} ms (simulated)",
+        m.latency_p50_ms, m.latency_p99_ms
+    );
+    println!(
+        "  engine mix          : {} cpu-quicksort, {} gpu-abisort, {} terasort",
+        m.cpu_jobs, m.gpu_jobs, m.tera_jobs
+    );
+    println!(
+        "  device utilization  : {:>9.0}%\n",
+        100.0 * m.device_utilization
+    );
+}
+
+fn main() {
+    let jobs_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(192);
+    let mut mix = workloads::RequestMix::small_job_heavy(jobs_n);
+    if let Some(dist_arg) = std::env::args().nth(2) {
+        let dist: Distribution = dist_arg
+            .parse()
+            .unwrap_or_else(|e| panic!("bad --dist argument: {e}"));
+        mix.distributions = vec![dist];
+    }
+
+    println!(
+        "sort service demo: {jobs_n} jobs, sizes {}..{}, {} tenants\n",
+        mix.size_classes.iter().map(|c| c.min).min().unwrap(),
+        mix.size_classes.iter().map(|c| c.max).max().unwrap(),
+        mix.tenants
+    );
+
+    // --- Policy-driven service ------------------------------------------
+    let service = SortService::new(ServiceConfig::default());
+    println!(
+        "calibrated policy crossover: CPU quicksort below {} keys, GPU-ABiSort above\n",
+        service.policy().crossover()
+    );
+    let report = service
+        .process(jobs_from_mix(&mix, 42))
+        .expect("service run failed");
+    for result in &report.results {
+        assert!(
+            result.output.windows(2).all(|w| w[0] <= w[1]),
+            "job {} came back unsorted",
+            result.id
+        );
+    }
+    print_report("policy-driven service (coalesced)", &report);
+
+    // --- Coalescing ablation: everything on the GPU ---------------------
+    // Pinning the policy to the device isolates what coalescing buys: the
+    // per-stream-operation launch overhead is paid once per batch instead
+    // of once per job (Section 3.1 economics).
+    let all_gpu = |coalescing: bool| {
+        SortService::with_policy(
+            ServiceConfig {
+                coalescing,
+                ..ServiceConfig::default()
+            },
+            service.policy().clone().with_crossover(0),
+        )
+    };
+    let coalesced = all_gpu(true)
+        .process(jobs_from_mix(&mix, 42))
+        .expect("coalesced run failed");
+    let naive = all_gpu(false)
+        .process(jobs_from_mix(&mix, 42))
+        .expect("naive run failed");
+    print_report("all-GPU, coalesced batches", &coalesced);
+    print_report("all-GPU, one job per launch", &naive);
+
+    let speedup = coalesced.metrics.throughput_kelems_per_s / naive.metrics.throughput_kelems_per_s;
+    println!("coalescing speedup over one-job-per-launch: {speedup:.1}x (simulated throughput)");
+    assert!(
+        speedup > 1.0,
+        "coalescing must amortize launch overhead on a small-job-heavy mix"
+    );
+}

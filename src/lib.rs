@@ -16,7 +16,11 @@
 //!   Bilardi–Nicolau adaptive bitonic sort, Batcher's network, and a
 //!   rank-based parallel merge sort;
 //! * [`terasort`] — the GPUTeraSort-style hybrid out-of-core pipeline
-//!   (Section 2.2) built on top of GPU-ABiSort.
+//!   (Section 2.2) built on top of GPU-ABiSort;
+//! * [`sortsvc`] — the concurrent, batched sorting service: admission
+//!   control with backpressure, per-tenant fairness, coalescing of small
+//!   jobs into shared segmented launches, and a policy engine with a
+//!   calibrated CPU/GPU/out-of-core crossover.
 //!
 //! ## Quick start
 //!
@@ -39,6 +43,7 @@
 pub use abisort;
 pub use baselines;
 pub use pram;
+pub use sortsvc;
 pub use stream_arch;
 pub use terasort;
 pub use workloads;
@@ -50,10 +55,11 @@ pub mod prelude {
     };
     pub use baselines::{CpuSorter, GpuSortBaseline, OddEvenMergeSort, PeriodicBalancedSort};
     pub use pram::{PramModel, PramStats};
+    pub use sortsvc::{Engine, ServiceConfig, SortJob, SortPolicy, SortService};
     pub use stream_arch::{
         ExecMode, GpuProfile, Layout, Node, StreamProcessor, TransferModel, Value,
     };
     pub use terasort::{CoreSorter, DiskProfile, SimulatedDisk, TeraSortConfig, TeraSorter};
     pub use workloads;
-    pub use workloads::Distribution;
+    pub use workloads::{Distribution, RequestMix};
 }

@@ -159,6 +159,26 @@ pub mod strategy {
         }
     }
 
+    /// Tuples of strategies are strategies over tuples, matching real
+    /// proptest (each component sampled independently, left to right).
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
