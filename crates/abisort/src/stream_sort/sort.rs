@@ -181,6 +181,94 @@ impl GpuAbiSorter {
         })
     }
 
+    /// Merge `values.len() / block_len` pre-sorted blocks into one sorted
+    /// sequence on the device, and return the full [`SortRun`] record.
+    ///
+    /// This is the recombination half of Listing 2 run on its own: the
+    /// recursion levels *below* `log₂ block_len` are skipped because the
+    /// blocks are already sorted, and the remaining levels form a
+    /// tournament of pairwise adaptive bitonic merges (each level merges
+    /// adjacent blocks, halving the block count) until one sorted sequence
+    /// remains. A multi-device sorter uses this as its p-way recombination
+    /// step: shards sorted on other devices are gathered onto one device
+    /// and merged here.
+    ///
+    /// Requirements: `block_len` and `values.len() / block_len` are powers
+    /// of two, and the blocks are sorted in **alternating directions**
+    /// (block 0 ascending, block 1 descending, …) — the Listing 3/4
+    /// direction convention every level of the recursion expects. All
+    /// elements must be distinct under the total order.
+    pub fn merge_blocks_run(
+        &self,
+        proc: &mut StreamProcessor,
+        values: &[Value],
+        block_len: usize,
+    ) -> Result<SortRun> {
+        assert!(
+            block_len.is_power_of_two(),
+            "block_len must be a power of two"
+        );
+        assert!(
+            values.len().is_multiple_of(block_len.max(1)),
+            "values length must be a multiple of block_len"
+        );
+        let blocks = values.len() / block_len;
+        assert!(
+            blocks == 0 || blocks.is_power_of_two(),
+            "block count must be a power of two"
+        );
+
+        let started = std::time::Instant::now();
+        proc.reset();
+
+        let output = if values.len() <= 1 || blocks <= 1 {
+            // Zero or one block: already sorted by precondition.
+            values.to_vec()
+        } else {
+            let n = values.len();
+            proc.check_stream_size::<Node>(2 * n)?;
+            let layout = self.config.layout.to_layout();
+            let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
+            let mut streams = MergeStreams {
+                trees_a: Stream::new("trees-a", 2 * n, layout),
+                trees_b: Stream::new("trees-b", 2 * n, layout),
+                pq: [
+                    Stream::new("pq-a", 2 * n, layout),
+                    Stream::new("pq-b", 2 * n, layout),
+                ],
+            };
+            let mut scratch_values: Stream<Value> = Stream::new("scratch-values", n, layout);
+            let mut merged_values: Stream<Value> = Stream::new("merged-values", n, layout);
+
+            // The Listing-2 invariant at the start of level j is "the input
+            // half holds the values in in-order storage, each 2^(j-1) block
+            // sorted in alternating directions" — exactly what the caller
+            // provides, so the recursion simply resumes above the blocks.
+            kernels::init_input_trees(&mut streams.trees_a, values);
+            let first_level = block_len.trailing_zeros() + 1;
+            self.run_levels(
+                proc,
+                &mut streams,
+                &mut scratch_values,
+                &mut merged_values,
+                n,
+                first_level,
+                n.trailing_zeros(),
+                fixed_merge,
+            )?;
+            kernels::read_back_values(&streams.trees_a, n)
+        };
+
+        let counters = proc.counters();
+        Ok(SortRun {
+            output,
+            sim_time: proc.simulated_time(),
+            counters,
+            wall_time: started.elapsed(),
+            padded_len: values.len(),
+        })
+    }
+
     /// The stream program shared by [`Self::sort_run`] (runs all
     /// `log₂ n` recursion levels) and [`Self::sort_segments_run`] (stops at
     /// level `top_level`, leaving every `2^top_level`-aligned block sorted
@@ -241,11 +329,37 @@ impl GpuAbiSorter {
             1
         };
 
-        // --- Recursion levels (Listing 2 main loop) -----------------------
+        self.run_levels(
+            proc,
+            &mut streams,
+            &mut scratch_values,
+            &mut merged_values,
+            n,
+            first_level,
+            top_level,
+            fixed_merge,
+        )?;
+
+        Ok(kernels::read_back_values(&streams.trees_a, n))
+    }
+
+    /// The recursion levels of Listing 2's main loop, from `first_level` up
+    /// to `top_level` inclusive.
+    #[allow(clippy::too_many_arguments)]
+    fn run_levels(
+        &self,
+        proc: &mut StreamProcessor,
+        streams: &mut MergeStreams,
+        scratch_values: &mut Stream<Value>,
+        merged_values: &mut Stream<Value>,
+        n: usize,
+        first_level: u32,
+        top_level: u32,
+        fixed_merge: bool,
+    ) -> Result<()> {
         for j in first_level..=top_level {
             let skip = if fixed_merge && j >= 4 { 4.min(j) } else { 0 };
-            let outcome =
-                merge_level(proc, &mut streams, n, j, self.config.overlapped_steps, skip)?;
+            let outcome = merge_level(proc, streams, n, j, self.config.overlapped_steps, skip)?;
             match outcome {
                 MergeOutcome::Complete => {
                     // Reinterpret the merged in-order values as the input
@@ -257,9 +371,9 @@ impl GpuAbiSorter {
                 MergeOutcome::Truncated { roots_start } => {
                     self.fixed_merge_tail(
                         proc,
-                        &mut streams,
-                        &mut scratch_values,
-                        &mut merged_values,
+                        streams,
+                        scratch_values,
+                        merged_values,
                         n,
                         j,
                         kernels::GroupSource::WorkspaceSubtrees { roots_start },
@@ -268,9 +382,9 @@ impl GpuAbiSorter {
                 MergeOutcome::Skipped => {
                     self.fixed_merge_tail(
                         proc,
-                        &mut streams,
-                        &mut scratch_values,
-                        &mut merged_values,
+                        streams,
+                        scratch_values,
+                        merged_values,
                         n,
                         j,
                         kernels::GroupSource::InputTrees { n },
@@ -278,8 +392,7 @@ impl GpuAbiSorter {
                 }
             }
         }
-
-        Ok(kernels::read_back_values(&streams.trees_a, n))
+        Ok(())
     }
 
     /// The Section 7.2 tail of an (optionally truncated) level merge:
@@ -629,6 +742,120 @@ mod tests {
             expected.sort();
             assert_eq!(got, &expected[..], "job {t}");
         }
+    }
+
+    /// Alternating-direction pre-sorted blocks, the precondition of
+    /// [`GpuAbiSorter::merge_blocks_run`].
+    fn alternating_blocks(input: &[Value], block_len: usize) -> Vec<Value> {
+        let mut blocks = input.to_vec();
+        for (t, chunk) in blocks.chunks_mut(block_len).enumerate() {
+            if t % 2 == 0 {
+                chunk.sort();
+            } else {
+                chunk.sort_by(|a, b| b.cmp(a));
+            }
+        }
+        blocks
+    }
+
+    #[test]
+    fn merge_blocks_recombines_presorted_blocks() {
+        for &(blocks, block_len) in &[(2usize, 16usize), (4, 64), (8, 32), (2, 256), (16, 16)] {
+            let input = workloads::uniform(blocks * block_len, (blocks + block_len) as u64);
+            let prepared = alternating_blocks(&input, block_len);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .merge_blocks_run(&mut proc, &prepared, block_len)
+                .expect("block merge failed");
+            let mut expected = input.clone();
+            expected.sort();
+            assert_eq!(
+                run.output, expected,
+                "blocks={blocks} block_len={block_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_blocks_works_for_every_configuration() {
+        let input = workloads::uniform(512, 21);
+        let prepared = alternating_blocks(&input, 128);
+        let mut expected = input.clone();
+        expected.sort();
+        for config in [
+            SortConfig::default(),
+            SortConfig::unoptimized(),
+            SortConfig::unoptimized().with_overlapped_steps(true),
+            SortConfig::default().with_fixed_merge(false),
+            SortConfig::row_wise(64),
+        ] {
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(config)
+                .merge_blocks_run(&mut proc, &prepared, 128)
+                .expect("block merge failed");
+            assert_eq!(run.output, expected, "{}", config.describe());
+        }
+    }
+
+    #[test]
+    fn merge_blocks_is_the_tail_of_the_full_recursion() {
+        // A segmented sort stopped at level log₂(segment) plus a block
+        // merge of its (re-reversed) output runs exactly the levels the
+        // full sort runs — so the outputs agree and the stream-operation
+        // counts add up to the full sort's count.
+        let n = 2048;
+        let seg = 256;
+        let input = workloads::uniform(n, 17);
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+
+        let full = sorter.sort_run(&mut proc, &input).unwrap();
+        let segmented = sorter.sort_segments_run(&mut proc, &input, seg).unwrap();
+
+        // Undo the readback reversal: the merge wants alternating order.
+        let mut blocks = segmented.output.clone();
+        for t in (1..n / seg).step_by(2) {
+            blocks[t * seg..(t + 1) * seg].reverse();
+        }
+        let merged = sorter.merge_blocks_run(&mut proc, &blocks, seg).unwrap();
+
+        assert_eq!(merged.output, full.output);
+        assert_eq!(
+            segmented.counters.steps + merged.counters.steps,
+            full.counters.steps,
+            "segment + merge levels must cost exactly the full recursion"
+        );
+        assert!(merged.sim_time.total_ms < full.sim_time.total_ms);
+    }
+
+    #[test]
+    fn merge_blocks_handles_degenerate_shapes() {
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+        // Empty input and a single block are returned as-is.
+        assert!(sorter
+            .merge_blocks_run(&mut proc, &[], 16)
+            .unwrap()
+            .output
+            .is_empty());
+        let mut one = workloads::uniform(64, 3);
+        one.sort();
+        assert_eq!(
+            sorter.merge_blocks_run(&mut proc, &one, 64).unwrap().output,
+            one
+        );
+        // Tiny blocks below the Section 7 sizes still merge correctly.
+        let input = workloads::uniform(8, 5);
+        let prepared = alternating_blocks(&input, 2);
+        let mut expected = input.clone();
+        expected.sort();
+        assert_eq!(
+            sorter
+                .merge_blocks_run(&mut proc, &prepared, 2)
+                .unwrap()
+                .output,
+            expected
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Wall-clock cost of the sharded multi-device engine as the processor
+//! pool grows — the host-side price of splitter partitioning, concurrent
+//! shard sorts and the device tournament merge, next to the simulated
+//! speed-up the `repro` E20 scenario reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sortsvc::{ShardedConfig, ShardedSorter};
+use std::time::Duration;
+use stream_arch::{GpuProfile, StreamProcessor};
+
+fn bench_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_scaling");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    let n = 1usize << 15;
+    let input = workloads::uniform(n, 2006);
+    let sorter = ShardedSorter::new(ShardedConfig::default());
+
+    for devices in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("devices", devices), &devices, |b, &p| {
+            b.iter(|| {
+                let mut pool: Vec<StreamProcessor> = (0..p)
+                    .map(|_| StreamProcessor::new(GpuProfile::geforce_7800()))
+                    .collect();
+                let run = sorter.sort_run(&mut pool, &input).expect("sharded sort");
+                assert_eq!(run.output.len(), n);
+                run.sim_ms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
 //!                         scaling | ablation | pram | terasort | padding |
-//!                         service
+//!                         service | sharded
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
@@ -222,6 +222,29 @@ fn main() {
         eprintln!("running sorting-service scenario ({jobs} jobs) …");
         report.service = bench::service::service_scenario(jobs);
         println!("{}", bench::service::render_service(&report.service));
+    }
+    if wants("sharded") {
+        if opts.max_log_n > 20 {
+            eprintln!(
+                "sharded scenario caps the job at 2^20 (requested 2^{})",
+                opts.max_log_n
+            );
+        }
+        let n = 1usize << opts.max_log_n.min(20);
+        eprintln!("running sharded-scaling experiment E20 (n = {n}) …");
+        report.sharded = bench::sharded::sharded_scaling(n);
+        println!("{}", bench::sharded::render_sharded(&report.sharded));
+        // The fairness half: multi-slot reservations interleaving with
+        // small jobs (the preset's jobs are sharded-scale, so this part
+        // only runs at release-grade sizes).
+        if opts.max_log_n >= 17 {
+            eprintln!("running sharded-reservation fairness mix …");
+            report.sharded_service = vec![bench::sharded::sharded_mix_row(10)];
+            println!(
+                "{}",
+                bench::service::render_service(&report.sharded_service)
+            );
+        }
     }
 
     if let Some(path) = &opts.json {

@@ -5,6 +5,7 @@ use crate::experiments::{
 };
 use crate::extended::{PaddingRow, PramRow, TeraSortRow};
 use crate::service::ServiceRow;
+use crate::sharded::ShardedRow;
 use serde::Serialize;
 
 /// A collection of experiment results that can be rendered as text (the
@@ -35,6 +36,10 @@ pub struct Report {
     pub padding: Vec<PaddingRow>,
     /// Sorting-service rows (E19), if run.
     pub service: Vec<ServiceRow>,
+    /// Sharded-scaling rows (E20), if run.
+    pub sharded: Vec<ShardedRow>,
+    /// The E20 sharded-reservation fairness service row, if run.
+    pub sharded_service: Vec<ServiceRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

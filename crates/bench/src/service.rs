@@ -36,6 +36,8 @@ pub struct ServiceRow {
     pub cpu_jobs: usize,
     /// Jobs served by the batched GPU engine.
     pub gpu_jobs: usize,
+    /// Jobs served by the multi-device sharded engine.
+    pub sharded_jobs: usize,
     /// Jobs served by the out-of-core engine.
     pub tera_jobs: usize,
     /// The policy's calibrated CPU/GPU crossover (elements).
@@ -66,6 +68,7 @@ pub fn run_mode(service: &SortService, mix: &RequestMix, mix_name: &str, mode: &
         jobs_per_batch: m.mean_jobs_per_batch,
         cpu_jobs: m.cpu_jobs,
         gpu_jobs: m.gpu_jobs,
+        sharded_jobs: m.sharded_jobs,
         tera_jobs: m.tera_jobs,
         policy_crossover: m.policy_crossover,
     }
@@ -124,7 +127,7 @@ pub fn service_scenario(jobs: usize) -> Vec<ServiceRow> {
 pub fn render_service(rows: &[ServiceRow]) -> String {
     let mut out = String::from("E19 — sorting service: batched coalescing vs one-job-per-launch\n");
     out.push_str(&format!(
-        "{:>16} | {:>28} | {:>5} | {:>7} | {:>12} | {:>9} | {:>9} | {:>9} | {:>14}\n",
+        "{:>16} | {:>28} | {:>5} | {:>7} | {:>12} | {:>9} | {:>9} | {:>9} | {:>18}\n",
         "mix",
         "mode",
         "jobs",
@@ -133,11 +136,11 @@ pub fn render_service(rows: &[ServiceRow]) -> String {
         "p50 ms",
         "p99 ms",
         "occupancy",
-        "cpu/gpu/tera"
+        "cpu/gpu/shard/tera"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:>16} | {:>28} | {:>5} | {:>7} | {:>12.1} | {:>9.2} | {:>9.2} | {:>8.0}% | {:>14}\n",
+            "{:>16} | {:>28} | {:>5} | {:>7} | {:>12.1} | {:>9.2} | {:>9.2} | {:>8.0}% | {:>18}\n",
             row.mix,
             row.mode,
             row.completed,
@@ -146,7 +149,10 @@ pub fn render_service(rows: &[ServiceRow]) -> String {
             row.latency_p50_ms,
             row.latency_p99_ms,
             100.0 * row.batch_occupancy,
-            format!("{}/{}/{}", row.cpu_jobs, row.gpu_jobs, row.tera_jobs),
+            format!(
+                "{}/{}/{}/{}",
+                row.cpu_jobs, row.gpu_jobs, row.sharded_jobs, row.tera_jobs
+            ),
         ));
     }
     if let Some(first) = rows.first() {

@@ -1,0 +1,169 @@
+//! The sharded-scaling experiment (E20): one large uniform job served by
+//! the [`sortsvc::ShardedSorter`] route as the device-slot count grows,
+//! under both inter-device links of the hop model — the peer link of a
+//! bridge-connected multi-GPU rig and the conservative host-staged bus.
+//!
+//! The headline claim the BENCH_*.json trajectory tracks: at
+//! `device_slots = 4` the sharded engine delivers **≥ 2× the simulated
+//! throughput** of the single-device GPU-ABiSort submission on a uniform
+//! 2²⁰-element job (peer link), with the partition / shard-sort /
+//! gather / merge breakdown explaining where the remaining time goes.
+
+use crate::service::{run_mode, ServiceRow};
+use serde::Serialize;
+use sortsvc::metrics::ratio;
+use sortsvc::{PolicyConfig, ServiceConfig, SortJob, SortService};
+use stream_arch::{BusKind, DeviceLink};
+use workloads::RequestMix;
+
+/// One sharded-scaling result row.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShardedRow {
+    /// Inter-device link label (`peer` / `host-staged`).
+    pub link: String,
+    /// Device slots of the service.
+    pub device_slots: usize,
+    /// Engine the job was routed to.
+    pub engine: String,
+    /// Elements in the job.
+    pub elements: usize,
+    /// Simulated duration of the job's batch.
+    pub duration_ms: f64,
+    /// Thousand elements per simulated second.
+    pub throughput_kelems_per_s: f64,
+    /// Speed-up over the single-slot run on the same link.
+    pub speedup: f64,
+    /// Shards the batch spread over (0 when unsharded).
+    pub shards: usize,
+    /// Splitter skew of the sharded batch (0.0 when unsharded).
+    pub shard_skew: f64,
+}
+
+/// The two interconnects E20 compares.
+fn links() -> [(&'static str, DeviceLink); 2] {
+    [
+        ("peer", DeviceLink::pcie_peer()),
+        (
+            "host-staged",
+            DeviceLink::host_staged(BusKind::PciExpressX16),
+        ),
+    ]
+}
+
+/// Run the E20 scaling sweep on a uniform job of `n` elements, with the
+/// calibrated sharded threshold.
+pub fn sharded_scaling(n: usize) -> Vec<ShardedRow> {
+    sharded_scaling_with(n, None)
+}
+
+/// E20 with an optional forced sharded threshold (`Some(0)` shards every
+/// multi-slot run regardless of size — the debug-mode test knob).
+pub fn sharded_scaling_with(n: usize, sharded_min_override: Option<usize>) -> Vec<ShardedRow> {
+    let mut rows = Vec::new();
+    for (label, link) in links() {
+        let mut base_ms = 0.0;
+        for slots in [1usize, 2, 4, 8] {
+            let svc = SortService::new(ServiceConfig {
+                device_slots: slots,
+                policy: PolicyConfig {
+                    device_link: Some(link),
+                    sharded_min_override,
+                    ..PolicyConfig::default()
+                },
+                ..ServiceConfig::default()
+            });
+            let jobs = vec![SortJob::new(0, 0, workloads::uniform(n, 2006))];
+            let report = svc.process(jobs).expect("sharded scaling run failed");
+            let batch = &report.batches[0];
+            if slots == 1 {
+                base_ms = batch.duration_ms;
+            }
+            rows.push(ShardedRow {
+                link: label.into(),
+                device_slots: slots,
+                engine: report.results[0].engine.name().into(),
+                elements: n,
+                duration_ms: batch.duration_ms,
+                throughput_kelems_per_s: ratio(n as f64, batch.duration_ms),
+                speedup: ratio(base_ms, batch.duration_ms),
+                shards: batch.shards,
+                shard_skew: report.metrics.shard_skew_max,
+            });
+        }
+    }
+    rows
+}
+
+/// The sharded-reservation fairness half of E20: the
+/// [`RequestMix::large_job_heavy`] traffic — sharded-scale jobs with a
+/// trickle of small ones — on a four-slot peer-link service, so the
+/// multi-slot reservations have to interleave with ordinary batches.
+/// Reported as a [`ServiceRow`] (engine mix shows the sharded jobs).
+pub fn sharded_mix_row(jobs: usize) -> ServiceRow {
+    let svc = SortService::new(ServiceConfig {
+        device_slots: 4,
+        policy: PolicyConfig {
+            device_link: Some(DeviceLink::pcie_peer()),
+            ..PolicyConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+    run_mode(
+        &svc,
+        &RequestMix::large_job_heavy(jobs),
+        "large-job-heavy",
+        "sharded (4 slots, peer)",
+    )
+}
+
+/// Render the E20 table.
+pub fn render_sharded(rows: &[ShardedRow]) -> String {
+    let n = rows.first().map(|r| r.elements).unwrap_or(0);
+    let mut out = format!("E20 — sharded multi-device scaling (uniform job, n = {n})\n");
+    out.push_str(&format!(
+        "{:>12} | {:>5} | {:>12} | {:>10} | {:>12} | {:>8} | {:>6} | {:>9}\n",
+        "link", "slots", "engine", "sim [ms]", "kelem/s", "speedup", "shards", "skew"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:>12} | {:>5} | {:>12} | {:>10.2} | {:>12.1} | {:>7.2}x | {:>6} | {:>9.3}\n",
+            row.link,
+            row.device_slots,
+            row.engine,
+            row.duration_ms,
+            row.throughput_kelems_per_s,
+            row.speedup,
+            row.shards,
+            row.shard_skew,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sortsvc::Engine;
+
+    #[test]
+    fn scaling_rows_shard_and_speed_up() {
+        // Debug-mode size at the calibrated GPU crossover, with a forced
+        // sharding threshold (the calibrated one engages at 2¹⁶⁺); the
+        // 2²⁰ acceptance run happens via `repro`.
+        let rows = sharded_scaling_with(1 << 14, Some(1024));
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            if row.device_slots == 1 {
+                assert_eq!(row.engine, Engine::GpuAbiSort.name());
+                assert!((row.speedup - 1.0).abs() < 1e-9);
+            } else {
+                assert_eq!(row.engine, Engine::ShardedGpu.name());
+                assert_eq!(row.shards, row.device_slots);
+                assert!(row.speedup > 0.0);
+            }
+        }
+        let rendered = render_sharded(&rows);
+        assert!(rendered.contains("E20"));
+        assert!(rendered.contains("sharded-gpu"));
+    }
+}

@@ -12,6 +12,7 @@
 
 use crate::job::SortJob;
 use crate::policy::{Engine, SortPolicy};
+use crate::shard::ShardedSorter;
 use abisort::GpuAbiSorter;
 use baselines::{CpuSortModel, CpuSorter};
 use stream_arch::{Counters, Result, StreamProcessor, Value};
@@ -32,8 +33,11 @@ pub fn segment_for(len: usize) -> usize {
 pub struct BatchPlan {
     /// Batch id (formation order).
     pub id: usize,
-    /// Device slot the batch is pinned to.
+    /// Primary device slot the batch is pinned to.
     pub slot: usize,
+    /// Additional slots reserved by a multi-device (sharded) batch; empty
+    /// for every single-slot engine.
+    pub extra_slots: Vec<usize>,
     /// The engine the policy selected.
     pub engine: Engine,
     /// Simulated time at which the batch was closed (earliest start).
@@ -49,6 +53,16 @@ pub struct BatchPlan {
 }
 
 impl BatchPlan {
+    /// All device slots the batch occupies (primary first).
+    pub fn slots(&self) -> impl Iterator<Item = usize> + '_ {
+        std::iter::once(self.slot).chain(self.extra_slots.iter().copied())
+    }
+
+    /// Number of device slots the batch occupies.
+    pub fn slot_count(&self) -> usize {
+        1 + self.extra_slots.len()
+    }
+
     /// Padded device capacity of the batch in elements.
     pub fn capacity(&self) -> usize {
         self.segment_len * self.segments
@@ -126,6 +140,11 @@ pub struct BatchOutcome {
     pub wall_ms: f64,
     /// Stream-processor counters (zero for CPU/terasort batches).
     pub counters: Counters,
+    /// Shards a sharded batch actually spread over (0 for every other
+    /// engine).
+    pub shards: usize,
+    /// Splitter skew of a sharded batch (0.0 for every other engine).
+    pub shard_skew: f64,
     /// Per-job sorted outputs, aligned with `BatchPlan::jobs`.
     pub outputs: Vec<Vec<Value>>,
 }
@@ -133,26 +152,61 @@ pub struct BatchOutcome {
 /// Execute a batch on its selected engine. GPU batches run on the pooled
 /// `proc`; the processor's counters are taken (and reset) afterwards so the
 /// next batch on the same slot starts clean. Terasort batches run against
-/// a fresh simulated disk with the policy's [`DiskProfile`].
+/// a fresh simulated disk with the policy's [`DiskProfile`]. A sharded
+/// batch that ended up with a single reserved slot degenerates to one
+/// shard on `proc`.
 pub fn execute(
     plan: &BatchPlan,
     proc: &mut StreamProcessor,
     sorter: &GpuAbiSorter,
+    sharder: &ShardedSorter,
     policy: &SortPolicy,
     tera: &TeraSortConfig,
 ) -> Result<BatchOutcome> {
+    if plan.engine == Engine::ShardedGpu {
+        return execute_sharded(plan, std::slice::from_mut(proc), sharder);
+    }
     let started = std::time::Instant::now();
     let (duration_ms, counters, outputs) = match plan.engine {
         Engine::GpuAbiSort => execute_gpu(plan, proc, sorter)?,
         Engine::CpuQuicksort => execute_cpu(plan, policy.cpu_model()),
         Engine::TeraSort => execute_tera(plan, tera, policy)?,
+        Engine::ShardedGpu => unreachable!("handled above"),
     };
     Ok(BatchOutcome {
         id: plan.id,
         duration_ms,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
         counters,
+        shards: 0,
+        shard_skew: 0.0,
         outputs,
+    })
+}
+
+/// Execute a sharded batch over the pooled processors backing its reserved
+/// slots (one shard per processor). Sharded batches are always solo jobs —
+/// the coalescer never routes a multi-job batch here.
+pub fn execute_sharded(
+    plan: &BatchPlan,
+    procs: &mut [StreamProcessor],
+    sharder: &ShardedSorter,
+) -> Result<BatchOutcome> {
+    debug_assert_eq!(plan.engine, Engine::ShardedGpu);
+    // Hard invariant (not a debug assert): the finalize loop zips jobs
+    // against outputs, so a multi-job sharded plan would silently drop
+    // every job after the first instead of failing loudly.
+    assert_eq!(plan.jobs.len(), 1, "sharded batches carry exactly one job");
+    let job = &plan.jobs[0];
+    let run = sharder.sort_run(procs, &job.values)?;
+    Ok(BatchOutcome {
+        id: plan.id,
+        duration_ms: run.sim_ms,
+        wall_ms: run.wall_time.as_secs_f64() * 1e3,
+        counters: run.counters,
+        shards: run.shards,
+        shard_skew: run.skew,
+        outputs: vec![run.output],
     })
 }
 
@@ -244,14 +298,18 @@ fn total_order_bits(key: f32) -> u32 {
     }
 }
 
-fn value_to_record(v: &Value) -> WideRecord {
+/// Embed a [`Value`] into a [`WideRecord`] whose wide key preserves the
+/// total order (used by the terasort route; public so differential tests
+/// can drive the out-of-core pipeline with `Value` inputs).
+pub fn value_to_record(v: &Value) -> WideRecord {
     let mut key = [0u8; KEY_BYTES];
     key[..4].copy_from_slice(&total_order_bits(v.key).to_be_bytes());
     key[4..8].copy_from_slice(&v.id.to_be_bytes());
     WideRecord::new(key, v.id as u64)
 }
 
-fn record_to_value(r: &WideRecord) -> Value {
+/// Invert [`value_to_record`].
+pub fn record_to_value(r: &WideRecord) -> Value {
     let bits = u32::from_be_bytes(r.key[..4].try_into().expect("4 key bytes"));
     let raw = if bits & 0x8000_0000 != 0 {
         bits & 0x7FFF_FFFF
@@ -292,6 +350,7 @@ mod tests {
         BatchPlan {
             id: 0,
             slot: 0,
+            extra_slots: Vec::new(),
             engine,
             ready_ms: 0.0,
             est_ms: 0.0,
@@ -322,6 +381,7 @@ mod tests {
             &plan,
             &mut proc,
             &GpuAbiSorter::new(SortConfig::default()),
+            &ShardedSorter::default(),
             shared_policy(),
             &TeraSortConfig {
                 run_size: 128,
@@ -349,6 +409,38 @@ mod tests {
     }
 
     #[test]
+    fn sharded_batch_matches_the_reference_on_one_and_many_slots() {
+        let job = SortJob::new(0, 0, workloads::uniform(5000, 8));
+        let expected = reference(&job);
+        let plan = plan(vec![job], Engine::ShardedGpu);
+        let sharder = ShardedSorter::default();
+
+        // Multi-slot execution (the normal sharded path).
+        let mut pool: Vec<StreamProcessor> = (0..4)
+            .map(|_| StreamProcessor::new(GpuProfile::geforce_7800()))
+            .collect();
+        let multi = execute_sharded(&plan, &mut pool, &sharder).unwrap();
+        assert_eq!(multi.outputs, vec![expected.clone()]);
+        assert_eq!(multi.shards, 4);
+        assert!(multi.shard_skew >= 1.0);
+
+        // Degenerate single-slot execution through the generic entry point.
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+        let single = execute(
+            &plan,
+            &mut proc,
+            &GpuAbiSorter::new(SortConfig::default()),
+            &sharder,
+            shared_policy(),
+            &TeraSortConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(single.outputs, vec![expected]);
+        assert_eq!(single.shards, 1);
+        assert!(single.duration_ms > 0.0 && multi.duration_ms > 0.0);
+    }
+
+    #[test]
     fn gpu_execution_leaves_the_pooled_processor_clean() {
         let jobs = vec![SortJob::new(0, 0, workloads::uniform(64, 5))];
         let plan = plan(jobs, Engine::GpuAbiSort);
@@ -357,6 +449,7 @@ mod tests {
             &plan,
             &mut proc,
             &GpuAbiSorter::new(SortConfig::default()),
+            &ShardedSorter::default(),
             shared_policy(),
             &TeraSortConfig::default(),
         )

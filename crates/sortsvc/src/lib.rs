@@ -18,6 +18,9 @@
 //!   paying the stream operations of a single segment for the whole batch;
 //! * [`policy`] — the engine-selection policy with a crossover calibrated
 //!   against the service's [`stream_arch::GpuProfile`];
+//! * [`shard`] — the [`ShardedSorter`] multi-device engine: splitter
+//!   partition, concurrent per-device shard sorts, tournament p-way
+//!   recombination charged with inter-device transfer costs;
 //! * [`service`] — the [`SortService`] driver: deterministic planning, a
 //!   `std::thread::scope` worker pool with one pooled
 //!   [`stream_arch::StreamProcessor`] per device slot, and the simulated
@@ -50,6 +53,7 @@ pub mod metrics;
 pub mod policy;
 pub mod queue;
 pub mod service;
+pub mod shard;
 
 pub use batch::{BatchOutcome, BatchPlan};
 pub use job::{JobId, JobResult, RejectReason, SortJob, TenantId};
@@ -57,3 +61,4 @@ pub use metrics::ServiceMetrics;
 pub use policy::{Engine, PolicyConfig, SortPolicy};
 pub use queue::{AdmissionController, TenantQueues};
 pub use service::{BatchSummary, ServiceConfig, ServiceReport, SortService};
+pub use shard::{ShardedConfig, ShardedRun, ShardedSorter};

@@ -39,8 +39,16 @@ pub struct ServiceMetrics {
     pub cpu_jobs: usize,
     /// Jobs executed by the batched GPU-ABiSort engine.
     pub gpu_jobs: usize,
+    /// Jobs executed by the multi-device sharded engine.
+    pub sharded_jobs: usize,
     /// Jobs executed by the out-of-core terasort engine.
     pub tera_jobs: usize,
+    /// Batches that spread over several device slots.
+    pub sharded_batches: usize,
+    /// Worst splitter skew observed across sharded batches (largest
+    /// splitter-directed shard relative to the ideal `n/p`; 0.0 when no
+    /// batch was sharded).
+    pub shard_skew_max: f64,
     /// Total simulated busy time across device slots.
     pub device_busy_ms: f64,
     /// `device_busy_ms / (slots × makespan)` — mean slot utilization.
@@ -62,6 +70,20 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// `num / den`, forced to a finite `0.0` when the denominator is zero (or
+/// so small the quotient overflows). Every rate/ratio metric goes through
+/// this so a run that admits zero jobs — or completes only zero-duration
+/// work — reports `0.0` instead of `NaN`/`∞`, which would poison JSON
+/// reports and downstream aggregation.
+pub fn ratio(num: f64, den: f64) -> f64 {
+    let q = num / den;
+    if q.is_finite() {
+        q
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +97,15 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn ratio_is_finite_for_degenerate_denominators() {
+        assert_eq!(ratio(10.0, 4.0), 2.5);
+        assert_eq!(ratio(0.0, 0.0), 0.0);
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(f64::MAX, 0.5), 0.0); // overflows to ∞ → clamped
+        assert_eq!(ratio(0.0, 3.0), 0.0);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use abisort::{GpuAbiSorter, SortConfig};
 use baselines::{CpuSortModel, CpuSorter};
-use stream_arch::{GpuProfile, StreamProcessor};
+use stream_arch::{DeviceLink, GpuProfile, StreamElement, StreamProcessor, Value};
 use terasort::DiskProfile;
 use workloads::Distribution;
 
@@ -33,6 +33,10 @@ pub enum Engine {
     /// GPU-ABiSort on the stream-processor simulator, batched via
     /// segmented launches.
     GpuAbiSort,
+    /// One large sort spread over several device slots
+    /// ([`crate::ShardedSorter`]): splitter partition, concurrent shard
+    /// sorts, tournament p-way recombination.
+    ShardedGpu,
     /// The hybrid out-of-core pipeline (`terasort`).
     TeraSort,
 }
@@ -43,6 +47,7 @@ impl Engine {
         match self {
             Engine::CpuQuicksort => "cpu-quicksort",
             Engine::GpuAbiSort => "gpu-abisort",
+            Engine::ShardedGpu => "sharded-gpu",
             Engine::TeraSort => "terasort",
         }
     }
@@ -67,6 +72,20 @@ pub struct PolicyConfig {
     /// Disk profile of the out-of-core engine (used both to execute
     /// terasort batches and to estimate their duration).
     pub tera_disk: DiskProfile,
+    /// Device slots a sharded submission may spread over. `1` (the
+    /// default) disables the [`Engine::ShardedGpu`] route; the service
+    /// sets this to its slot count when sharding is enabled.
+    pub shard_slots: usize,
+    /// Force the sharded minimum size instead of calibrating it
+    /// (`Some(0)` shards everything the size rules allow — the knob the
+    /// sharded property tests and scaling experiments use).
+    pub sharded_min_override: Option<usize>,
+    /// Inter-device link charged for shard recombination. `None` derives a
+    /// host-staged link from the calibration profile's bus.
+    pub device_link: Option<DeviceLink>,
+    /// Sustained host-memory bandwidth in GB/s charged for the sharded
+    /// engine's streaming partition pass.
+    pub host_bandwidth_gbs: f64,
 }
 
 impl Default for PolicyConfig {
@@ -78,6 +97,10 @@ impl Default for PolicyConfig {
             probe_log_sizes: [6, 8, 10],
             cpu_probe_log_size: 12,
             tera_disk: DiskProfile::hdd_2006(),
+            shard_slots: 1,
+            sharded_min_override: None,
+            device_link: None,
+            host_bandwidth_gbs: 3.2,
         }
     }
 }
@@ -106,6 +129,15 @@ pub struct SortPolicy {
     out_of_core_threshold: usize,
     /// Disk profile of the out-of-core engine.
     tera_disk: DiskProfile,
+    /// Device slots a sharded submission spreads over (1 ⇒ disabled).
+    shard_slots: usize,
+    /// Jobs at or above this size route to [`Engine::ShardedGpu`]
+    /// (`usize::MAX` ⇒ never).
+    sharded_min: usize,
+    /// The inter-device link sharded estimates and executions charge.
+    device_link: DeviceLink,
+    /// Host-memory bandwidth (GB/s) of the sharded partition pass.
+    host_bandwidth_gbs: f64,
 }
 
 impl SortPolicy {
@@ -157,10 +189,20 @@ impl SortPolicy {
             crossover_forced: cfg.crossover_override.is_some(),
             out_of_core_threshold: cfg.out_of_core_threshold,
             tera_disk: cfg.tera_disk,
+            shard_slots: cfg.shard_slots.max(1),
+            sharded_min: usize::MAX,
+            device_link: cfg
+                .device_link
+                .unwrap_or(DeviceLink::host_staged(profile.bus)),
+            host_bandwidth_gbs: cfg.host_bandwidth_gbs,
         };
         policy.crossover = match cfg.crossover_override {
             Some(n) => n,
             None => policy.search_crossover(),
+        };
+        policy.sharded_min = match cfg.sharded_min_override {
+            Some(n) => n,
+            None => policy.search_sharded_min(),
         };
         policy
     }
@@ -171,6 +213,27 @@ impl SortPolicy {
         let mut n = 16usize;
         while n <= (1 << 24) {
             if self.est_gpu_batch_ms(n, 1) <= self.est_cpu_ms(n, None) {
+                return n;
+            }
+            n *= 2;
+        }
+        usize::MAX
+    }
+
+    /// Smallest power of two where sharding a job over the configured slot
+    /// count beats the single-device submission *and* the device already
+    /// beats the CPU (sharding a CPU-regime job only adds hops). Below the
+    /// returned size the partition/transfer/merge overhead eats the
+    /// parallel speed-up.
+    fn search_sharded_min(&self) -> usize {
+        if self.shard_slots < 2 {
+            return usize::MAX;
+        }
+        let mut n = 1usize << 12;
+        while n <= (1 << 26) {
+            if self.est_sharded_ms(n) < self.est_gpu_batch_ms(n, 1)
+                && self.est_gpu_batch_ms(n, 1) < self.est_cpu_ms(n, None)
+            {
                 return n;
             }
             n *= 2;
@@ -218,6 +281,62 @@ impl SortPolicy {
         steps * self.op_overhead_ms + self.work_ms_per_elem_l2 * total * l * l
     }
 
+    /// Estimated simulated time of sorting `len` elements sharded over the
+    /// configured slot count — the decomposition [`crate::ShardedSorter`]
+    /// charges when it executes: a bandwidth-bound streaming partition,
+    /// the dominant shard sort (quota padded to a power of two), the
+    /// serialized inter-device gather hops, and the on-device tournament
+    /// merge (the recursion levels above the shard blocks, priced from
+    /// the same fitted steps/work model as [`Self::est_gpu_batch_ms`]).
+    pub fn est_sharded_ms(&self, len: usize) -> f64 {
+        let p = self.shard_slots.max(1);
+        if len < 2 {
+            return 0.0;
+        }
+        if p == 1 {
+            return self.est_gpu_batch_ms(len.next_power_of_two(), 1);
+        }
+        let quota = len.div_ceil(p);
+        let seg = quota.next_power_of_two();
+        let total = seg * p.next_power_of_two();
+
+        let elem_bytes = Value::BYTES;
+        let partition_ms = (2 * len * elem_bytes) as f64 / (self.host_bandwidth_gbs * 1e9) * 1e3;
+        let shard_ms = self.est_gpu_batch_ms(seg, 1);
+        let gather_ms = (p - 1) as f64 * self.device_link.hop_ms((quota * elem_bytes) as u64);
+        // The device merge runs levels log₂(seg)+1 ..= log₂(total): its
+        // launch overhead is the fitted step-count difference and its body
+        // work the L² difference of the fitted per-element cost.
+        let (l_n, l_s) = (total.trailing_zeros() as f64, seg.trailing_zeros() as f64);
+        let [s0, s1, s2] = self.steps_fit;
+        let steps = |l: f64| (s0 + s1 * l + s2 * l * l).max(1.0);
+        let merge_ms = (steps(l_n) - steps(l_s)).max(0.0) * self.op_overhead_ms
+            + self.work_ms_per_elem_l2 * total as f64 * (l_n * l_n - l_s * l_s);
+
+        partition_ms + shard_ms + gather_ms + merge_ms
+    }
+
+    /// Device slots the sharded route spreads over (1 ⇒ disabled).
+    pub fn shard_slots(&self) -> usize {
+        self.shard_slots
+    }
+
+    /// The sharded routing threshold (elements; `usize::MAX` ⇒ never).
+    pub fn sharded_min(&self) -> usize {
+        self.sharded_min
+    }
+
+    /// The inter-device link sharded executions are charged on.
+    pub fn device_link(&self) -> DeviceLink {
+        self.device_link
+    }
+
+    /// Host-memory bandwidth (GB/s) the sharded partition pass is charged
+    /// at.
+    pub fn host_bandwidth_gbs(&self) -> f64 {
+        self.host_bandwidth_gbs
+    }
+
     /// Rough estimate of the out-of-core pipeline: four streaming disk
     /// passes over the records (run formation read+write, external merge
     /// read+write) at the configured disk's sequential bandwidth, compute
@@ -246,6 +365,9 @@ impl SortPolicy {
     pub fn select_single(&self, len: usize, hint: Option<Distribution>) -> Engine {
         if len >= self.out_of_core_threshold {
             return Engine::TeraSort;
+        }
+        if self.shard_slots > 1 && len >= self.sharded_min {
+            return Engine::ShardedGpu;
         }
         if self.crossover_forced {
             return if len >= self.crossover {
@@ -308,6 +430,9 @@ impl SortPolicy {
                 .map(|&(len, hint)| self.est_cpu_ms(len, hint))
                 .sum(),
             Engine::GpuAbiSort => self.est_gpu_batch_ms(segment_len, segments),
+            Engine::ShardedGpu => {
+                self.est_sharded_ms(job_lens_and_hints.iter().map(|&(len, _)| len).sum())
+            }
             Engine::TeraSort => job_lens_and_hints
                 .iter()
                 .map(|&(len, _)| self.est_tera_ms(len))
@@ -453,6 +578,87 @@ mod tests {
     fn engine_names_are_stable() {
         assert_eq!(Engine::CpuQuicksort.name(), "cpu-quicksort");
         assert_eq!(Engine::GpuAbiSort.name(), "gpu-abisort");
+        assert_eq!(Engine::ShardedGpu.name(), "sharded-gpu");
         assert_eq!(Engine::TeraSort.name(), "terasort");
+    }
+
+    fn sharded_policy(shard_slots: usize) -> SortPolicy {
+        SortPolicy::calibrate(
+            &GpuProfile::geforce_7800(),
+            &SortConfig::default(),
+            &PolicyConfig {
+                shard_slots,
+                ..PolicyConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn sharding_is_disabled_with_a_single_slot() {
+        let p = policy();
+        assert_eq!(p.shard_slots(), 1);
+        assert_eq!(p.sharded_min(), usize::MAX);
+        assert_ne!(p.select_single(1 << 22, None), Engine::ShardedGpu);
+    }
+
+    #[test]
+    fn sharded_threshold_calibrates_above_the_gpu_crossover() {
+        let p = sharded_policy(4);
+        let min = p.sharded_min();
+        assert!(
+            min >= p.crossover(),
+            "sharded min {min} below GPU crossover {}",
+            p.crossover()
+        );
+        assert!(min < usize::MAX, "sharding never calibrated in");
+        assert_eq!(p.select_single(min, None), Engine::ShardedGpu);
+        assert_ne!(p.select_single(min - 1, None), Engine::ShardedGpu);
+    }
+
+    #[test]
+    fn sharded_estimate_beats_the_single_device_estimate_at_scale() {
+        // The estimate only has to rank the routes correctly — the
+        // measured ≥2x speed-up claim lives in the E20 experiment.
+        let p = sharded_policy(4);
+        for log_n in [19u32, 20, 21] {
+            let n = 1usize << log_n;
+            assert!(
+                p.est_sharded_ms(n) < p.est_gpu_batch_ms(n, 1),
+                "n=2^{log_n}: sharded {:.1} ms vs single {:.1} ms",
+                p.est_sharded_ms(n),
+                p.est_gpu_batch_ms(n, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_min_override_is_honored() {
+        let p = SortPolicy::calibrate(
+            &GpuProfile::geforce_7800(),
+            &SortConfig::default(),
+            &PolicyConfig {
+                shard_slots: 2,
+                sharded_min_override: Some(1000),
+                ..PolicyConfig::default()
+            },
+        );
+        assert_eq!(p.sharded_min(), 1000);
+        assert_eq!(p.select_single(1000, None), Engine::ShardedGpu);
+    }
+
+    #[test]
+    fn out_of_core_still_wins_over_sharding() {
+        let p = SortPolicy::calibrate(
+            &GpuProfile::geforce_7800(),
+            &SortConfig::default(),
+            &PolicyConfig {
+                shard_slots: 4,
+                sharded_min_override: Some(1000),
+                out_of_core_threshold: 50_000,
+                ..PolicyConfig::default()
+            },
+        );
+        assert_eq!(p.select_single(50_000, None), Engine::TeraSort);
+        assert_eq!(p.select_single(49_999, None), Engine::ShardedGpu);
     }
 }

@@ -25,9 +25,10 @@
 
 use crate::batch::{self, BatchBuilder, BatchOutcome, BatchPlan};
 use crate::job::{JobId, JobResult, RejectReason, SortJob};
-use crate::metrics::{percentile, ServiceMetrics};
+use crate::metrics::{percentile, ratio, ServiceMetrics};
 use crate::policy::{Engine, PolicyConfig, SortPolicy};
 use crate::queue::{AdmissionController, TenantQueues};
+use crate::shard::{ShardedConfig, ShardedSorter};
 use abisort::{GpuAbiSorter, SortConfig};
 use serde::Serialize;
 use stream_arch::{GpuProfile, Result, StreamProcessor};
@@ -64,6 +65,12 @@ pub struct ServiceConfig {
     pub policy: PolicyConfig,
     /// Records per run of the out-of-core engine.
     pub tera_run_size: usize,
+    /// Device slots one sharded batch may reserve: `0` (the default) means
+    /// "all of `device_slots`", `1` disables the sharded route, anything
+    /// else is clamped to `device_slots`.
+    pub shard_slots: usize,
+    /// Splitter oversampling factor of the sharded engine.
+    pub shard_oversample: usize,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +87,8 @@ impl Default for ServiceConfig {
             sort_config: SortConfig::default(),
             policy: PolicyConfig::default(),
             tera_run_size: 1 << 14,
+            shard_slots: 0,
+            shard_oversample: 8,
         }
     }
 }
@@ -89,8 +98,12 @@ impl Default for ServiceConfig {
 pub struct BatchSummary {
     /// Batch id (formation order).
     pub id: usize,
-    /// Device slot the batch ran on.
+    /// Primary device slot the batch ran on.
     pub slot: usize,
+    /// Device slots the batch reserved (1 for single-slot engines).
+    pub slots: usize,
+    /// Shards a sharded batch spread over (0 for other engines).
+    pub shards: usize,
     /// Engine name.
     pub engine: String,
     /// Number of coalesced jobs.
@@ -125,9 +138,19 @@ pub struct SortService {
     config: ServiceConfig,
     policy: SortPolicy,
     sorter: GpuAbiSorter,
+    sharder: ShardedSorter,
 }
 
 impl SortService {
+    /// Slots one sharded batch reserves under `config` (≥ 1).
+    fn effective_shard_slots(config: &ServiceConfig) -> usize {
+        match config.shard_slots {
+            0 => config.device_slots,
+            n => n.min(config.device_slots),
+        }
+        .max(1)
+    }
+
     /// Build a service, calibrating the policy for the configured profile.
     pub fn new(config: ServiceConfig) -> Self {
         let mut policy_cfg = config.policy.clone();
@@ -135,6 +158,8 @@ impl SortService {
         policy_cfg.out_of_core_threshold = policy_cfg
             .out_of_core_threshold
             .min(config.profile.max_stream_elements() / 2);
+        // The sharded route spreads over the slots this service really has.
+        policy_cfg.shard_slots = Self::effective_shard_slots(&config);
         let policy = SortPolicy::calibrate(&config.profile, &config.sort_config, &policy_cfg);
         Self::with_policy(config, policy)
     }
@@ -144,10 +169,18 @@ impl SortService {
     pub fn with_policy(config: ServiceConfig, policy: SortPolicy) -> Self {
         assert!(config.device_slots >= 1, "need at least one device slot");
         let sorter = GpuAbiSorter::new(config.sort_config);
+        let sharder = ShardedSorter::new(ShardedConfig {
+            sort_config: config.sort_config,
+            oversample: config.shard_oversample.max(1),
+            link: policy.device_link(),
+            cpu_model: *policy.cpu_model(),
+            host_bandwidth_gbs: policy.host_bandwidth_gbs(),
+        });
         SortService {
             config,
             policy,
             sorter,
+            sharder,
         }
     }
 
@@ -201,9 +234,16 @@ impl SortService {
     // --- Phase 2: execution ---------------------------------------------
 
     fn execute(&self, plans: &[BatchPlan]) -> Result<Vec<BatchOutcome>> {
+        // Sharded batches need several pooled processors at once, so they
+        // run in their own pass; everything else stays on its slot worker.
         let mut by_slot: Vec<Vec<usize>> = vec![Vec::new(); self.config.device_slots];
+        let mut multi_slot: Vec<usize> = Vec::new();
         for plan in plans {
-            by_slot[plan.slot].push(plan.id);
+            if plan.extra_slots.is_empty() {
+                by_slot[plan.slot].push(plan.id);
+            } else {
+                multi_slot.push(plan.id);
+            }
         }
         let tera = TeraSortConfig {
             run_size: self.config.tera_run_size,
@@ -225,6 +265,7 @@ impl SortService {
                                     &plans[id],
                                     &mut proc,
                                     &self.sorter,
+                                    &self.sharder,
                                     &self.policy,
                                     tera,
                                 )
@@ -245,6 +286,28 @@ impl SortService {
                 outcomes[id] = Some(outcome);
             }
         }
+
+        // Multi-slot pass: one pooled processor per reserved slot; each
+        // sharded batch parallelises internally across its shards.
+        if !multi_slot.is_empty() {
+            let pool_size = multi_slot
+                .iter()
+                .map(|&id| plans[id].slot_count())
+                .max()
+                .expect("non-empty multi-slot list");
+            let mut pool: Vec<StreamProcessor> = (0..pool_size)
+                .map(|_| StreamProcessor::new(self.config.profile.clone()))
+                .collect();
+            for &id in &multi_slot {
+                let k = plans[id].slot_count();
+                outcomes[id] = Some(batch::execute_sharded(
+                    &plans[id],
+                    &mut pool[..k],
+                    &self.sharder,
+                )?);
+            }
+        }
+
         Ok(outcomes
             .into_iter()
             .map(|o| o.expect("every batch executed"))
@@ -271,21 +334,37 @@ impl SortService {
         let mut elements: u64 = 0;
         let mut occupancy_weighted = 0.0f64;
         let mut capacity_total = 0.0f64;
-        let (mut cpu_jobs, mut gpu_jobs, mut tera_jobs) = (0usize, 0usize, 0usize);
+        let (mut cpu_jobs, mut gpu_jobs, mut sharded_jobs, mut tera_jobs) =
+            (0usize, 0usize, 0usize, 0usize);
+        let mut sharded_batches = 0usize;
+        let mut shard_skew_max = 0.0f64;
 
         for (plan, outcome) in plans.iter().zip(outcomes) {
-            let start = plan.ready_ms.max(slot_free[plan.slot]);
+            // A multi-slot batch starts when *all* its reserved slots are
+            // free and occupies every one of them until it completes.
+            let start = plan
+                .slots()
+                .map(|s| slot_free[s])
+                .fold(plan.ready_ms, f64::max);
             let end = start + outcome.duration_ms;
-            slot_free[plan.slot] = end;
-            busy += outcome.duration_ms;
+            for s in plan.slots() {
+                slot_free[s] = end;
+            }
+            busy += outcome.duration_ms * plan.slot_count() as f64;
             wall_ms += outcome.wall_ms;
             last_completion = last_completion.max(end);
             occupancy_weighted += plan.occupancy() * plan.capacity() as f64;
             capacity_total += plan.capacity() as f64;
+            if plan.engine == Engine::ShardedGpu {
+                sharded_batches += 1;
+                shard_skew_max = shard_skew_max.max(outcome.shard_skew);
+            }
 
             batches.push(BatchSummary {
                 id: plan.id,
                 slot: plan.slot,
+                slots: plan.slot_count(),
+                shards: outcome.shards,
                 engine: plan.engine.name().to_string(),
                 jobs: plan.jobs.len(),
                 elements: plan.elements(),
@@ -301,6 +380,7 @@ impl SortService {
                 match plan.engine {
                     Engine::CpuQuicksort => cpu_jobs += 1,
                     Engine::GpuAbiSort => gpu_jobs += 1,
+                    Engine::ShardedGpu => sharded_jobs += 1,
                     Engine::TeraSort => tera_jobs += 1,
                 }
                 results.push(JobResult {
@@ -318,20 +398,17 @@ impl SortService {
         results.sort_by_key(|r| r.id);
 
         let completed = results.len();
+        // A run that completes nothing — or completes only zero-duration
+        // work — has no meaningful span; `ratio` keeps every derived rate
+        // at a finite 0.0 instead of the NaN/∞ a division would produce.
         let makespan_ms = if completed == 0 {
             0.0
         } else {
-            (last_completion - first_arrival).max(f64::MIN_POSITIVE)
+            (last_completion - first_arrival).max(0.0)
         };
         let mut latencies: Vec<f64> = results.iter().map(|r| r.latency_ms).collect();
         latencies.sort_by(f64::total_cmp);
-        let mean = |v: &[f64]| {
-            if v.is_empty() {
-                0.0
-            } else {
-                v.iter().sum::<f64>() / v.len() as f64
-            }
-        };
+        let mean = |v: &[f64]| ratio(v.iter().sum::<f64>(), v.len() as f64);
         let queue_times: Vec<f64> = results.iter().map(|r| r.queue_ms).collect();
 
         let metrics = ServiceMetrics {
@@ -341,39 +418,22 @@ impl SortService {
             batches: batches.len(),
             elements_sorted: elements,
             makespan_ms,
-            throughput_jobs_per_s: if makespan_ms > 0.0 {
-                completed as f64 / makespan_ms * 1_000.0
-            } else {
-                0.0
-            },
-            throughput_kelems_per_s: if makespan_ms > 0.0 {
-                elements as f64 / makespan_ms
-            } else {
-                0.0
-            },
+            throughput_jobs_per_s: ratio(completed as f64 * 1_000.0, makespan_ms),
+            throughput_kelems_per_s: ratio(elements as f64, makespan_ms),
             latency_mean_ms: mean(&latencies),
             latency_p50_ms: percentile(&latencies, 0.5),
             latency_p99_ms: percentile(&latencies, 0.99),
             queue_mean_ms: mean(&queue_times),
-            mean_batch_occupancy: if capacity_total > 0.0 {
-                occupancy_weighted / capacity_total
-            } else {
-                0.0
-            },
-            mean_jobs_per_batch: if batches.is_empty() {
-                0.0
-            } else {
-                completed as f64 / batches.len() as f64
-            },
+            mean_batch_occupancy: ratio(occupancy_weighted, capacity_total),
+            mean_jobs_per_batch: ratio(completed as f64, batches.len() as f64),
             cpu_jobs,
             gpu_jobs,
+            sharded_jobs,
             tera_jobs,
+            sharded_batches,
+            shard_skew_max,
             device_busy_ms: busy,
-            device_utilization: if makespan_ms > 0.0 {
-                busy / (slots as f64 * makespan_ms)
-            } else {
-                0.0
-            },
+            device_utilization: ratio(busy, slots as f64 * makespan_ms),
             wall_ms,
             policy_crossover: self.policy.crossover().try_into().unwrap_or(u64::MAX),
         };
@@ -539,19 +599,35 @@ impl Planner<'_> {
             .policy
             .est_batch_ms(engine, &lens_hints, segment_len, segments);
 
-        // Pin to the slot with the earliest estimated free time.
-        let slot = (0..self.slot_free_est.len())
-            .min_by(|&a, &b| self.slot_free_est[a].total_cmp(&self.slot_free_est[b]))
-            .expect("at least one slot");
-        let start_est = now.max(self.slot_free_est[slot]);
-        self.slot_free_est[slot] = start_est + est_ms;
+        // A sharded batch reserves one slot per shard; everything else
+        // pins to the single slot with the earliest estimated free time.
+        // Reservations and single-slot batches interleave through the same
+        // slot-free estimates, so a multi-slot reservation waits for (and
+        // is waited on by) ordinary batches deterministically.
+        let want = if engine == Engine::ShardedGpu {
+            self.policy.shard_slots().min(self.slot_free_est.len())
+        } else {
+            1
+        };
+        let mut order: Vec<usize> = (0..self.slot_free_est.len()).collect();
+        order.sort_by(|&a, &b| self.slot_free_est[a].total_cmp(&self.slot_free_est[b]));
+        let chosen = &order[..want];
+        // Every reserved slot must be free before the batch can start.
+        let start_est = chosen
+            .iter()
+            .map(|&s| self.slot_free_est[s])
+            .fold(now, f64::max);
+        for &s in chosen {
+            self.slot_free_est[s] = start_est + est_ms;
+        }
 
         let bytes: usize = jobs.iter().map(SortJob::bytes).sum();
         self.admission.on_scheduled(start_est + est_ms, bytes);
 
         self.plans.push(BatchPlan {
             id: self.plans.len(),
-            slot,
+            slot: chosen[0],
+            extra_slots: chosen[1..].to_vec(),
             engine,
             ready_ms: now,
             est_ms,
@@ -816,6 +892,145 @@ mod tests {
         let report = svc.process(jobs).unwrap();
         assert_eq!(report.results[0].output, Vec::new());
         assert_eq!(report.results[1].output.len(), 1);
+    }
+
+    /// A service whose policy shards everything above 2000 elements over
+    /// its device slots (forced threshold: debug-mode sizes).
+    fn sharded_service(device_slots: usize) -> SortService {
+        SortService::new(ServiceConfig {
+            device_slots,
+            policy: PolicyConfig {
+                sharded_min_override: Some(2000),
+                ..PolicyConfig::default()
+            },
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn large_jobs_route_to_the_sharded_engine_and_reserve_slots() {
+        let svc = sharded_service(4);
+        let jobs = vec![
+            SortJob::new(0, 0, workloads::uniform(6000, 1)),
+            SortJob::new(1, 1, workloads::uniform(100, 2)),
+        ];
+        let report = svc.process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &report);
+        assert_eq!(report.results[0].engine, Engine::ShardedGpu);
+        assert_eq!(report.metrics.sharded_jobs, 1);
+        assert_eq!(report.metrics.sharded_batches, 1);
+        assert!(report.metrics.shard_skew_max >= 1.0);
+        let sharded = report
+            .batches
+            .iter()
+            .find(|b| b.engine == "sharded-gpu")
+            .expect("a sharded batch");
+        assert_eq!(sharded.slots, 4);
+        assert_eq!(sharded.shards, 4);
+    }
+
+    #[test]
+    fn sharded_reservations_interleave_deterministically_with_small_batches() {
+        // A sharded job reserving both slots plus a stream of small jobs:
+        // the timeline must replay identically across runs, and the
+        // sharded batch must occupy every slot it reserved.
+        let svc = sharded_service(2);
+        let mut jobs = vec![SortJob::new(0, 0, workloads::uniform(4000, 3))];
+        for i in 0..12 {
+            jobs.push(
+                SortJob::new(1 + i, 1 + (i % 2) as u32, workloads::uniform(200, 10 + i))
+                    .arriving_at(0.01 * (i + 1) as f64),
+            );
+        }
+        let a = svc.process(jobs.clone()).unwrap();
+        let b = svc.process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &a);
+        assert_eq!(a.metrics.makespan_ms, b.metrics.makespan_ms);
+        assert_eq!(a.metrics.latency_p99_ms, b.metrics.latency_p99_ms);
+        for (x, y) in a.batches.iter().zip(&b.batches) {
+            assert_eq!(x.start_ms, y.start_ms);
+            assert_eq!(x.duration_ms, y.duration_ms);
+        }
+        assert_eq!(a.metrics.sharded_jobs, 1);
+        // The sharded batch blocks both slots while it runs: no other
+        // batch may overlap it in simulated time.
+        let sharded = a
+            .batches
+            .iter()
+            .find(|b| b.engine == "sharded-gpu")
+            .unwrap();
+        let (s0, e0) = (sharded.start_ms, sharded.start_ms + sharded.duration_ms);
+        for other in a.batches.iter().filter(|b| b.id != sharded.id) {
+            let (s1, e1) = (other.start_ms, other.start_ms + other.duration_ms);
+            assert!(
+                e1 <= s0 + 1e-9 || s1 >= e0 - 1e-9,
+                "batch {} overlaps the full-width sharded batch",
+                other.id
+            );
+        }
+    }
+
+    #[test]
+    fn single_slot_service_still_handles_sharded_routed_jobs() {
+        // shard_slots clamps to the one available slot: the job degrades
+        // to a single-shard sort and stays correct.
+        let svc = sharded_service(1);
+        let jobs = vec![SortJob::new(0, 0, workloads::uniform(5000, 9))];
+        let report = svc.process(jobs.clone()).unwrap();
+        assert_outputs_correct(&jobs, &report);
+        assert_ne!(
+            report.results[0].engine,
+            Engine::ShardedGpu,
+            "a single-slot service must not calibrate the sharded route in"
+        );
+    }
+
+    #[test]
+    fn zero_admitted_runs_report_finite_metrics() {
+        // Regression: a run that admits nothing (or only zero-duration
+        // work) must report 0.0 rates — not NaN or ∞ — so JSON reports
+        // stay valid.
+        let config = ServiceConfig {
+            max_inflight_bytes: 0, // every non-empty job is rejected
+            ..test_config()
+        };
+        let jobs: Vec<SortJob> = (0..5)
+            .map(|i| SortJob::new(i, 0, workloads::uniform(64, i)))
+            .collect();
+        let report = service(config).process(jobs).unwrap();
+        assert_eq!(report.metrics.jobs_completed, 0);
+        assert_eq!(report.metrics.jobs_rejected, 5);
+
+        // All-empty jobs complete instantly: zero-duration span.
+        let empties: Vec<SortJob> = (0..3).map(|i| SortJob::new(i, 0, Vec::new())).collect();
+        let zero_span = service(test_config()).process(empties).unwrap();
+        assert_eq!(zero_span.metrics.jobs_completed, 3);
+
+        for m in [&report.metrics, &zero_span.metrics] {
+            for (name, v) in [
+                ("throughput_jobs_per_s", m.throughput_jobs_per_s),
+                ("throughput_kelems_per_s", m.throughput_kelems_per_s),
+                ("latency_mean_ms", m.latency_mean_ms),
+                ("latency_p50_ms", m.latency_p50_ms),
+                ("latency_p99_ms", m.latency_p99_ms),
+                ("queue_mean_ms", m.queue_mean_ms),
+                ("mean_batch_occupancy", m.mean_batch_occupancy),
+                ("mean_jobs_per_batch", m.mean_jobs_per_batch),
+                ("device_utilization", m.device_utilization),
+                ("makespan_ms", m.makespan_ms),
+                ("shard_skew_max", m.shard_skew_max),
+            ] {
+                assert!(v.is_finite(), "{name} must be finite, got {v}");
+            }
+            let json = serde_json::to_string(m).unwrap();
+            assert!(
+                !json.contains("NaN") && !json.contains("inf"),
+                "metrics JSON must stay numeric: {json}"
+            );
+        }
+        assert_eq!(report.metrics.device_utilization, 0.0);
+        assert_eq!(report.metrics.latency_p50_ms, 0.0);
+        assert_eq!(report.metrics.latency_p99_ms, 0.0);
     }
 
     #[test]

@@ -161,7 +161,9 @@ impl<'a, T: StreamElement> ReadView<'a, T> {
         stream.check_blocks(&blocks)?;
         Ok(ReadView {
             data: stream.as_slice(),
-            stream_id: stream.id(),
+            // The cache model keys on the stable name-derived tag so that
+            // identical runs charge identical cache behaviour.
+            stream_id: stream.cache_tag(),
             layout: stream.layout(),
             blocks,
             per_instance,
@@ -224,7 +226,7 @@ impl<'a, T: StreamElement> GatherView<'a, T> {
     pub fn new(stream: &'a Stream<T>) -> Self {
         GatherView {
             data: stream.as_slice(),
-            stream_id: stream.id(),
+            stream_id: stream.cache_tag(),
             layout: stream.layout(),
         }
     }

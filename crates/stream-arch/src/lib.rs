@@ -60,5 +60,5 @@ pub use layout::{Addr2D, Layout, Mapping1Dto2D, RowMajor2D, ZOrder2D};
 pub use metrics::{CostBreakdown, Counters, SimTime};
 pub use profile::GpuProfile;
 pub use stream::{BlockSet, Stream, SubStream};
-pub use transfer::{BusKind, TransferModel};
+pub use transfer::{BusKind, DeviceLink, TransferModel};
 pub use value::{Node, StreamElement, Value, NULL_INDEX};

@@ -25,15 +25,29 @@ static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(1);
 pub struct Stream<T> {
     name: String,
     id: u64,
+    cache_tag: u64,
     layout: Layout,
     data: Vec<T>,
+}
+
+/// FNV-1a hash of a stream name — the process-independent identity the
+/// cache model keys on.
+fn name_tag(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl<T: StreamElement> Stream<T> {
     /// Allocate a stream of `len` default-initialised elements.
     pub fn new(name: impl Into<String>, len: usize, layout: Layout) -> Self {
+        let name = name.into();
         Stream {
-            name: name.into(),
+            cache_tag: name_tag(&name),
+            name,
             id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
             layout,
             data: vec![T::default(); len],
@@ -42,8 +56,10 @@ impl<T: StreamElement> Stream<T> {
 
     /// Create a stream from existing data.
     pub fn from_vec(name: impl Into<String>, data: Vec<T>, layout: Layout) -> Self {
+        let name = name.into();
         Stream {
-            name: name.into(),
+            cache_tag: name_tag(&name),
+            name,
             id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
             layout,
             data,
@@ -60,10 +76,19 @@ impl<T: StreamElement> Stream<T> {
         self.data.is_empty()
     }
 
-    /// The stream's unique identity (used by the cache model and by
-    /// aliasing checks).
+    /// The stream's unique identity within the process (used by the
+    /// input/output aliasing checks).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The stream's *stable* identity used by the texture-cache model:
+    /// derived from the name, not from the process-global allocation
+    /// counter, so two identical runs produce identical cache statistics
+    /// (and therefore identical simulated times) regardless of how many
+    /// streams the process allocated before them.
+    pub fn cache_tag(&self) -> u64 {
+        self.cache_tag
     }
 
     /// Debug name.

@@ -89,6 +89,79 @@ impl TransferModel {
     }
 }
 
+/// How two devices of a multi-GPU system exchange stream data.
+///
+/// The paper's machines have a single GPU, so Section 8 only models the
+/// host ↔ device bus. A sharded sorter spreads one problem over several
+/// stream processors and must pay for moving the sorted shards back
+/// together — the *inter-device hop*. Two eras of that hop are modelled:
+///
+/// * [`DeviceLink::HostStaged`] — the only option on the paper's hardware:
+///   a device-to-device move is a readback into host memory followed by an
+///   upload on the shared bus, so hops from different devices *serialize*
+///   on the bus.
+/// * [`DeviceLink::PeerToPeer`] — a direct link (PCIe peer-to-peer or an
+///   SLI-bridge-style interconnect): one crossing at the link bandwidth
+///   with a single setup latency.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DeviceLink {
+    /// Staged through host memory on the shared host bus.
+    HostStaged {
+        /// The shared host bus both crossings use.
+        bus: BusKind,
+    },
+    /// A direct device-to-device link.
+    PeerToPeer {
+        /// One-way link bandwidth in MB/s.
+        bandwidth_mb_s: f64,
+        /// Per-hop setup latency in milliseconds.
+        latency_ms: f64,
+    },
+}
+
+impl DeviceLink {
+    /// The host-staged hop over the given bus (the 2006-era default).
+    pub fn host_staged(bus: BusKind) -> Self {
+        DeviceLink::HostStaged { bus }
+    }
+
+    /// A PCI-Express-class peer-to-peer link.
+    pub fn pcie_peer() -> Self {
+        DeviceLink::PeerToPeer {
+            bandwidth_mb_s: 1_000.0,
+            latency_ms: 0.1,
+        }
+    }
+
+    /// Time in ms to move `bytes` bytes from one device to another.
+    pub fn hop_ms(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        match self {
+            DeviceLink::HostStaged { bus } => {
+                // Readback on the source device plus upload on the target,
+                // each with its own DMA setup.
+                2.0 * bus.latency_ms()
+                    + bytes as f64 / (bus.readback_mb_s() * 1e6) * 1e3
+                    + bytes as f64 / (bus.upload_mb_s() * 1e6) * 1e3
+            }
+            DeviceLink::PeerToPeer {
+                bandwidth_mb_s,
+                latency_ms,
+            } => latency_ms + bytes as f64 / (bandwidth_mb_s * 1e6) * 1e3,
+        }
+    }
+
+    /// Time in ms to gather shard buffers of the given sizes onto one
+    /// device. Hops share the interconnect, so they serialize; the buffer
+    /// already resident on the gathering device is passed as 0 bytes and
+    /// costs nothing.
+    pub fn gather_ms(&self, shard_bytes: &[u64]) -> f64 {
+        shard_bytes.iter().map(|&b| self.hop_ms(b)).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +207,31 @@ mod tests {
     fn upload_is_faster_than_readback_on_agp() {
         let m = TransferModel::new(BusKind::Agp8x);
         assert!(m.upload_ms(1 << 20, 8) < m.readback_ms(1 << 20, 8));
+    }
+
+    #[test]
+    fn host_staged_hop_is_a_readback_plus_an_upload() {
+        let bytes = (1u64 << 18) * 8;
+        let hop = DeviceLink::host_staged(BusKind::PciExpressX16).hop_ms(bytes);
+        let model = TransferModel::new(BusKind::PciExpressX16);
+        let staged = model.readback_ms(1 << 18, 8) + model.upload_ms(1 << 18, 8);
+        assert!((hop - staged).abs() < 1e-9, "{hop} vs {staged}");
+    }
+
+    #[test]
+    fn peer_to_peer_beats_host_staging() {
+        let bytes = (1u64 << 20) * 8;
+        let p2p = DeviceLink::pcie_peer().hop_ms(bytes);
+        let staged = DeviceLink::host_staged(BusKind::PciExpressX16).hop_ms(bytes);
+        assert!(p2p < staged, "p2p {p2p} vs staged {staged}");
+    }
+
+    #[test]
+    fn gather_serializes_hops_and_skips_resident_shards() {
+        let link = DeviceLink::host_staged(BusKind::PciExpressX16);
+        let sizes = [0u64, 1 << 20, 1 << 20, 1 << 20];
+        let total = link.gather_ms(&sizes);
+        assert_eq!(link.hop_ms(0), 0.0);
+        assert!((total - 3.0 * link.hop_ms(1 << 20)).abs() < 1e-9);
     }
 }

@@ -132,6 +132,36 @@ impl RequestMix {
         .normalized()
     }
 
+    /// A mix dominated by jobs large enough for the multi-device sharded
+    /// route (hundreds of thousands of keys), with a trickle of small jobs
+    /// that must stay interleaved — the fairness scenario of a service
+    /// whose sharded batches reserve several device slots at once.
+    pub fn large_job_heavy(jobs: usize) -> Self {
+        RequestMix {
+            jobs,
+            tenants: 3,
+            mean_interarrival_ms: 8.0,
+            size_classes: vec![
+                SizeClass {
+                    weight: 2,
+                    min: 1 << 17,
+                    max: 1 << 19,
+                },
+                SizeClass {
+                    weight: 3,
+                    min: 128,
+                    max: 1024,
+                },
+            ],
+            distributions: vec![
+                Distribution::Uniform,
+                Distribution::Reverse,
+                Distribution::FewDistinct { distinct: 64 },
+            ],
+        }
+        .normalized()
+    }
+
     /// Generate the deterministic request stream for `seed`.
     ///
     /// Requests arrive in non-decreasing `arrival_ms` order; tenants,
@@ -248,5 +278,12 @@ mod tests {
         let reqs = RequestMix::mixed(300).generate(5);
         assert!(reqs.iter().any(|r| r.values.len() < 1024));
         assert!(reqs.iter().any(|r| r.values.len() > 16 * 1024));
+    }
+
+    #[test]
+    fn large_job_heavy_mixes_sharded_scale_jobs_with_small_ones() {
+        let reqs = RequestMix::large_job_heavy(40).generate(7);
+        assert!(reqs.iter().any(|r| r.values.len() >= 1 << 17));
+        assert!(reqs.iter().any(|r| r.values.len() <= 1024));
     }
 }

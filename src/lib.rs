@@ -55,7 +55,9 @@ pub mod prelude {
     };
     pub use baselines::{CpuSorter, GpuSortBaseline, OddEvenMergeSort, PeriodicBalancedSort};
     pub use pram::{PramModel, PramStats};
-    pub use sortsvc::{Engine, ServiceConfig, SortJob, SortPolicy, SortService};
+    pub use sortsvc::{
+        Engine, ServiceConfig, ShardedConfig, ShardedSorter, SortJob, SortPolicy, SortService,
+    };
     pub use stream_arch::{
         ExecMode, GpuProfile, Layout, Node, StreamProcessor, TransferModel, Value,
     };

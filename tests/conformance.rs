@@ -1,0 +1,264 @@
+//! Cross-engine differential conformance suite.
+//!
+//! One harness runs **every sorter in the workspace** over a shared,
+//! seeded matrix of key distributions × input sizes and asserts that each
+//! engine's output is byte-identical (key bits + id) to `std`'s sort under
+//! the library's total order — sorted output is unique under a total
+//! order, so any divergence is a bug in the engine, not a tie-break
+//! artefact.
+//!
+//! Engines: the sequential classic and simplified adaptive bitonic sorts,
+//! the CPU quicksort baseline, GPU-ABiSort on the stream simulator, the
+//! GPUSort / odd-even merge sort / periodic balanced network baselines,
+//! the four PRAM sorters, the out-of-core terasort pipeline (via the
+//! order-preserving `Value` ↔ `WideRecord` embedding), and the
+//! multi-device `ShardedSorter`.
+//!
+//! The base seed comes from `CONFORMANCE_SEED` (default 2006), so CI can
+//! run the whole matrix under several seeds. Per-case seeds are derived
+//! from (base seed, distribution, size), keeping every case independent
+//! and reproducible.
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::sortsvc::batch::{record_to_value, value_to_record};
+use gpu_abisort::{abisort, pram, terasort};
+
+/// A named engine adapter. `max_len` bounds the sizes an engine is asked
+/// to sort so the debug-mode suite stays fast: the O(n log² n) networks
+/// and the PRAM machine pay a large constant factor per element, and
+/// their large-input behaviour is already covered by their own crates'
+/// tests — conformance needs their *agreement*, which the capped matrix
+/// exercises fully.
+type SortFn = Box<dyn Fn(&[Value]) -> Vec<Value>>;
+
+struct EngineCase {
+    name: &'static str,
+    max_len: usize,
+    sort: SortFn,
+}
+
+fn engines() -> Vec<EngineCase> {
+    let case = |name: &'static str, max_len: usize, sort: SortFn| EngineCase {
+        name,
+        max_len,
+        sort,
+    };
+    vec![
+        case(
+            "seq-classic",
+            usize::MAX,
+            Box::new(|v| {
+                abisort::sequential::adaptive_bitonic_sort_with(v, abisort::MergeVariant::Classic).0
+            }),
+        ),
+        case(
+            "seq-simplified",
+            usize::MAX,
+            Box::new(|v| {
+                abisort::sequential::adaptive_bitonic_sort_with(
+                    v,
+                    abisort::MergeVariant::Simplified,
+                )
+                .0
+            }),
+        ),
+        case(
+            "cpu-quicksort",
+            usize::MAX,
+            Box::new(|v| CpuSorter.sort(v).0),
+        ),
+        case(
+            "gpu-abisort",
+            usize::MAX,
+            Box::new(|v| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                GpuAbiSorter::new(SortConfig::default())
+                    .sort(&mut proc, v)
+                    .expect("gpu-abisort failed")
+            }),
+        ),
+        case(
+            "gpusort",
+            4096,
+            Box::new(|v| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                GpuSortBaseline::new()
+                    .sort(&mut proc, v)
+                    .expect("gpusort failed")
+                    .output
+            }),
+        ),
+        case(
+            "oems",
+            4096,
+            Box::new(|v| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                OddEvenMergeSort::new()
+                    .sort(&mut proc, v)
+                    .expect("oems failed")
+                    .output
+            }),
+        ),
+        case(
+            "pbsn",
+            4096,
+            Box::new(|v| {
+                let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+                PeriodicBalancedSort::new()
+                    .sort(&mut proc, v)
+                    .expect("pbsn failed")
+                    .output
+            }),
+        ),
+        case(
+            "pram-abisort",
+            4096,
+            Box::new(|v| {
+                pram::sorters::abisort_pram::sort(v)
+                    .expect("pram-abisort failed")
+                    .output
+            }),
+        ),
+        case(
+            "pram-bitonic",
+            4096,
+            Box::new(|v| {
+                pram::sorters::bitonic_network::sort(v)
+                    .expect("pram-bitonic failed")
+                    .output
+            }),
+        ),
+        case(
+            "pram-oem",
+            4096,
+            Box::new(|v| {
+                pram::sorters::oem_network::sort(v)
+                    .expect("pram-oem failed")
+                    .output
+            }),
+        ),
+        case(
+            "pram-rank",
+            4096,
+            Box::new(|v| {
+                pram::sorters::rank_merge::sort(v)
+                    .expect("pram-rank failed")
+                    .output
+            }),
+        ),
+        case(
+            "terasort",
+            usize::MAX,
+            Box::new(|v| {
+                if v.len() <= 1 {
+                    return v.to_vec();
+                }
+                let mut disk = SimulatedDisk::new(terasort::DiskProfile::hdd_2006());
+                let input = disk.create("conformance-input");
+                let records: Vec<terasort::WideRecord> = v.iter().map(value_to_record).collect();
+                disk.append(input, &records);
+                let report = TeraSorter::new(TeraSortConfig {
+                    run_size: 2048,
+                    ..TeraSortConfig::default()
+                })
+                .sort(&mut disk, input)
+                .expect("terasort failed");
+                disk.read_all(report.output)
+                    .iter()
+                    .map(record_to_value)
+                    .collect()
+            }),
+        ),
+        case(
+            "sharded-gpu",
+            usize::MAX,
+            Box::new(|v| {
+                let mut pool: Vec<StreamProcessor> = (0..4)
+                    .map(|_| StreamProcessor::new(GpuProfile::geforce_7800()))
+                    .collect();
+                ShardedSorter::new(ShardedConfig::default())
+                    .sort_run(&mut pool, v)
+                    .expect("sharded sort failed")
+                    .output
+            }),
+        ),
+    ]
+}
+
+fn base_seed() -> u64 {
+    std::env::var("CONFORMANCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2006)
+}
+
+fn distributions() -> Vec<Distribution> {
+    vec![
+        Distribution::Uniform,
+        Distribution::Sorted,
+        Distribution::Reverse,
+        Distribution::NearlySorted { swaps: 16 },
+        Distribution::FewDistinct { distinct: 4 },
+        Distribution::OrganPipe,
+        Distribution::Constant,
+    ]
+}
+
+fn bits(values: &[Value]) -> Vec<(u32, u32)> {
+    values.iter().map(|v| (v.key.to_bits(), v.id)).collect()
+}
+
+/// Run every engine over the given sizes, asserting byte-identical
+/// agreement with the `std` sort for each (distribution, size) cell.
+fn run_matrix(sizes: &[usize]) {
+    let seed = base_seed();
+    let engines = engines();
+    for (d, dist) in distributions().into_iter().enumerate() {
+        for &n in sizes {
+            // Independent, reproducible per-cell seed.
+            let cell_seed = seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((d as u64) << 32)
+                .wrapping_add(n as u64);
+            let input = workloads::generate(dist, n, cell_seed);
+            let mut expected = input.clone();
+            expected.sort();
+            let expected_bits = bits(&expected);
+            for engine in &engines {
+                if n > engine.max_len {
+                    continue;
+                }
+                let got = (engine.sort)(&input);
+                assert_eq!(
+                    bits(&got),
+                    expected_bits,
+                    "{} diverges from std sort on {} n={n} seed={cell_seed}",
+                    engine.name,
+                    dist.name(),
+                );
+            }
+        }
+    }
+}
+
+/// The full small-size matrix: the empty input, the one- and two-element
+/// edges, a non-power-of-two size, and a ~1k mid size — for every engine.
+#[test]
+fn all_engines_agree_on_the_small_matrix() {
+    run_matrix(&[0, 1, 2, 37, 1000]);
+}
+
+/// A non-power-of-two mid size that forces multi-level padding in every
+/// power-of-two engine.
+#[test]
+fn all_engines_agree_on_non_power_of_two_inputs() {
+    run_matrix(&[1023, 2049]);
+}
+
+/// The 10k tier: engines without a debug-runtime cap (both sequential
+/// variants, the CPU baseline, GPU-ABiSort, terasort, ShardedSorter) over
+/// every distribution.
+#[test]
+fn uncapped_engines_agree_at_ten_k() {
+    run_matrix(&[10_000]);
+}

@@ -179,6 +179,82 @@ fn ten_k_jobs_match_including_the_out_of_core_route() {
     }
 }
 
+/// The sharded-execution property of the multi-device engine: for every
+/// slot count, any splitter oversampling factor, and adversarially skewed
+/// inputs where naive splitters would collapse the shards (all-equal
+/// keys, presorted, reverse-sorted), the sharded service run is
+/// byte-identical to the single-slot run of the same jobs.
+#[test]
+fn sharded_execution_is_byte_identical_to_single_slot_execution() {
+    use gpu_abisort::sortsvc::PolicyConfig as Pc;
+
+    let adversarial = [
+        Distribution::Constant,
+        Distribution::Sorted,
+        Distribution::Reverse,
+        Distribution::FewDistinct { distinct: 2 },
+    ];
+    let jobs_for = |dist: Distribution| -> Vec<SortJob> {
+        vec![
+            // Above the forced sharding threshold: takes the sharded route
+            // on every multi-slot service.
+            SortJob::new(0, 0, workloads::generate(dist, 3000, 77)).with_hint(dist),
+            // Small companions that coalesce around the reservation.
+            SortJob::new(1, 1, workloads::generate(dist, 120, 78)).with_hint(dist),
+            SortJob::new(2, 2, workloads::uniform(65, 79)),
+        ]
+    };
+
+    for device_slots in 1..=8usize {
+        // One calibration per slot count, shared across the oversampling
+        // factors and distributions.
+        let policy = SortPolicy::calibrate(
+            &GpuProfile::geforce_7800(),
+            &SortConfig::default(),
+            &Pc {
+                shard_slots: device_slots,
+                sharded_min_override: Some(512),
+                ..Pc::default()
+            },
+        );
+        for oversample in [1usize, 3, 16] {
+            for dist in adversarial {
+                let jobs = jobs_for(dist);
+                let service = |slots: usize| {
+                    SortService::with_policy(
+                        ServiceConfig {
+                            device_slots: slots,
+                            shard_oversample: oversample,
+                            ..ServiceConfig::default()
+                        },
+                        policy.clone(),
+                    )
+                };
+                let sharded = service(device_slots).process(jobs.clone()).unwrap();
+                let single = service(1).process(jobs).unwrap();
+                assert_eq!(sharded.results.len(), single.results.len());
+                for (s, o) in sharded.results.iter().zip(&single.results) {
+                    assert_eq!(
+                        bits(&s.output),
+                        bits(&o.output),
+                        "slots={device_slots} oversample={oversample} dist={} job {}",
+                        dist.name(),
+                        s.id
+                    );
+                }
+                if device_slots > 1 {
+                    assert_eq!(
+                        sharded.results[0].engine.name(),
+                        "sharded-gpu",
+                        "slots={device_slots}: the large job must take the sharded route"
+                    );
+                    assert!(sharded.metrics.shard_skew_max >= 1.0);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn service_results_are_deterministic_across_runs() {
     let jobs = SortJob::from_requests(workloads::RequestMix::small_job_heavy(24).generate(5));
