@@ -495,8 +495,10 @@ pub fn init_input_trees(trees: &mut Stream<Node>, values: &[Value]) {
 
 /// Host-side read-back of the sorted result from the input half of the node
 /// stream (in-order storage makes this a plain copy of the value fields).
+/// Reads through the borrowed [`Stream::range`] view — no intermediate
+/// node copy.
 pub fn read_back_values(trees: &Stream<Node>, n: usize) -> Vec<Value> {
-    (0..n).map(|i| trees.get(n + i).value).collect()
+    trees.range(n, n).iter().map(|node| node.value).collect()
 }
 
 /// The `NULL_INDEX` sentinel re-exported for tests that inspect kernels'

@@ -17,7 +17,7 @@
 
 use super::kernels;
 use super::layout_plan::{overlapped_schedule, table1_element_block, PhaseRef};
-use stream_arch::{Node, Result, Stream, StreamProcessor};
+use stream_arch::{Layout, Node, Result, Stream, StreamArena, StreamProcessor};
 
 /// The streams a GPU-ABiSort run operates on.
 pub struct MergeStreams {
@@ -27,6 +27,31 @@ pub struct MergeStreams {
     pub trees_b: Stream<Node>,
     /// Ping-pong pair of pq-index streams (2n indices each).
     pub pq: [Stream<u32>; 2],
+}
+
+impl MergeStreams {
+    /// Allocate the four working streams for an `n`-element sort from the
+    /// processor's buffer arena (recycled backing buffers when a previous
+    /// run of the same size class handed its streams back).
+    pub fn take(arena: &mut StreamArena, n: usize, layout: Layout) -> Self {
+        MergeStreams {
+            trees_a: arena.take_stream("trees-a", 2 * n, layout),
+            trees_b: arena.take_stream("trees-b", 2 * n, layout),
+            pq: [
+                arena.take_stream("pq-a", 2 * n, layout),
+                arena.take_stream("pq-b", 2 * n, layout),
+            ],
+        }
+    }
+
+    /// Hand all backing buffers back for reuse by the next run.
+    pub fn recycle(self, arena: &mut StreamArena) {
+        arena.recycle(self.trees_a);
+        arena.recycle(self.trees_b);
+        let [pq_a, pq_b] = self.pq;
+        arena.recycle(pq_a);
+        arena.recycle(pq_b);
+    }
 }
 
 /// What a (possibly truncated) level merge left behind.

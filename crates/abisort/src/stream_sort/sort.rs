@@ -94,15 +94,19 @@ impl GpuAbiSorter {
         }
 
         // Pad to a power of two (Section 4) with maximum-key sentinels that keep all
-        // elements distinct.
+        // elements distinct. The padded copy lives in a recycled arena
+        // buffer: a service sorting thousands of jobs on one pooled
+        // processor reuses the same allocation run after run.
         let n = original_len.next_power_of_two();
-        let mut padded = values.to_vec();
+        let mut padded = proc.arena().take_capacity::<Value>(n);
+        padded.extend_from_slice(values);
         for i in 0..(n - original_len) {
             padded.push(Value::padding_sentinel(i));
         }
 
         let mut output = self.run_stream_program(proc, &padded, n.trailing_zeros())?;
         output.truncate(original_len);
+        proc.arena().put_vec(padded);
 
         let counters = proc.counters();
         Ok(SortRun {
@@ -229,16 +233,11 @@ impl GpuAbiSorter {
             proc.check_stream_size::<Node>(2 * n)?;
             let layout = self.config.layout.to_layout();
             let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
-            let mut streams = MergeStreams {
-                trees_a: Stream::new("trees-a", 2 * n, layout),
-                trees_b: Stream::new("trees-b", 2 * n, layout),
-                pq: [
-                    Stream::new("pq-a", 2 * n, layout),
-                    Stream::new("pq-b", 2 * n, layout),
-                ],
-            };
-            let mut scratch_values: Stream<Value> = Stream::new("scratch-values", n, layout);
-            let mut merged_values: Stream<Value> = Stream::new("merged-values", n, layout);
+            let mut streams = MergeStreams::take(proc.arena(), n, layout);
+            let mut scratch_values: Stream<Value> =
+                proc.arena().take_stream("scratch-values", n, layout);
+            let mut merged_values: Stream<Value> =
+                proc.arena().take_stream("merged-values", n, layout);
 
             // The Listing-2 invariant at the start of level j is "the input
             // half holds the values in in-order storage, each 2^(j-1) block
@@ -256,7 +255,11 @@ impl GpuAbiSorter {
                 n.trailing_zeros(),
                 fixed_merge,
             )?;
-            kernels::read_back_values(&streams.trees_a, n)
+            let output = kernels::read_back_values(&streams.trees_a, n);
+            streams.recycle(proc.arena());
+            proc.arena().recycle(scratch_values);
+            proc.arena().recycle(merged_values);
+            output
         };
 
         let counters = proc.counters();
@@ -298,28 +301,25 @@ impl GpuAbiSorter {
             proc.charge_transfer(2 * (n as u64) * 8);
         }
 
-        let mut streams = MergeStreams {
-            trees_a: Stream::new("trees-a", 2 * n, layout),
-            trees_b: Stream::new("trees-b", 2 * n, layout),
-            pq: [
-                Stream::new("pq-a", 2 * n, layout),
-                Stream::new("pq-b", 2 * n, layout),
-            ],
-        };
+        let mut streams = MergeStreams::take(proc.arena(), n, layout);
         // Value streams used by the Section 7 kernels.
-        let mut scratch_values: Stream<Value> = Stream::new("scratch-values", n, layout);
-        let mut merged_values: Stream<Value> = Stream::new("merged-values", n, layout);
+        let mut scratch_values: Stream<Value> =
+            proc.arena().take_stream("scratch-values", n, layout);
+        let mut merged_values: Stream<Value> = proc.arena().take_stream("merged-values", n, layout);
 
         // --- Input setup -------------------------------------------------
         let first_level = if local_sort {
             // Section 7.1: local sort of 8 value/pointer pairs per kernel
             // instance, then conversion to bitonic trees of 16 nodes.
-            let source = Stream::from_vec("source-values", padded.to_vec(), layout);
+            let source = proc
+                .arena()
+                .take_stream_from("source-values", padded, layout);
             kernels::local_sort8(proc, &source, &mut scratch_values, n)?;
             proc.record_step();
             kernels::build_trees16(proc, &scratch_values, &mut streams.trees_b, n)?;
             kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
             proc.record_step();
+            proc.arena().recycle(source);
             4
         } else {
             // Listing 2: the input half of the node stream holds the source
@@ -340,7 +340,11 @@ impl GpuAbiSorter {
             fixed_merge,
         )?;
 
-        Ok(kernels::read_back_values(&streams.trees_a, n))
+        let output = kernels::read_back_values(&streams.trees_a, n);
+        streams.recycle(proc.arena());
+        proc.arena().recycle(scratch_values);
+        proc.arena().recycle(merged_values);
+        Ok(output)
     }
 
     /// The recursion levels of Listing 2's main loop, from `first_level` up

@@ -1,0 +1,52 @@
+//! E21 companion bench — host wall-clock of the three execution engines.
+//!
+//! The `repro --scenario wallclock` harness produces the reported
+//! before/after table; this criterion target keeps the same comparison
+//! under continuous measurement (and under `-- --test` smoke in CI):
+//! sequential reference, pooled parallel ([`ExecMode::Parallel`]), and the
+//! legacy spawn-per-launch baseline ([`ExecMode::SpawnParallel`]), plus
+//! the stream arena on/off on the sequential engine.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use stream_arch::{ExecMode, GpuProfile, StreamProcessor};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wallclock_engines");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    let n = 1usize << 12;
+    let input = workloads::uniform(n, 7);
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+
+    // Long-lived processors: the pooled engine's worker threads and the
+    // arena's recycled buffers persist across iterations, exactly like a
+    // service slot worker.
+    let mut sequential = StreamProcessor::new(GpuProfile::geforce_7800());
+    group.bench_function(BenchmarkId::new("engine", "sequential"), |b| {
+        b.iter(|| sorter.sort_run(&mut sequential, &input).unwrap())
+    });
+
+    let mut no_arena = StreamProcessor::new(GpuProfile::geforce_7800());
+    no_arena.arena().set_enabled(false);
+    group.bench_function(BenchmarkId::new("engine", "sequential_no_arena"), |b| {
+        b.iter(|| sorter.sort_run(&mut no_arena, &input).unwrap())
+    });
+
+    let mut pooled = StreamProcessor::with_mode(GpuProfile::geforce_7800(), ExecMode::Parallel);
+    group.bench_function(BenchmarkId::new("engine", "parallel_pooled"), |b| {
+        b.iter(|| sorter.sort_run(&mut pooled, &input).unwrap())
+    });
+
+    let mut spawn = StreamProcessor::with_mode(GpuProfile::geforce_7800(), ExecMode::SpawnParallel);
+    group.bench_function(BenchmarkId::new("engine", "parallel_spawn_baseline"), |b| {
+        b.iter(|| sorter.sort_run(&mut spawn, &input).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

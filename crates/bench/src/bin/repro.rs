@@ -9,7 +9,7 @@
 //!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
 //!                         scaling | ablation | pram | terasort | padding |
-//!                         service | sharded
+//!                         service | sharded | wallclock
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
@@ -245,6 +245,12 @@ fn main() {
                 bench::service::render_service(&report.sharded_service)
             );
         }
+    }
+
+    if wants("wallclock") {
+        eprintln!("running wall-clock engine comparison E21 (this times real host work) …");
+        report.wallclock = bench::wallclock::wallclock_suite(opts.max_log_n);
+        println!("{}", bench::wallclock::render_wallclock(&report.wallclock));
     }
 
     if let Some(path) = &opts.json {

@@ -6,6 +6,7 @@ use crate::experiments::{
 use crate::extended::{PaddingRow, PramRow, TeraSortRow};
 use crate::service::ServiceRow;
 use crate::sharded::ShardedRow;
+use crate::wallclock::WallClockRow;
 use serde::Serialize;
 
 /// A collection of experiment results that can be rendered as text (the
@@ -40,6 +41,8 @@ pub struct Report {
     pub sharded: Vec<ShardedRow>,
     /// The E20 sharded-reservation fairness service row, if run.
     pub sharded_service: Vec<ServiceRow>,
+    /// Wall-clock engine rows (E21), if run.
+    pub wallclock: Vec<WallClockRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

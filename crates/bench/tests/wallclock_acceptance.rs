@@ -1,0 +1,28 @@
+//! The E21 acceptance claim, enforced: the pooled execution engine is at
+//! least 3× faster in host wall-clock time than the legacy per-launch
+//! spawn engine on the conformance-scale matrix, with byte-identical
+//! simulated results (the identity assertions run inside
+//! [`bench::wallclock::matrix_parallel`] itself).
+//!
+//! `#[ignore]`d in the debug tier-1 suite — wall-clock ratios are a
+//! release-profile workload; CI runs it with
+//! `cargo test --release -p bench --test wallclock_acceptance -- --ignored`.
+
+use bench::wallclock::{geometric_mean_speedup, matrix_parallel};
+
+#[test]
+#[ignore = "release-mode wall-clock workload (run explicitly, see ci.yml)"]
+fn pooled_engine_is_at_least_3x_faster_than_spawn_per_launch() {
+    let rows = matrix_parallel(14);
+    let speedup = geometric_mean_speedup(&rows);
+    for r in &rows {
+        eprintln!(
+            "{:>24}: spawn {:.1} ms, pooled {:.1} ms, {:.2}x",
+            r.case, r.baseline_ms, r.current_ms, r.speedup
+        );
+    }
+    assert!(
+        speedup >= 3.0,
+        "pooled engine speedup {speedup:.2}x is below the 3x acceptance floor"
+    );
+}

@@ -216,7 +216,10 @@ fn execute_gpu(
     sorter: &GpuAbiSorter,
 ) -> Result<(f64, Counters, Vec<Vec<Value>>)> {
     let m = plan.segment_len;
-    let mut packed = Vec::with_capacity(plan.capacity());
+    // The packed device buffer comes from the pooled processor's arena, so
+    // a long service run reuses one allocation per capacity class instead
+    // of mallocing per batch.
+    let mut packed = proc.arena().take_capacity::<Value>(plan.capacity());
     let mut pad = 0usize;
     for job in &plan.jobs {
         packed.extend_from_slice(&job.values);
@@ -241,6 +244,7 @@ fn execute_gpu(
         .enumerate()
         .map(|(t, job)| run.output[t * m..t * m + job.len()].to_vec())
         .collect();
+    proc.arena().put_vec(packed);
     Ok((run.sim_time.total_ms, counters, outputs))
 }
 

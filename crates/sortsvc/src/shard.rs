@@ -295,8 +295,9 @@ impl ShardedSorter {
         // sentinels kept in segment order (higher pad index = smaller
         // sentinel, so they are appended in reverse), odd segments
         // reversed to the descending direction the merge levels expect —
-        // the same readback convention as `sort_segments_run`.
-        let mut buffer = Vec::with_capacity(total);
+        // the same readback convention as `sort_segments_run`. The buffer
+        // is recycled through the gathering processor's arena.
+        let mut buffer = proc.arena().take_capacity::<Value>(total);
         let mut pad = 0usize;
         for t in 0..segments {
             let start = buffer.len();
@@ -318,6 +319,7 @@ impl ShardedSorter {
         }
 
         let run = sorter.merge_blocks_run(proc, &buffer, seg)?;
+        proc.arena().put_vec(buffer);
         proc.take_counters();
         let mut output = run.output;
         output.truncate(n);

@@ -1,0 +1,341 @@
+//! `StreamArena` — recycling of stream backing buffers.
+//!
+//! Every GPU-ABiSort run allocates a handful of large intermediate streams
+//! (two 2n-node tree streams, two 2n-index pq streams, two n-value scratch
+//! streams, a padded copy of the input). A sorting service that executes
+//! thousands of jobs on one pooled [`crate::StreamProcessor`] would pay
+//! malloc/free — and the accompanying page faults — for each of them on
+//! every job. The arena removes that churn: a `Vec<T>` that backed a stream
+//! is handed back after the run and the next run of a similar size takes it
+//! again instead of allocating.
+//!
+//! Buffers are binned by *capacity class* (the power of two at or below the
+//! buffer's capacity) and by element type, so a request for `len` elements
+//! is served by any pooled buffer of class `len.next_power_of_two()` — the
+//! same quantization the sort's padded problem sizes already follow. A
+//! recycled buffer is re-initialized with `T::default()` before reuse, so a
+//! stream allocated from the arena is indistinguishable from a freshly
+//! constructed one: outputs, counters and simulated times stay byte-
+//! identical whether pooling is on or off. Only host wall-clock time
+//! changes, which is why the wall-clock harness may flip the
+//! [`set_pooling_default`] switch to measure the arena's effect.
+
+use crate::layout::Layout;
+use crate::stream::Stream;
+use crate::value::StreamElement;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Upper bound on pooled buffers per (type, capacity class) bin. A sort
+/// run keeps at most a handful of same-class streams alive at once, so a
+/// small bin bounds arena memory without ever missing in steady state.
+const MAX_BUFFERS_PER_CLASS: usize = 8;
+
+static POOLING_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set whether newly created arenas pool buffers (default `true`).
+///
+/// This is a measurement knob for the wall-clock harness and benches: with
+/// pooling off every take allocates and every recycle frees, i.e. the
+/// pre-arena allocator behaviour. Results are unaffected either way.
+pub fn set_pooling_default(enabled: bool) {
+    POOLING_DEFAULT.store(enabled, Ordering::Relaxed);
+}
+
+/// The process-wide default for newly created arenas.
+pub fn pooling_default() -> bool {
+    POOLING_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Cumulative arena behaviour, for reuse assertions and reports.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Buffer requests served.
+    pub takes: u64,
+    /// Requests served from the pool (no allocation).
+    pub hits: u64,
+    /// Requests that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers handed back and kept for reuse.
+    pub recycled: u64,
+    /// Buffers handed back but dropped (pooling off or bin full).
+    pub dropped: u64,
+}
+
+/// Type-erased access to one element type's bins.
+trait AnyPool: Send {
+    fn class_count(&self) -> usize;
+    fn buffer_count(&self) -> usize;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// The bins for one element type: capacity class → cleared buffers.
+struct TypedPool<T> {
+    bins: HashMap<usize, Vec<Vec<T>>>,
+}
+
+impl<T> TypedPool<T> {
+    fn new() -> Self {
+        TypedPool {
+            bins: HashMap::new(),
+        }
+    }
+}
+
+impl<T: StreamElement> AnyPool for TypedPool<T> {
+    fn class_count(&self) -> usize {
+        self.bins.values().filter(|b| !b.is_empty()).count()
+    }
+    fn buffer_count(&self) -> usize {
+        self.bins.values().map(Vec::len).sum()
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A pool of reusable `Vec<T>` backing buffers keyed by element type and
+/// capacity class. See the module documentation.
+pub struct StreamArena {
+    pools: HashMap<TypeId, Box<dyn AnyPool>>,
+    enabled: bool,
+    stats: ArenaStats,
+}
+
+impl Default for StreamArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamArena {
+    /// An empty arena. Pooling follows the process-wide default
+    /// ([`set_pooling_default`]).
+    pub fn new() -> Self {
+        StreamArena {
+            pools: HashMap::new(),
+            enabled: pooling_default(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Whether handed-back buffers are kept for reuse.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable pooling for this arena. Disabling drops all
+    /// pooled buffers.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.pools.clear();
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Number of (element type, capacity class) bins currently holding at
+    /// least one buffer. Steady-state workloads must not grow this — the
+    /// reuse property the tests pin down.
+    pub fn class_count(&self) -> usize {
+        self.pools.values().map(|p| p.class_count()).sum()
+    }
+
+    /// Total pooled buffers across all bins.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pools.values().map(|p| p.buffer_count()).sum()
+    }
+
+    /// The capacity class serving a request for `len` elements.
+    #[inline]
+    fn class_for(len: usize) -> usize {
+        len.next_power_of_two().max(1)
+    }
+
+    /// An empty buffer with capacity for at least `min_capacity` elements —
+    /// pooled if one of the right class is available, freshly allocated
+    /// otherwise.
+    pub fn take_capacity<T: StreamElement>(&mut self, min_capacity: usize) -> Vec<T> {
+        let class = Self::class_for(min_capacity);
+        self.stats.takes += 1;
+        if self.enabled {
+            if let Some(pool) = self
+                .pools
+                .get_mut(&TypeId::of::<T>())
+                .and_then(|p| p.as_any_mut().downcast_mut::<TypedPool<T>>())
+            {
+                if let Some(buf) = pool.bins.get_mut(&class).and_then(Vec::pop) {
+                    self.stats.hits += 1;
+                    debug_assert!(buf.is_empty() && buf.capacity() >= class);
+                    return buf;
+                }
+            }
+        }
+        self.stats.misses += 1;
+        Vec::with_capacity(class)
+    }
+
+    /// A buffer of `len` default-initialized elements (the contents a
+    /// freshly constructed [`Stream`] would have).
+    pub fn take_vec<T: StreamElement>(&mut self, len: usize) -> Vec<T> {
+        let mut v = self.take_capacity::<T>(len);
+        v.resize(len, T::default());
+        v
+    }
+
+    /// A buffer initialized with a copy of `data` (replaces
+    /// `data.to_vec()`).
+    pub fn take_vec_from<T: StreamElement>(&mut self, data: &[T]) -> Vec<T> {
+        let mut v = self.take_capacity::<T>(data.len());
+        v.extend_from_slice(data);
+        v
+    }
+
+    /// Hand a buffer back for reuse. The contents are cleared; the buffer
+    /// is binned under the largest capacity class it can serve. Buffers
+    /// beyond the per-bin bound (or with pooling disabled) are dropped.
+    pub fn put_vec<T: StreamElement>(&mut self, mut v: Vec<T>) {
+        let cap = v.capacity();
+        if !self.enabled || cap == 0 {
+            self.stats.dropped += 1;
+            return;
+        }
+        // Largest power of two ≤ cap: every take of that class fits.
+        let class = 1usize << (usize::BITS - 1 - cap.leading_zeros());
+        let pool = self
+            .pools
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(TypedPool::<T>::new()))
+            .as_any_mut()
+            .downcast_mut::<TypedPool<T>>()
+            .expect("pool type mismatch");
+        let bin = pool.bins.entry(class).or_default();
+        if bin.len() >= MAX_BUFFERS_PER_CLASS {
+            self.stats.dropped += 1;
+            return;
+        }
+        v.clear();
+        bin.push(v);
+        self.stats.recycled += 1;
+    }
+
+    /// A stream of `len` default-initialized elements backed by a pooled
+    /// buffer (the arena counterpart of [`Stream::new`]).
+    pub fn take_stream<T: StreamElement>(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        layout: Layout,
+    ) -> Stream<T> {
+        Stream::from_vec(name, self.take_vec(len), layout)
+    }
+
+    /// A stream initialized from `data` backed by a pooled buffer (the
+    /// arena counterpart of `Stream::from_vec(name, data.to_vec(), …)`).
+    pub fn take_stream_from<T: StreamElement>(
+        &mut self,
+        name: impl Into<String>,
+        data: &[T],
+        layout: Layout,
+    ) -> Stream<T> {
+        Stream::from_vec(name, self.take_vec_from(data), layout)
+    }
+
+    /// Hand a stream's backing buffer back for reuse.
+    pub fn recycle<T: StreamElement>(&mut self, stream: Stream<T>) {
+        self.put_vec(stream.into_data());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Node, Value};
+
+    #[test]
+    fn take_and_put_round_trip_reuses_the_buffer() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        let v = arena.take_vec::<Value>(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == Value::default()));
+        let ptr = v.as_ptr();
+        arena.put_vec(v);
+        assert_eq!(arena.pooled_buffers(), 1);
+        let again = arena.take_vec::<Value>(900); // same class (1024)
+        assert_eq!(again.as_ptr(), ptr, "the pooled buffer must be reused");
+        assert_eq!(again.len(), 900);
+        assert!(again.iter().all(|&x| x == Value::default()));
+        let s = arena.stats();
+        assert_eq!((s.takes, s.hits, s.misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn classes_separate_types_and_sizes() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.put_vec(arena_vec::<u32>(64));
+        arena.put_vec(arena_vec::<u32>(128));
+        arena.put_vec(arena_vec::<Node>(64));
+        assert_eq!(arena.class_count(), 3);
+        // A u32 request of class 64 must not consume the Node buffer.
+        let _ = arena.take_vec::<u32>(33);
+        assert_eq!(arena.pooled_buffers(), 2);
+    }
+
+    fn arena_vec<T: StreamElement>(n: usize) -> Vec<T> {
+        let mut v = Vec::with_capacity(n);
+        v.resize(n, T::default());
+        v
+    }
+
+    #[test]
+    fn take_vec_from_copies_the_data() {
+        let mut arena = StreamArena::new();
+        let data: Vec<u32> = (0..100).collect();
+        let v = arena.take_vec_from(&data);
+        assert_eq!(v, data);
+    }
+
+    #[test]
+    fn disabled_arena_drops_everything() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(false);
+        arena.put_vec(arena_vec::<u32>(64));
+        assert_eq!(arena.pooled_buffers(), 0);
+        assert_eq!(arena.stats().dropped, 1);
+        let v = arena.take_vec::<u32>(64);
+        assert_eq!(v.len(), 64);
+        assert_eq!(arena.stats().misses, 1);
+    }
+
+    #[test]
+    fn bins_are_bounded() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        for _ in 0..2 * MAX_BUFFERS_PER_CLASS {
+            arena.put_vec(arena_vec::<u32>(64));
+        }
+        assert_eq!(arena.pooled_buffers(), MAX_BUFFERS_PER_CLASS);
+        assert_eq!(arena.stats().dropped as usize, MAX_BUFFERS_PER_CLASS);
+    }
+
+    #[test]
+    fn stream_round_trip_preserves_fresh_stream_semantics() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        let mut s = arena.take_stream::<Value>("scratch", 256, Layout::ZOrder);
+        s.set(7, Value::new(3.0, 1));
+        arena.recycle(s);
+        let s2 = arena.take_stream::<Value>("scratch", 256, Layout::ZOrder);
+        // Recycled storage must look freshly allocated.
+        assert_eq!(s2.get(7), Value::default());
+        assert_eq!(s2.len(), 256);
+        assert_eq!(s2.name(), "scratch");
+    }
+}

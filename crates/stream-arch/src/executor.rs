@@ -5,27 +5,43 @@
 //!
 //! * a [`GpuProfile`] (the hardware being simulated),
 //! * one texture cache per processor unit,
-//! * the accumulated [`Counters`].
+//! * the accumulated [`Counters`],
+//! * a [`StreamArena`] recycling stream backing buffers across runs,
+//! * and (in [`ExecMode::Parallel`]) a persistent [`WorkerPool`] of unit
+//!   threads.
 //!
 //! [`StreamProcessor::launch`] executes one *stream operation*: it runs the
 //! kernel closure once per instance, either sequentially (deterministic
 //! reference mode) or distributed over the profile's `p` units on real
-//! threads ([`ExecMode::Parallel`]). Either way the cost accounting is
-//! identical; parallel mode exists to demonstrate real wall-clock scaling
-//! with `p` and to keep large benchmark runs fast.
+//! threads. Either way the cost accounting is identical; parallel mode
+//! exists to demonstrate real wall-clock scaling with `p` and to keep large
+//! benchmark runs fast.
+//!
+//! Host execution of a parallel launch is a *pooled* dispatch: the unit
+//! threads are spawned once, park on a condvar, and every launch publishes
+//! the kernel closure and wakes only the units that have instances to run.
+//! Each unit writes its event counters and first error into its own padded
+//! result slot, so the common path has no mutex contention; the slots are
+//! merged in unit order after the launch, which keeps the accounting
+//! deterministic. The pre-pool engine — one `std::thread::scope` spawn per
+//! unit per launch — is kept as [`ExecMode::SpawnParallel`] so the
+//! wall-clock harness can measure the pooled engine against its baseline
+//! and the test suite can assert byte-identical results.
 //!
 //! The processor enforces the hardware restrictions of Sections 3.2, 6.1
 //! and 7.1: maximum stream size, per-instance output budget, and (via
 //! [`StreamProcessor::check_distinct_io`]) distinctness of input and output
 //! streams.
 
+use crate::arena::StreamArena;
 use crate::cache::CacheSim;
 use crate::error::{Result, StreamError};
 use crate::kernel::KernelCtx;
 use crate::metrics::{Counters, SimTime};
 use crate::profile::GpuProfile;
 use crate::value::StreamElement;
-use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How kernel instances of a launch are executed on the host.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -34,10 +50,17 @@ pub enum ExecMode {
     /// default: fully deterministic, easiest to debug, and the cost model
     /// is unaffected by host parallelism.
     Sequential,
-    /// Instances are distributed over the profile's `units` on real host
-    /// threads (contiguous chunks, one per unit). Used by the wall-clock
-    /// scaling experiments.
+    /// Instances are distributed over the profile's `units` on the
+    /// processor's persistent worker pool (contiguous chunks, one per
+    /// unit). Used by the wall-clock scaling experiments.
     Parallel,
+    /// Instances are distributed exactly like [`ExecMode::Parallel`], but
+    /// every launch spawns fresh OS threads (`std::thread::scope`) instead
+    /// of waking the pool. This is the legacy engine, kept as the
+    /// wall-clock baseline: results, counters, cache statistics and
+    /// simulated times are byte-identical to `Parallel`, only the host
+    /// launch overhead differs.
+    SpawnParallel,
 }
 
 /// The simulated stream processor.
@@ -46,6 +69,8 @@ pub struct StreamProcessor {
     mode: ExecMode,
     caches: Vec<CacheSim>,
     counters: Counters,
+    arena: StreamArena,
+    pool: Option<WorkerPool>,
 }
 
 impl StreamProcessor {
@@ -56,6 +81,10 @@ impl StreamProcessor {
     }
 
     /// Create a processor with an explicit host execution mode.
+    ///
+    /// The worker pool of [`ExecMode::Parallel`] is created lazily on the
+    /// first parallel launch, so sequential processors never pay for idle
+    /// threads.
     pub fn with_mode(profile: GpuProfile, mode: ExecMode) -> Self {
         let caches = (0..profile.units)
             .map(|_| CacheSim::new(profile.cache))
@@ -65,6 +94,8 @@ impl StreamProcessor {
             mode,
             caches,
             counters: Counters::new(),
+            arena: StreamArena::new(),
+            pool: None,
         }
     }
 
@@ -81,6 +112,20 @@ impl StreamProcessor {
     /// Change the host execution mode.
     pub fn set_mode(&mut self, mode: ExecMode) {
         self.mode = mode;
+    }
+
+    /// The processor's buffer arena. Drivers allocate their intermediate
+    /// streams from it and recycle them at the end of a run, so a service
+    /// executing thousands of sorts on one pooled processor stops churning
+    /// the allocator.
+    pub fn arena(&mut self) -> &mut StreamArena {
+        &mut self.arena
+    }
+
+    /// Read-only view of the buffer arena (for inspecting reuse
+    /// statistics).
+    pub fn arena_ref(&self) -> &StreamArena {
+        &self.arena
     }
 
     /// Accumulated counters, with the per-unit cache statistics merged in.
@@ -185,6 +230,12 @@ impl StreamProcessor {
     /// detected during execution (gather out of bounds, output overflow,
     /// per-instance output budget exceeded, …) abort the launch and are
     /// returned as errors.
+    ///
+    /// Instance `i` of a parallel launch always runs on unit
+    /// `i / ⌈instances / min(p, instances)⌉` — the deterministic
+    /// unit→chunk assignment all three execution modes and both parallel
+    /// engines share, which is what keeps cache statistics and error
+    /// selection reproducible.
     pub fn launch<F>(&mut self, _name: &str, instances: usize, kernel: F) -> Result<()>
     where
         F: Fn(&mut KernelCtx<'_>) + Sync,
@@ -197,67 +248,150 @@ impl StreamProcessor {
         let max_output_bytes = self.profile.max_kernel_output_bytes;
 
         match self.mode {
-            ExecMode::Sequential => {
-                let mut local = Counters::new();
-                let cache = &mut self.caches[0];
-                let result = run_chunk(
-                    0,
-                    0,
-                    instances,
-                    &kernel,
-                    &mut local,
-                    cache,
-                    max_output_bytes,
-                );
-                self.counters += &local;
-                // Subtract the fields launch() already counted.
-                self.counters.launches -= 0;
-                result
-            }
+            ExecMode::Sequential => run_chunk(
+                0,
+                0,
+                instances,
+                &kernel,
+                &mut self.counters,
+                &mut self.caches[0],
+                max_output_bytes,
+            ),
             ExecMode::Parallel => {
-                let units = self.profile.units.min(instances);
-                let chunk = instances.div_ceil(units);
-                let merged: Mutex<Counters> = Mutex::new(Counters::new());
-                let first_error: Mutex<Option<StreamError>> = Mutex::new(None);
-                std::thread::scope(|scope| {
-                    for (unit, cache) in self.caches.iter_mut().take(units).enumerate() {
+                let (chunk, active) = chunk_plan(self.profile.units, instances);
+                if instances <= INLINE_INSTANCES {
+                    // Small-launch fast path: waking workers costs more
+                    // than the work itself, so run the units' chunks
+                    // inline on the calling thread. The unit→chunk→cache
+                    // assignment, counter-merge order and error selection
+                    // are exactly those of the dispatched path, so results
+                    // stay byte-identical — only the host time changes.
+                    let mut first_error = None;
+                    for unit in 0..active {
                         let start = unit * chunk;
                         let end = ((unit + 1) * chunk).min(instances);
-                        if start >= end {
-                            break;
+                        let r = run_chunk(
+                            unit,
+                            start,
+                            end,
+                            &kernel,
+                            &mut self.counters,
+                            &mut self.caches[unit],
+                            max_output_bytes,
+                        );
+                        if first_error.is_none() {
+                            first_error = r.err();
                         }
+                    }
+                    return match first_error {
+                        Some(e) => Err(e),
+                        None => Ok(()),
+                    };
+                }
+                let pool = self
+                    .pool
+                    .get_or_insert_with(|| WorkerPool::new(self.profile.units));
+                let shared = Arc::clone(&pool.shared);
+                // Raw per-unit cache pointers: each active unit touches only
+                // its own cache, and the pool blocks until every unit is
+                // done, so the mutable borrow of `self.caches` is never
+                // aliased.
+                let caches = UnitPtr(self.caches.as_mut_ptr());
+                let kernel = &kernel;
+                let task_shared = Arc::clone(&shared);
+                let task = move |unit: usize| {
+                    let start = unit * chunk;
+                    let end = ((unit + 1) * chunk).min(instances);
+                    // SAFETY: `unit < active` is guaranteed by the pool and
+                    // distinct units use distinct slots/caches.
+                    let slot = unsafe { task_shared.slot_mut(unit) };
+                    let cache = unsafe { caches.cache(unit) };
+                    slot.counters = Counters::new();
+                    slot.error = run_chunk(
+                        unit,
+                        start,
+                        end,
+                        kernel,
+                        &mut slot.counters,
+                        cache,
+                        max_output_bytes,
+                    )
+                    .err();
+                };
+                shared.dispatch(active, &task);
+                // Merge the per-unit slots in unit order: deterministic, and
+                // no lock was touched while the kernels ran.
+                let mut first_error = None;
+                for unit in 0..active {
+                    // SAFETY: all workers are parked again after dispatch().
+                    let slot = unsafe { shared.slot_mut(unit) };
+                    self.counters += &slot.counters;
+                    if first_error.is_none() {
+                        first_error = slot.error.take();
+                    }
+                }
+                match first_error {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+            ExecMode::SpawnParallel => {
+                let (chunk, active) = chunk_plan(self.profile.units, instances);
+                let mut slots: Vec<UnitSlot> = (0..active).map(|_| UnitSlot::default()).collect();
+                std::thread::scope(|scope| {
+                    for ((unit, slot), cache) in
+                        slots.iter_mut().enumerate().zip(self.caches.iter_mut())
+                    {
+                        let start = unit * chunk;
+                        let end = ((unit + 1) * chunk).min(instances);
                         let kernel = &kernel;
-                        let merged = &merged;
-                        let first_error = &first_error;
                         scope.spawn(move || {
-                            let mut local = Counters::new();
-                            let r = run_chunk(
+                            slot.error = run_chunk(
                                 unit,
                                 start,
                                 end,
                                 kernel,
-                                &mut local,
+                                &mut slot.counters,
                                 cache,
                                 max_output_bytes,
-                            );
-                            *merged.lock() += &local;
-                            if let Err(e) = r {
-                                let mut slot = first_error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(e);
-                                }
-                            }
+                            )
+                            .err();
                         });
                     }
                 });
-                self.counters += &merged.into_inner();
-                match first_error.into_inner() {
+                let mut first_error = None;
+                for slot in &mut slots {
+                    self.counters += &slot.counters;
+                    if first_error.is_none() {
+                        first_error = slot.error.take();
+                    }
+                }
+                match first_error {
                     Some(e) => Err(e),
                     None => Ok(()),
                 }
             }
         }
     }
+}
+
+/// Launches at or below this many instances run inline on the calling
+/// thread (still under the parallel unit→chunk assignment) instead of
+/// being dispatched to the pool: a condvar round-trip costs far more than
+/// simulating a handful of kernel instances. An adaptive bitonic sort
+/// issues many such launches (stage-0 phases at high recursion levels
+/// touch only a few tree roots), which is exactly the O(log² n)
+/// cheap-launch regime the paper's machine model assumes is almost free.
+const INLINE_INSTANCES: usize = 256;
+
+/// The contiguous-chunk distribution shared by both parallel engines:
+/// `⌈instances / min(units, instances)⌉` instances per unit, and the number
+/// of units that actually receive work.
+#[inline]
+fn chunk_plan(units: usize, instances: usize) -> (usize, usize) {
+    let units = units.max(1).min(instances);
+    let chunk = instances.div_ceil(units);
+    (chunk, instances.div_ceil(chunk))
 }
 
 /// Run instances `[start, end)` on one simulated unit.
@@ -295,6 +429,196 @@ where
         }
     }
     Ok(())
+}
+
+// --- The persistent worker pool --------------------------------------------
+
+/// A `*mut CacheSim` that may cross the dispatch boundary. Soundness is
+/// argued at the capture site: units index disjoint elements, and the
+/// dispatching thread blocks until all units are parked again.
+struct UnitPtr(*mut CacheSim);
+unsafe impl Send for UnitPtr {}
+unsafe impl Sync for UnitPtr {}
+
+impl UnitPtr {
+    /// The cache of `unit`.
+    ///
+    /// # Safety
+    /// The caller must guarantee `unit` is in bounds and not aliased (each
+    /// active unit uses a distinct index, and the dispatcher blocks until
+    /// all units finished).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn cache(&self, unit: usize) -> &mut CacheSim {
+        &mut *self.0.add(unit)
+    }
+}
+
+/// Per-unit launch result. Padded to its own cache lines so units don't
+/// false-share while streaming counter updates.
+#[repr(align(128))]
+#[derive(Default)]
+struct UnitSlot {
+    counters: Counters,
+    error: Option<StreamError>,
+}
+
+/// The type-erased per-launch task: `task(unit)` runs that unit's chunk.
+#[derive(Copy, Clone)]
+struct Task(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is `Sync` and guaranteed alive for the whole epoch by
+// `PoolShared::dispatch`, which blocks until every active worker finished.
+unsafe impl Send for Task {}
+
+/// Dispatch state guarded by the pool mutex. The mutex is held only to
+/// publish/observe epochs — never while kernels run.
+struct Ctrl {
+    epoch: u64,
+    active: usize,
+    remaining: usize,
+    task: Option<Task>,
+    /// First panic payload caught from a worker this epoch (resumed on the
+    /// dispatching thread so a panicking kernel behaves like it does under
+    /// the sequential and spawn engines instead of deadlocking the pool).
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    ctrl: Mutex<Ctrl>,
+    work: Condvar,
+    done: Condvar,
+    slots: Vec<UnsafeCell<UnitSlot>>,
+}
+
+// SAFETY: `slots` is accessed through `slot_mut` under the documented
+// discipline (each worker touches only its own slot during an epoch; the
+// dispatcher touches slots only between epochs).
+unsafe impl Sync for PoolShared {}
+
+impl PoolShared {
+    /// Exclusive access to one unit's result slot.
+    ///
+    /// # Safety
+    /// Callers must guarantee exclusivity: a worker may only access its own
+    /// slot while an epoch is running, and the dispatching thread may only
+    /// access slots while no epoch is running.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot_mut(&self, unit: usize) -> &mut UnitSlot {
+        &mut *self.slots[unit].get()
+    }
+
+    /// Publish `task` for units `0..active`, wake them, and block until all
+    /// of them have finished. A panic raised by the task on any worker is
+    /// re-raised here (after every worker finished the epoch), leaving the
+    /// pool itself healthy for subsequent launches; the panicked launch's
+    /// per-unit results are discarded by the caller's unwind.
+    fn dispatch(&self, active: usize, task: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: erase the borrow lifetime; `task` outlives the epoch
+        // because this function does not return until `remaining == 0`.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let mut ctrl = self.ctrl.lock().expect("pool mutex poisoned");
+        ctrl.epoch += 1;
+        ctrl.active = active;
+        ctrl.remaining = active;
+        ctrl.task = Some(Task(task as *const _));
+        self.work.notify_all();
+        while ctrl.remaining > 0 {
+            ctrl = self.done.wait(ctrl).expect("pool mutex poisoned");
+        }
+        ctrl.task = None;
+        if let Some(payload) = ctrl.panic.take() {
+            drop(ctrl);
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// The persistent unit threads of [`ExecMode::Parallel`]: spawned once per
+/// processor, parked on a condvar between launches.
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn new(units: usize) -> Self {
+        let units = units.max(1);
+        let shared = Arc::new(PoolShared {
+            ctrl: Mutex::new(Ctrl {
+                epoch: 0,
+                active: 0,
+                remaining: 0,
+                task: None,
+                panic: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            slots: (0..units)
+                .map(|_| UnsafeCell::new(UnitSlot::default()))
+                .collect(),
+        });
+        let handles = (0..units)
+            .map(|unit| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stream-unit-{unit}"))
+                    .spawn(move || worker_loop(unit, shared))
+                    .expect("failed to spawn stream unit thread")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut ctrl = self.shared.ctrl.lock().expect("pool mutex poisoned");
+            ctrl.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(unit: usize, shared: Arc<PoolShared>) {
+    let mut seen = 0u64;
+    loop {
+        let task = {
+            let mut ctrl = shared.ctrl.lock().expect("pool mutex poisoned");
+            loop {
+                if ctrl.shutdown {
+                    return;
+                }
+                if ctrl.epoch != seen {
+                    seen = ctrl.epoch;
+                    if unit < ctrl.active {
+                        break ctrl.task.expect("active epoch without a task");
+                    }
+                    // Not needed this epoch; wait for the next one.
+                }
+                ctrl = shared.work.wait(ctrl).expect("pool mutex poisoned");
+            }
+        };
+        // Run outside the lock: this is the no-mutex common path. A
+        // panicking kernel must still decrement `remaining`, or the
+        // dispatcher would wait forever — catch it and hand the payload
+        // back for re-raising on the dispatching thread.
+        // SAFETY: `dispatch` keeps the task alive until `remaining == 0`.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*task.0)(unit) }));
+        let mut ctrl = shared.ctrl.lock().expect("pool mutex poisoned");
+        if let Err(payload) = result {
+            ctrl.panic.get_or_insert(payload);
+        }
+        ctrl.remaining -= 1;
+        if ctrl.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +677,112 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_spawn_engines_are_byte_identical() {
+        // The pooled engine must preserve everything the legacy
+        // spawn-per-launch engine produced: output bytes, every counter,
+        // the per-unit cache statistics, and the simulated time.
+        let input = Stream::from_vec("in", (0u32..5_000).collect(), Layout::ZOrder);
+
+        let run = |mode: ExecMode| {
+            let mut p = StreamProcessor::with_mode(GpuProfile::geforce_6800(), mode);
+            let mut out: Stream<u32> = Stream::new("out", 5_000, Layout::ZOrder);
+            for _ in 0..3 {
+                doubling_op(&mut p, &input, &mut out);
+            }
+            (out.as_slice().to_vec(), p.counters(), p.simulated_time())
+        };
+        let (out_pool, c_pool, t_pool) = run(ExecMode::Parallel);
+        let (out_spawn, c_spawn, t_spawn) = run(ExecMode::SpawnParallel);
+        assert_eq!(out_pool, out_spawn);
+        assert_eq!(c_pool, c_spawn);
+        assert_eq!(t_pool, t_spawn);
+    }
+
+    #[test]
+    fn pooled_launch_handles_tiny_and_uneven_instance_counts() {
+        // Shapes around the unit count: 0 instances (early return), 1, one
+        // fewer/more than the unit count, and a count that leaves the last
+        // unit empty under ceil-division (instances=9, units=8 → chunk=2 →
+        // 5 active units).
+        for instances in [0usize, 1, 7, 8, 9, 17] {
+            let input = Stream::from_vec("in", (0..instances as u32).collect(), Layout::Linear);
+            let mut pooled =
+                StreamProcessor::with_mode(GpuProfile::idealized(8), ExecMode::Parallel);
+            let mut out_pool: Stream<u32> = Stream::new("out", instances, Layout::Linear);
+            let mut seq = StreamProcessor::new(GpuProfile::idealized(8));
+            let mut out_seq: Stream<u32> = Stream::new("out", instances, Layout::Linear);
+            if instances == 0 {
+                pooled.launch("empty", 0, |_ctx| {}).unwrap();
+                seq.launch("empty", 0, |_ctx| {}).unwrap();
+            } else {
+                doubling_op(&mut pooled, &input, &mut out_pool);
+                doubling_op(&mut seq, &input, &mut out_seq);
+            }
+            assert_eq!(out_pool.as_slice(), out_seq.as_slice(), "n={instances}");
+            let cp = pooled.counters();
+            let cs = seq.counters();
+            assert_eq!(cp.launches, cs.launches);
+            assert_eq!(cp.kernel_instances, cs.kernel_instances);
+            assert_eq!(cp.stream_reads, cs.stream_reads);
+            assert_eq!(cp.stream_writes, cs.stream_writes);
+        }
+    }
+
+    #[test]
+    fn pool_threads_are_reused_across_launches() {
+        // Hundreds of launches on one processor must not spawn hundreds of
+        // thread sets; the pool is created on the first dispatched launch
+        // and every later epoch reuses the parked workers. The instance
+        // count is above the inline threshold so every launch actually
+        // goes through the pool.
+        let n = 2 * INLINE_INSTANCES;
+        let mut p = StreamProcessor::with_mode(GpuProfile::idealized(4), ExecMode::Parallel);
+        let input = Stream::from_vec("in", (0..n as u32).collect(), Layout::Linear);
+        let mut out: Stream<u32> = Stream::new("out", n, Layout::Linear);
+        for _ in 0..300 {
+            doubling_op(&mut p, &input, &mut out);
+        }
+        assert!(p.pool.is_some(), "dispatched launches must create the pool");
+        assert_eq!(p.pool.as_ref().unwrap().handles.len(), 4);
+        assert_eq!(p.counters().launches, 300);
+        assert_eq!(out.as_slice()[n - 1], 2 * (n as u32 - 1));
+    }
+
+    #[test]
+    fn small_launches_run_inline_without_creating_the_pool() {
+        let mut p = StreamProcessor::with_mode(GpuProfile::idealized(4), ExecMode::Parallel);
+        let input = Stream::from_vec("in", (0u32..64).collect(), Layout::Linear);
+        let mut out: Stream<u32> = Stream::new("out", 64, Layout::Linear);
+        for _ in 0..100 {
+            doubling_op(&mut p, &input, &mut out);
+        }
+        assert!(p.pool.is_none(), "inline launches must not spawn workers");
+        assert_eq!(out.as_slice()[63], 126);
+    }
+
+    #[test]
+    fn kernel_panic_on_a_pooled_worker_propagates_and_the_pool_survives() {
+        // A panicking kernel must behave like it does under the sequential
+        // and spawn engines — propagate to the caller — not deadlock the
+        // dispatcher; and the pool must stay usable afterwards.
+        let n = 4 * INLINE_INSTANCES; // force the dispatched path
+        let mut p = StreamProcessor::with_mode(GpuProfile::idealized(4), ExecMode::Parallel);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = p.launch("boom", n, |ctx| {
+                if ctx.instance_index() == n - 1 {
+                    panic!("kernel bug");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "the worker panic must reach the caller");
+
+        let input = Stream::from_vec("in", (0..n as u32).collect(), Layout::Linear);
+        let mut out: Stream<u32> = Stream::new("out", n, Layout::Linear);
+        doubling_op(&mut p, &input, &mut out);
+        assert_eq!(out.as_slice()[n - 1], 2 * (n as u32 - 1));
+    }
+
+    #[test]
     fn output_budget_enforced() {
         // The GeForce profiles allow 16 x 32 bit = 64 bytes per instance;
         // pushing 9 Values (72 bytes) must fail.
@@ -401,6 +831,41 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, StreamError::GatherOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn error_selection_is_deterministic_across_engines() {
+        // The first failing instance is `ok` (the gather stream length);
+        // all three engines must return exactly its error, not whichever
+        // unit's error won a race. Two shapes: one below the inline
+        // threshold and one dispatched through the worker pool.
+        for (instances, ok) in [(16usize, 5usize), (4 * INLINE_INSTANCES, 600)] {
+            let small = Stream::from_vec("small", (0..ok as u32).collect(), Layout::Linear);
+            let run = |mode: ExecMode| {
+                let mut p = StreamProcessor::with_mode(GpuProfile::idealized(4), mode);
+                let mut out: Stream<u32> = Stream::new("out", instances, Layout::Linear);
+                let gather = crate::kernel::GatherView::new(&small);
+                let write = WriteView::contiguous(&mut out, 0, instances, 1).unwrap();
+                p.launch("oob-tail", instances, |ctx| {
+                    let v = gather.gather(ctx, ctx.instance_index());
+                    write.set(ctx, 0, v);
+                })
+                .unwrap_err()
+            };
+            let seq = run(ExecMode::Sequential);
+            let pooled = run(ExecMode::Parallel);
+            let spawn = run(ExecMode::SpawnParallel);
+            assert_eq!(
+                seq,
+                StreamError::GatherOutOfBounds {
+                    stream_len: ok,
+                    index: ok
+                },
+                "instances={instances}"
+            );
+            assert_eq!(seq, pooled, "instances={instances}");
+            assert_eq!(seq, spawn, "instances={instances}");
+        }
     }
 
     #[test]

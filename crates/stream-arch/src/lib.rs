@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod cache;
 pub mod error;
 pub mod executor;
@@ -52,6 +53,7 @@ pub mod stream;
 pub mod transfer;
 pub mod value;
 
+pub use arena::{ArenaStats, StreamArena};
 pub use cache::{CacheConfig, CacheSim, CacheStats};
 pub use error::{Result, StreamError};
 pub use executor::{ExecMode, StreamProcessor};

@@ -135,9 +135,24 @@ impl<T: StreamElement> Stream<T> {
         self.data[offset..offset + values.len()].copy_from_slice(values);
     }
 
-    /// Host-side read of a contiguous range.
+    /// Borrowed host-side read of a contiguous range. This is the
+    /// zero-copy readback path: callers that only need to *look at* stream
+    /// contents (verification, value extraction) borrow instead of paying
+    /// a `to_vec()` copy.
+    pub fn range(&self, start: usize, len: usize) -> &[T] {
+        &self.data[start..start + len]
+    }
+
+    /// Host-side copy of a contiguous range. Use [`Stream::range`] when a
+    /// borrowed read suffices.
     pub fn read_range(&self, start: usize, len: usize) -> Vec<T> {
-        self.data[start..start + len].to_vec()
+        self.range(start, len).to_vec()
+    }
+
+    /// Consume the stream and return its backing buffer (the recycle hook
+    /// used by [`crate::StreamArena`]).
+    pub fn into_data(self) -> Vec<T> {
+        self.data
     }
 
     /// A read-only host view of a substream.
