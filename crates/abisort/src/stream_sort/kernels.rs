@@ -196,12 +196,10 @@ pub fn copy_back(
         &[(trees_out.id(), trees_out.name())],
         &[(trees_in.id(), trees_in.name())],
     )?;
-    let src = ReadView::contiguous(trees_out, block.0, block.1, 2)?;
-    let dst = WriteView::contiguous(trees_in, block.0, block.1, 2)?;
-    proc.launch("copy-back", block.1 / 2, |ctx| {
-        let (a, b) = src.pair(ctx);
-        dst.pair(ctx, a, b);
-    })
+    // A pure block forward: the executor's vectorized copy launch charges
+    // it wholesale (and runs it as the per-element reference kernel under
+    // per-access accounting).
+    proc.launch_copy("copy-back", trees_out, trees_in, block, 2)
 }
 
 /// End-of-level commit (Listing 2): reinterpret the in-order value sequence
@@ -224,10 +222,13 @@ pub fn commit_level(
     proc.launch("commit-level", n / 2, |ctx| {
         let (a, b) = src.pair(ctx);
         let base = ctx.instance_index() * 2;
-        for (slot, value) in [a.value, b.value].into_iter().enumerate() {
-            let local = base + slot;
-            dst.set(ctx, slot, in_order_node(value, n, local));
-        }
+        dst.write_all(
+            ctx,
+            &[
+                in_order_node(a.value, n, base),
+                in_order_node(b.value, n, base + 1),
+            ],
+        );
     })
 }
 
@@ -257,9 +258,7 @@ pub fn local_sort8(
     proc.launch("local-sort-8", n / 8, |ctx| {
         let ascending = ctx.instance_index() % 2 == 0;
         let mut v = [Value::default(); 8];
-        for (slot, value) in v.iter_mut().enumerate() {
-            *value = src.get(ctx, slot);
-        }
+        src.read_into(ctx, &mut v);
         // Odd-even transition sort: 8 passes of alternating adjacent
         // compare-exchanges (the comparison order that "allows for better
         // SIMD optimizations", Section 7.1).
@@ -273,9 +272,7 @@ pub fn local_sort8(
                 i += 2;
             }
         }
-        for (slot, value) in v.into_iter().enumerate() {
-            dst.set(ctx, slot, value);
-        }
+        dst.write_all(ctx, &v);
     })
 }
 
@@ -301,10 +298,13 @@ pub fn build_trees16(
     let dst = WriteView::contiguous(trees_out, n, n, 4)?;
     proc.launch("build-trees-16", n / 4, |ctx| {
         let base = ctx.instance_index() * 4;
-        for slot in 0..4 {
-            let value = src.get(ctx, slot);
-            dst.set(ctx, slot, in_order_node(value, n, base + slot));
+        let mut values = [Value::default(); 4];
+        src.read_into(ctx, &mut values);
+        let mut nodes = [Node::default(); 4];
+        for (slot, value) in values.into_iter().enumerate() {
+            nodes[slot] = in_order_node(value, n, base + slot);
         }
+        dst.write_all(ctx, &nodes);
     })
 }
 
@@ -405,9 +405,7 @@ pub fn traverse16(
             in_order(ctx, &gather, root.right as usize, 3, &mut out, &mut pos);
             out[7] = gather.gather(ctx, source.spare_index(group)).value;
         }
-        for (slot, value) in out.into_iter().enumerate() {
-            dst.set(ctx, slot, value);
-        }
+        dst.write_all(ctx, &out);
     })
 }
 
@@ -436,9 +434,7 @@ pub fn fixed_merge16(
 
         // Load the whole 16-value bitonic sequence.
         let mut v = [Value::default(); 16];
-        for (slot, value) in v.iter_mut().enumerate() {
-            *value = gather.gather(ctx, group * 16 + slot);
-        }
+        gather.gather_range(ctx, group * 16, &mut v);
         // First compare-exchange distance 8; afterwards the lower and upper
         // halves are independent, so the instance keeps only its half.
         for i in 0..8 {
@@ -461,9 +457,7 @@ pub fn fixed_merge16(
                 block += 2 * step;
             }
         }
-        for (slot, value) in h.into_iter().enumerate() {
-            dst.set(ctx, slot, value);
-        }
+        dst.write_all(ctx, &h);
     })
 }
 

@@ -33,13 +33,23 @@ impl MergeStreams {
     /// Allocate the four working streams for an `n`-element sort from the
     /// processor's buffer arena (recycled backing buffers when a previous
     /// run of the same size class handed its streams back).
+    ///
+    /// All four streams are taken **uninitialized** (zero-fill elision):
+    /// every element read from them is written earlier in the same run.
+    /// The input half `[n, 2n)` of `trees_a` is host-initialized before
+    /// the levels run; its workspace half is only read through blocks
+    /// that the per-phase `copy_back` wrote first. `trees_b` is read only
+    /// by `copy_back` over exactly the block the preceding kernel wrote.
+    /// The pq streams ping-pong: each phase reads the full `2·len` region
+    /// the previous phase wrote. The elision proptests and the E21 live
+    /// identity checks pin the resulting byte-identity down.
     pub fn take(arena: &mut StreamArena, n: usize, layout: Layout) -> Self {
         MergeStreams {
-            trees_a: arena.take_stream("trees-a", 2 * n, layout),
-            trees_b: arena.take_stream("trees-b", 2 * n, layout),
+            trees_a: arena.take_stream_uninit("trees-a", 2 * n, layout),
+            trees_b: arena.take_stream_uninit("trees-b", 2 * n, layout),
             pq: [
-                arena.take_stream("pq-a", 2 * n, layout),
-                arena.take_stream("pq-b", 2 * n, layout),
+                arena.take_stream_uninit("pq-a", 2 * n, layout),
+                arena.take_stream_uninit("pq-b", 2 * n, layout),
             ],
         }
     }

@@ -234,10 +234,13 @@ impl GpuAbiSorter {
             let layout = self.config.layout.to_layout();
             let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
             let mut streams = MergeStreams::take(proc.arena(), n, layout);
+            // Scratch/merged value streams are written in full by
+            // `traverse16` / `fixed_merge16` before either is read, so
+            // their refill is elided too.
             let mut scratch_values: Stream<Value> =
-                proc.arena().take_stream("scratch-values", n, layout);
+                proc.arena().take_stream_uninit("scratch-values", n, layout);
             let mut merged_values: Stream<Value> =
-                proc.arena().take_stream("merged-values", n, layout);
+                proc.arena().take_stream_uninit("merged-values", n, layout);
 
             // The Listing-2 invariant at the start of level j is "the input
             // half holds the values in in-order storage, each 2^(j-1) block
@@ -302,10 +305,14 @@ impl GpuAbiSorter {
         }
 
         let mut streams = MergeStreams::take(proc.arena(), n, layout);
-        // Value streams used by the Section 7 kernels.
+        // Value streams used by the Section 7 kernels. Both are fully
+        // written before they are read (`local_sort8`/`traverse16` fill
+        // the scratch stream, `fixed_merge16` the merged stream), so the
+        // default refill is elided.
         let mut scratch_values: Stream<Value> =
-            proc.arena().take_stream("scratch-values", n, layout);
-        let mut merged_values: Stream<Value> = proc.arena().take_stream("merged-values", n, layout);
+            proc.arena().take_stream_uninit("scratch-values", n, layout);
+        let mut merged_values: Stream<Value> =
+            proc.arena().take_stream_uninit("merged-values", n, layout);
 
         // --- Input setup -------------------------------------------------
         let first_level = if local_sort {

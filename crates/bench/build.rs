@@ -1,0 +1,17 @@
+//! Captures the rustc version at build time so the report header can
+//! record the toolchain a trajectory point was produced with (the
+//! perf-regression gate compares wall-clock ratios across runs; knowing
+//! the compiler behind each point makes cross-run numbers interpretable).
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = std::process::Command::new(rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=BENCH_RUSTC_VERSION={version}");
+    println!("cargo:rerun-if-changed=build.rs");
+}

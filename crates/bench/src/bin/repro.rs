@@ -14,6 +14,16 @@
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
 //!   --json PATH           additionally write all collected results as JSON
+//!   --check-baseline PATH perf-regression gate: after running the
+//!                         wallclock scenario, compare each row's speedup
+//!                         against the committed BENCH_WALL.json at PATH
+//!                         and exit non-zero if any row regressed beyond
+//!                         the tolerance (run with the same flags the
+//!                         baseline was produced with; enforced only when
+//!                         the host matches the baseline's recorded core
+//!                         count, advisory otherwise)
+//!   --baseline-tolerance P allowed relative speedup loss for the gate,
+//!                         in percent (default 25)
 //! ```
 
 use bench::extended::{render_padding, render_pram, render_terasort};
@@ -32,6 +42,8 @@ struct Options {
     experiments: Vec<String>,
     max_log_n: u32,
     json: Option<String>,
+    check_baseline: Option<String>,
+    baseline_tolerance: f64,
 }
 
 fn parse_args() -> Options {
@@ -43,6 +55,8 @@ fn parse_args() -> Options {
         experiments: Vec::new(),
         max_log_n: 20,
         json: None,
+        check_baseline: None,
+        baseline_tolerance: 0.25,
     };
     let mut args = std::env::args().skip(1);
     let mut any = false;
@@ -81,6 +95,25 @@ fn parse_args() -> Options {
             "--json" => {
                 opts.json = Some(args.next().expect("--json requires a path"));
             }
+            "--check-baseline" => {
+                opts.check_baseline = Some(args.next().expect("--check-baseline requires a path"));
+                // The gate compares wallclock rows, so make sure they run.
+                if !opts.experiments.iter().any(|e| e == "wallclock") {
+                    opts.experiments.push("wallclock".into());
+                }
+                any = true;
+            }
+            "--baseline-tolerance" => {
+                let pct: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--baseline-tolerance requires a number (percent)");
+                assert!(
+                    (0.0..100.0).contains(&pct),
+                    "--baseline-tolerance must be in [0, 100)"
+                );
+                opts.baseline_tolerance = pct / 100.0;
+            }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of repro.rs");
                 std::process::exit(0);
@@ -111,7 +144,10 @@ fn print_figures() {
 
 fn main() {
     let opts = parse_args();
-    let mut report = Report::default();
+    let mut report = Report {
+        host: bench::HostInfo::detect(),
+        ..Default::default()
+    };
     let wants = |name: &str| opts.all || opts.experiments.iter().any(|e| e == name);
 
     if opts.all || opts.figures {
@@ -256,5 +292,73 @@ fn main() {
     if let Some(path) = &opts.json {
         std::fs::write(path, report.to_json()).expect("failed to write JSON report");
         eprintln!("wrote JSON report to {path}");
+    }
+
+    if let Some(path) = &opts.check_baseline {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("failed to read baseline {path}: {e}"));
+        // Speedup bands are only meaningful on the machine class the
+        // baseline was measured on (the parallel matrix's spawn-vs-pool
+        // ratio scales with the core count). On a different host the gate
+        // still runs and prints the comparison, but does not fail the
+        // build — the absolute acceptance floors cover that case.
+        let enforced = match bench::wallclock::baseline_host_cores(&baseline) {
+            Some(cores) if cores == report.host.cores => true,
+            Some(cores) => {
+                eprintln!(
+                    "perf-regression gate: baseline was measured on {cores} cores, this host \
+                     has {} — reporting only, not enforcing (the acceptance-floor tests still \
+                     gate; re-commit a baseline from this machine class to re-arm the gate)",
+                    report.host.cores
+                );
+                false
+            }
+            None => {
+                eprintln!(
+                    "perf-regression gate: baseline has no host header — reporting only, not \
+                     enforcing"
+                );
+                false
+            }
+        };
+        match bench::wallclock::check_against_baseline(
+            &report.wallclock,
+            &baseline,
+            opts.baseline_tolerance,
+        ) {
+            Ok(checks) => {
+                println!(
+                    "{}",
+                    bench::wallclock::render_baseline_checks(&checks, opts.baseline_tolerance)
+                );
+                let regressed: Vec<_> = checks.iter().filter(|c| !c.ok).collect();
+                if !regressed.is_empty() && enforced {
+                    eprintln!(
+                        "perf-regression gate FAILED: {} of {} rows regressed beyond {:.0}% \
+                         versus {path}",
+                        regressed.len(),
+                        checks.len(),
+                        opts.baseline_tolerance * 100.0
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "perf-regression gate {}: {} rows compared against {path} ({} regressed, \
+                     tolerance {:.0}%)",
+                    if enforced {
+                        "passed"
+                    } else {
+                        "reported (advisory)"
+                    },
+                    checks.len(),
+                    regressed.len(),
+                    opts.baseline_tolerance * 100.0
+                );
+            }
+            Err(e) => {
+                eprintln!("perf-regression gate could not run: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

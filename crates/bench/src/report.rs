@@ -9,10 +9,52 @@ use crate::sharded::ShardedRow;
 use crate::wallclock::WallClockRow;
 use serde::Serialize;
 
+/// Host provenance of a report run.
+///
+/// The wall-clock rows in `BENCH_WALL.json` are only comparable across
+/// runs on the same machine class; the header records enough of the host
+/// (core count, toolchain, platform, build profile) for the perf gate's
+/// consumers to judge whether two trajectory points are comparable.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct HostInfo {
+    /// Available hardware parallelism (logical cores).
+    pub cores: usize,
+    /// `rustc --version` of the compiler that built the harness.
+    pub rustc: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Cargo build profile the harness ran under (`debug` / `release`).
+    pub profile: String,
+}
+
+impl HostInfo {
+    /// Probe the current host.
+    pub fn detect() -> Self {
+        HostInfo {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(0),
+            rustc: env!("BENCH_RUSTC_VERSION").to_string(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            profile: if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+            .to_string(),
+        }
+    }
+}
+
 /// A collection of experiment results that can be rendered as text (the
 /// paper-style tables) or serialized to JSON for EXPERIMENTS.md.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct Report {
+    /// Host the report was produced on (cores, rustc, platform).
+    pub host: HostInfo,
     /// Table 2 rows (GeForce 6800 system), if run.
     pub table2: Vec<TimingRow>,
     /// Table 3 rows (GeForce 7800 system), if run.

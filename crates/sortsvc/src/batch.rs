@@ -152,7 +152,7 @@ pub struct BatchOutcome {
 /// Execute a batch on its selected engine. GPU batches run on the pooled
 /// `proc`; the processor's counters are taken (and reset) afterwards so the
 /// next batch on the same slot starts clean. Terasort batches run against
-/// a fresh simulated disk with the policy's [`DiskProfile`]. A sharded
+/// a fresh simulated disk with the policy's [`terasort::DiskProfile`]. A sharded
 /// batch that ended up with a single reserved slot degenerates to one
 /// shard on `proc`.
 pub fn execute(

@@ -13,12 +13,32 @@
 //! buffer's capacity) and by element type, so a request for `len` elements
 //! is served by any pooled buffer of class `len.next_power_of_two()` — the
 //! same quantization the sort's padded problem sizes already follow. A
-//! recycled buffer is re-initialized with `T::default()` before reuse, so a
-//! stream allocated from the arena is indistinguishable from a freshly
-//! constructed one: outputs, counters and simulated times stay byte-
-//! identical whether pooling is on or off. Only host wall-clock time
-//! changes, which is why the wall-clock harness may flip the
-//! [`set_pooling_default`] switch to measure the arena's effect.
+//! recycled buffer taken through [`StreamArena::take_vec`] is
+//! re-initialized with `T::default()` before reuse, so a stream allocated
+//! from the arena is indistinguishable from a freshly constructed one:
+//! outputs, counters and simulated times stay byte-identical whether
+//! pooling is on or off. Only host wall-clock time changes, which is why
+//! the wall-clock harness may flip the [`set_pooling_default`] switch to
+//! measure the arena's effect.
+//!
+//! # Zero-fill elision
+//!
+//! The default re-initialization is a memset the caller often does not
+//! need: the sort's working streams (output trees, pq indices, scratch
+//! values) are provably *written before read* — every element a kernel
+//! reads was produced by an earlier stream operation of the same run. For
+//! those, [`StreamArena::take_vec_uninit`] / [`StreamArena::take_stream_uninit`]
+//! skip the refill. The mechanism is a **write watermark**: a recycled
+//! buffer keeps its elements and its length (the watermark — everything
+//! below it was initialized by a previous run), and an uninit take only
+//! default-fills the portion *above* the watermark, so in steady state no
+//! element is touched at all. The contents below the watermark are stale
+//! data from an earlier run — well-defined values, never uninitialized
+//! memory — and the write-before-read property makes them unobservable:
+//! the elision proptests assert sorts through uninit buffers are
+//! byte-identical to fresh-allocation runs. [`set_elision_default`] turns
+//! the elision off process-wide (uninit takes then behave exactly like
+//! [`StreamArena::take_vec`]) so the wall-clock harness can measure it.
 
 use crate::layout::Layout;
 use crate::stream::Stream;
@@ -33,6 +53,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 const MAX_BUFFERS_PER_CLASS: usize = 8;
 
 static POOLING_DEFAULT: AtomicBool = AtomicBool::new(true);
+static ELISION_DEFAULT: AtomicBool = AtomicBool::new(true);
 
 /// Set whether newly created arenas pool buffers (default `true`).
 ///
@@ -48,6 +69,22 @@ pub fn pooling_default() -> bool {
     POOLING_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Set whether newly created arenas elide the default refill on
+/// [`StreamArena::take_vec_uninit`] (default `true`).
+///
+/// With elision off, uninit takes behave exactly like
+/// [`StreamArena::take_vec`] — the pre-elision memset-on-take behaviour —
+/// which is the baseline the wall-clock harness measures against. Results
+/// are unaffected either way (the elision proptests pin this down).
+pub fn set_elision_default(enabled: bool) {
+    ELISION_DEFAULT.store(enabled, Ordering::Relaxed);
+}
+
+/// The process-wide zero-fill-elision default for newly created arenas.
+pub fn elision_default() -> bool {
+    ELISION_DEFAULT.load(Ordering::Relaxed)
+}
+
 /// Cumulative arena behaviour, for reuse assertions and reports.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ArenaStats {
@@ -61,6 +98,9 @@ pub struct ArenaStats {
     pub recycled: u64,
     /// Buffers handed back but dropped (pooling off or bin full).
     pub dropped: u64,
+    /// Elements whose default refill was skipped by uninit takes (served
+    /// below a recycled buffer's write watermark).
+    pub elided_elements: u64,
 }
 
 /// Type-erased access to one element type's bins.
@@ -100,6 +140,7 @@ impl<T: StreamElement> AnyPool for TypedPool<T> {
 pub struct StreamArena {
     pools: HashMap<TypeId, Box<dyn AnyPool>>,
     enabled: bool,
+    elision: bool,
     stats: ArenaStats,
 }
 
@@ -116,6 +157,7 @@ impl StreamArena {
         StreamArena {
             pools: HashMap::new(),
             enabled: pooling_default(),
+            elision: elision_default(),
             stats: ArenaStats::default(),
         }
     }
@@ -132,6 +174,19 @@ impl StreamArena {
         if !enabled {
             self.pools.clear();
         }
+    }
+
+    /// Whether uninit takes skip the default refill below the write
+    /// watermark.
+    pub fn elision_enabled(&self) -> bool {
+        self.elision
+    }
+
+    /// Enable or disable zero-fill elision for this arena. With elision
+    /// off, [`StreamArena::take_vec_uninit`] behaves exactly like
+    /// [`StreamArena::take_vec`].
+    pub fn set_elision(&mut self, enabled: bool) {
+        self.elision = enabled;
     }
 
     /// Cumulative statistics.
@@ -157,24 +212,28 @@ impl StreamArena {
         len.next_power_of_two().max(1)
     }
 
+    /// Pop a pooled buffer of `class`, write watermark (length) intact.
+    fn pop_pooled<T: StreamElement>(&mut self, class: usize) -> Option<Vec<T>> {
+        if !self.enabled {
+            return None;
+        }
+        self.pools
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|p| p.as_any_mut().downcast_mut::<TypedPool<T>>())
+            .and_then(|pool| pool.bins.get_mut(&class).and_then(Vec::pop))
+    }
+
     /// An empty buffer with capacity for at least `min_capacity` elements —
     /// pooled if one of the right class is available, freshly allocated
     /// otherwise.
     pub fn take_capacity<T: StreamElement>(&mut self, min_capacity: usize) -> Vec<T> {
         let class = Self::class_for(min_capacity);
         self.stats.takes += 1;
-        if self.enabled {
-            if let Some(pool) = self
-                .pools
-                .get_mut(&TypeId::of::<T>())
-                .and_then(|p| p.as_any_mut().downcast_mut::<TypedPool<T>>())
-            {
-                if let Some(buf) = pool.bins.get_mut(&class).and_then(Vec::pop) {
-                    self.stats.hits += 1;
-                    debug_assert!(buf.is_empty() && buf.capacity() >= class);
-                    return buf;
-                }
-            }
+        if let Some(mut buf) = self.pop_pooled::<T>(class) {
+            self.stats.hits += 1;
+            debug_assert!(buf.capacity() >= class);
+            buf.clear();
+            return buf;
         }
         self.stats.misses += 1;
         Vec::with_capacity(class)
@@ -188,6 +247,49 @@ impl StreamArena {
         v
     }
 
+    /// A buffer of `len` elements with **unspecified contents**: stale data
+    /// from the previous run below the recycled buffer's write watermark,
+    /// `T::default()` above it (and throughout on a pool miss).
+    ///
+    /// Only callers that write every element before reading it may use
+    /// this — that property is what makes the skipped refill unobservable
+    /// (see the module documentation). The contents are always valid values
+    /// of `T`, never uninitialized memory; "uninit" refers to the stream
+    /// contract, not the memory state.
+    pub fn take_vec_uninit<T: StreamElement>(&mut self, len: usize) -> Vec<T> {
+        let class = Self::class_for(len);
+        self.stats.takes += 1;
+        if let Some(mut buf) = self.pop_pooled::<T>(class) {
+            self.stats.hits += 1;
+            debug_assert!(buf.capacity() >= class);
+            if !self.elision {
+                // Measurement baseline: behave exactly like `take_vec`.
+                buf.clear();
+                buf.resize(len, T::default());
+                return buf;
+            }
+            let watermark = buf.len();
+            if watermark >= len {
+                buf.truncate(len);
+                self.stats.elided_elements += len as u64;
+            } else {
+                // Only the tail above the watermark needs initializing;
+                // in steady state (same size class re-taken run after
+                // run) this arm never executes.
+                buf.resize(len, T::default());
+                self.stats.elided_elements += watermark as u64;
+            }
+            return buf;
+        }
+        self.stats.misses += 1;
+        // A fresh allocation has no initialized prefix to reuse; exposing
+        // truly uninitialized memory would be unsound, so pay the fill
+        // once. Steady-state takes hit the pool and skip it.
+        let mut v: Vec<T> = Vec::with_capacity(class);
+        v.resize(len, T::default());
+        v
+    }
+
     /// A buffer initialized with a copy of `data` (replaces
     /// `data.to_vec()`).
     pub fn take_vec_from<T: StreamElement>(&mut self, data: &[T]) -> Vec<T> {
@@ -196,10 +298,13 @@ impl StreamArena {
         v
     }
 
-    /// Hand a buffer back for reuse. The contents are cleared; the buffer
-    /// is binned under the largest capacity class it can serve. Buffers
-    /// beyond the per-bin bound (or with pooling disabled) are dropped.
-    pub fn put_vec<T: StreamElement>(&mut self, mut v: Vec<T>) {
+    /// Hand a buffer back for reuse. The contents and length are *kept* —
+    /// the length is the buffer's write watermark, which lets a later
+    /// [`StreamArena::take_vec_uninit`] of the same class skip the default
+    /// refill entirely. The buffer is binned under the largest capacity
+    /// class it can serve. Buffers beyond the per-bin bound (or with
+    /// pooling disabled) are dropped.
+    pub fn put_vec<T: StreamElement>(&mut self, v: Vec<T>) {
         let cap = v.capacity();
         if !self.enabled || cap == 0 {
             self.stats.dropped += 1;
@@ -219,7 +324,6 @@ impl StreamArena {
             self.stats.dropped += 1;
             return;
         }
-        v.clear();
         bin.push(v);
         self.stats.recycled += 1;
     }
@@ -233,6 +337,19 @@ impl StreamArena {
         layout: Layout,
     ) -> Stream<T> {
         Stream::from_vec(name, self.take_vec(len), layout)
+    }
+
+    /// A stream of `len` elements with unspecified contents, backed by a
+    /// pooled buffer (the zero-fill-elision counterpart of
+    /// [`StreamArena::take_stream`]; see [`StreamArena::take_vec_uninit`]
+    /// for the write-before-read contract the caller signs).
+    pub fn take_stream_uninit<T: StreamElement>(
+        &mut self,
+        name: impl Into<String>,
+        len: usize,
+        layout: Layout,
+    ) -> Stream<T> {
+        Stream::from_vec(name, self.take_vec_uninit(len), layout)
     }
 
     /// A stream initialized from `data` backed by a pooled buffer (the
@@ -323,6 +440,83 @@ mod tests {
         }
         assert_eq!(arena.pooled_buffers(), MAX_BUFFERS_PER_CLASS);
         assert_eq!(arena.stats().dropped as usize, MAX_BUFFERS_PER_CLASS);
+    }
+
+    #[test]
+    fn uninit_take_below_the_watermark_keeps_stale_contents_and_elides() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_elision(true);
+        let mut v = arena.take_vec::<u32>(1000);
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = i as u32 + 1;
+        }
+        let ptr = v.as_ptr();
+        arena.put_vec(v);
+        let again = arena.take_vec_uninit::<u32>(900);
+        assert_eq!(again.as_ptr(), ptr, "the pooled buffer must be reused");
+        assert_eq!(again.len(), 900);
+        // Unspecified contents = the previous run's data, untouched.
+        assert!(again.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+        assert_eq!(arena.stats().elided_elements, 900);
+    }
+
+    #[test]
+    fn uninit_take_above_the_watermark_fills_only_the_tail() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_elision(true);
+        let mut v: Vec<u32> = Vec::with_capacity(1024);
+        v.resize(500, 7);
+        arena.put_vec(v);
+        let taken = arena.take_vec_uninit::<u32>(800);
+        assert_eq!(taken.len(), 800);
+        assert!(taken[..500].iter().all(|&x| x == 7), "watermark preserved");
+        assert!(taken[500..].iter().all(|&x| x == 0), "tail default-filled");
+        assert_eq!(arena.stats().elided_elements, 500);
+    }
+
+    #[test]
+    fn uninit_take_with_elision_off_matches_take_vec() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_elision(false);
+        let mut v = arena.take_vec::<u32>(256);
+        v.iter_mut().for_each(|x| *x = 9);
+        arena.put_vec(v);
+        let taken = arena.take_vec_uninit::<u32>(256);
+        assert!(taken.iter().all(|&x| x == 0), "baseline mode must refill");
+        assert_eq!(arena.stats().elided_elements, 0);
+    }
+
+    #[test]
+    fn uninit_take_on_a_pool_miss_is_default_initialized() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_elision(true);
+        let taken = arena.take_vec_uninit::<Value>(300);
+        assert_eq!(taken.len(), 300);
+        assert!(taken.iter().all(|&x| x == Value::default()));
+        assert_eq!(arena.stats().misses, 1);
+        assert_eq!(arena.stats().elided_elements, 0);
+    }
+
+    #[test]
+    fn uninit_stream_round_trip_reaches_full_elision_in_steady_state() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_elision(true);
+        let s = arena.take_stream_uninit::<Value>("w", 512, Layout::ZOrder);
+        assert_eq!(s.len(), 512);
+        arena.recycle(s);
+        let before = arena.stats().elided_elements;
+        let s2 = arena.take_stream_uninit::<Value>("w", 512, Layout::ZOrder);
+        assert_eq!(s2.len(), 512);
+        assert_eq!(
+            arena.stats().elided_elements - before,
+            512,
+            "a same-class re-take must skip the whole refill"
+        );
     }
 
     #[test]

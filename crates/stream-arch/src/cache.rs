@@ -146,33 +146,67 @@ impl CacheSim {
     /// `stream_id`. Returns `true` on a hit.
     #[inline]
     pub fn access(&mut self, stream_id: u64, x: u32, y: u32) -> bool {
-        self.clock += 1;
-        self.stats.accesses += 1;
         let shift = self.config.block_edge.trailing_zeros();
-        let bx = (x >> shift) as u64;
-        let by = (y >> shift) as u64;
+        self.access_tile_run(stream_id, x >> shift, y >> shift, 1)
+    }
+
+    /// Simulate `count` consecutive reads that all fall into the cache tile
+    /// `(bx, by)` of stream `stream_id` (tile coordinates are element
+    /// coordinates divided by the block edge). Returns `true` when the
+    /// *first* of those reads hits.
+    ///
+    /// This is the batched form of [`CacheSim::access`]: after the first
+    /// read of a run the tile is resident, so the remaining `count − 1`
+    /// reads are hits that only advance the clock and refresh the tile's
+    /// LRU stamp. One probe therefore charges the whole run with statistics,
+    /// stamps and clock byte-identical to `count` single-element accesses.
+    #[inline]
+    pub fn access_tile_run(&mut self, stream_id: u64, bx: u32, by: u32, count: u64) -> bool {
+        let (hit, _, _) = self.access_tile_run_slot(stream_id, bx, by, count);
+        hit
+    }
+
+    /// [`CacheSim::access_tile_run`] that additionally reports the tag and
+    /// the slot the tile now occupies, so callers can service later probes
+    /// of the same tile through [`CacheSim::try_fast_hit`].
+    #[inline]
+    pub fn access_tile_run_slot(
+        &mut self,
+        stream_id: u64,
+        bx: u32,
+        by: u32,
+        count: u64,
+    ) -> (bool, u64, u32) {
+        // A hard precondition even in release builds: the miss path below
+        // charges `count - 1` hits, which would wrap on an empty run.
+        assert!(count > 0, "a tile run has at least one access");
+        self.clock += count;
+        self.stats.accesses += count;
+        let bx = bx as u64;
+        let by = by as u64;
         // Tag combines the stream identity and the tile coordinate.
         let tag = (stream_id << 40) ^ (by << 20) ^ bx;
         let set = ((bx ^ by.wrapping_mul(0x9E37_79B9) ^ stream_id.wrapping_mul(0x85EB_CA6B))
             & (self.num_sets as u64 - 1)) as usize;
         let ways = self.config.ways as usize;
         let base = set * ways;
+        let set_tags = &self.tags[base..base + ways];
 
         // Look for a hit.
-        for w in 0..ways {
-            if self.tags[base + w] == tag {
-                self.stamps[base + w] = self.clock;
-                self.stats.hits += 1;
-                return true;
-            }
+        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+            self.stamps[base + w] = self.clock;
+            self.stats.hits += count;
+            return (true, tag, (base + w) as u32);
         }
-        // Miss: evict the LRU way.
+        // Miss on the first access: evict the LRU way and fill; the rest of
+        // the run hits the freshly filled tile.
         self.stats.misses += 1;
+        self.stats.hits += count - 1;
         self.stats.fill_bytes += self.config.block_fill_bytes();
         let mut victim = 0;
         let mut oldest = u64::MAX;
-        for w in 0..ways {
-            if self.tags[base + w] == EMPTY_TAG {
+        for (w, &t) in set_tags.iter().enumerate() {
+            if t == EMPTY_TAG {
                 victim = w;
                 break;
             }
@@ -183,7 +217,27 @@ impl CacheSim {
         }
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;
-        false
+        (false, tag, (base + victim) as u32)
+    }
+
+    /// Service a run of `count` accesses to a tile previously reported at
+    /// `(tag, slot)` by [`CacheSim::access_tile_run_slot`], *if* the tile
+    /// is still resident there. Returns `false` without touching anything
+    /// when it was evicted — the caller falls back to the full probe. A
+    /// successful fast hit is byte-identical to the full probe's hit path
+    /// (statistics, stamp, clock).
+    #[inline]
+    pub fn try_fast_hit(&mut self, tag: u64, slot: u32, count: u64) -> bool {
+        let slot = slot as usize;
+        if self.tags.get(slot) == Some(&tag) {
+            self.clock += count;
+            self.stats.accesses += count;
+            self.stats.hits += count;
+            self.stamps[slot] = self.clock;
+            true
+        } else {
+            false
+        }
     }
 
     /// Statistics accumulated so far.
@@ -191,8 +245,14 @@ impl CacheSim {
         &self.stats
     }
 
-    /// Reset contents and statistics.
+    /// Reset contents and statistics. Untouched caches (every access bumps
+    /// the clock) return immediately, so resetting a many-unit processor
+    /// that only ever ran sequentially does not refill two dozen tag
+    /// arrays per run.
     pub fn reset(&mut self) {
+        if self.clock == 0 {
+            return;
+        }
         self.tags.fill(EMPTY_TAG);
         self.stamps.fill(0);
         self.clock = 0;
@@ -311,6 +371,37 @@ mod tests {
         assert_eq!(a.misses, 5);
         assert_eq!(a.fill_bytes, 1280);
         assert!((a.hit_rate() - 7.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tile_run_is_byte_identical_to_repeated_accesses() {
+        // Any interleaving of tile runs must leave the cache (tags, stamps,
+        // clock) and statistics exactly as the per-access walk does — this
+        // is what lets the batched accounting charge a whole run with one
+        // probe.
+        let walk: Vec<(u64, u32, u32, u64)> = vec![
+            (1, 0, 0, 7),  // 7 accesses inside tile (0,0)
+            (1, 5, 1, 3),  // different tile, same stream
+            (2, 0, 0, 4),  // same tile coordinate, different stream
+            (1, 0, 0, 1),  // back to the first tile
+            (1, 9, 9, 16), // a fresh tile
+            (2, 0, 0, 2),
+        ];
+        let mut single = small_cache();
+        for &(id, x, y, count) in &walk {
+            for _ in 0..count {
+                single.access(id, x, y);
+            }
+        }
+        let mut batched = small_cache();
+        let shift = batched.config().block_edge.trailing_zeros();
+        for &(id, x, y, count) in &walk {
+            batched.access_tile_run(id, x >> shift, y >> shift, count);
+        }
+        assert_eq!(single.stats(), batched.stats());
+        assert_eq!(single.tags, batched.tags);
+        assert_eq!(single.stamps, batched.stamps);
+        assert_eq!(single.clock, batched.clock);
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! * one texture cache per processor unit,
 //! * the accumulated [`Counters`],
 //! * a [`StreamArena`] recycling stream backing buffers across runs,
-//! * and (in [`ExecMode::Parallel`]) a persistent [`WorkerPool`] of unit
-//!   threads.
+//! * and (in [`ExecMode::Parallel`]) a persistent pool (`WorkerPool`) of
+//!   unit threads.
 //!
 //! [`StreamProcessor::launch`] executes one *stream operation*: it runs the
 //! kernel closure once per instance, either sequentially (deterministic
@@ -36,9 +36,10 @@
 use crate::arena::StreamArena;
 use crate::cache::CacheSim;
 use crate::error::{Result, StreamError};
-use crate::kernel::KernelCtx;
+use crate::kernel::{AccountingMode, KernelCtx};
 use crate::metrics::{Counters, SimTime};
 use crate::profile::GpuProfile;
+use crate::stream::Stream;
 use crate::value::StreamElement;
 use std::cell::UnsafeCell;
 use std::sync::{Arc, Condvar, Mutex};
@@ -67,6 +68,7 @@ pub enum ExecMode {
 pub struct StreamProcessor {
     profile: GpuProfile,
     mode: ExecMode,
+    accounting: AccountingMode,
     caches: Vec<CacheSim>,
     counters: Counters,
     arena: StreamArena,
@@ -92,6 +94,7 @@ impl StreamProcessor {
         StreamProcessor {
             profile,
             mode,
+            accounting: crate::kernel::accounting_default(),
             caches,
             counters: Counters::new(),
             arena: StreamArena::new(),
@@ -112,6 +115,19 @@ impl StreamProcessor {
     /// Change the host execution mode.
     pub fn set_mode(&mut self, mode: ExecMode) {
         self.mode = mode;
+    }
+
+    /// How kernel-side accesses are charged to the cost model (batched
+    /// block accumulation by default; see [`AccountingMode`]).
+    pub fn accounting_mode(&self) -> AccountingMode {
+        self.accounting
+    }
+
+    /// Change the accounting mode. Counters, cache statistics and simulated
+    /// times are byte-identical under both modes; only the host wall-clock
+    /// cost of the accounting differs (E21 measures the difference).
+    pub fn set_accounting_mode(&mut self, mode: AccountingMode) {
+        self.accounting = mode;
     }
 
     /// The processor's buffer arena. Drivers allocate their intermediate
@@ -221,6 +237,112 @@ impl StreamProcessor {
         Ok(())
     }
 
+    /// Execute a pure copy stream operation: `block.1 / per_instance`
+    /// kernel instances each forward `per_instance` elements of
+    /// `block` from `src` to the same positions of `dst`.
+    ///
+    /// This is the shape of GPU-ABiSort's copy-back (Section 6.1), which
+    /// follows every phase and carries roughly half of all simulated
+    /// traffic. Under [`AccountingMode::Batched`] the whole operation is
+    /// vectorized: every unit's chunk is charged as one block (reads,
+    /// writes, cache-tile runs — byte-identical to the per-element kernel,
+    /// including the per-unit cache assignment of the parallel engines)
+    /// and the data moves in one `memcpy`. Under
+    /// [`AccountingMode::PerAccess`] it runs as a regular per-element
+    /// kernel launch — the reference engine.
+    pub fn launch_copy<T: StreamElement>(
+        &mut self,
+        name: &str,
+        src: &Stream<T>,
+        dst: &mut Stream<T>,
+        block: (usize, usize),
+        per_instance: usize,
+    ) -> Result<()> {
+        // Hard preconditions (a release-build caller passing an uneven
+        // block would otherwise get a silently truncated copy).
+        assert!(
+            per_instance > 0 && block.1.is_multiple_of(per_instance),
+            "copy block length must be a multiple of per_instance"
+        );
+        let blocks = crate::stream::BlockSet::contiguous(block.0, block.1);
+        let instances = block.1 / per_instance;
+
+        if self.accounting != AccountingMode::Batched {
+            let read = crate::kernel::ReadView::new(src, blocks.clone(), per_instance)?;
+            let write = crate::kernel::WriteView::new(dst, blocks, per_instance)?;
+            return self.launch(name, instances, |ctx| {
+                for slot in 0..per_instance {
+                    let v = read.get(ctx, slot);
+                    write.set(ctx, slot, v);
+                }
+            });
+        }
+
+        src.check_blocks(&blocks)?;
+        dst.check_blocks(&blocks)?;
+        self.counters.launches += 1;
+        self.counters.kernel_instances += instances as u64;
+        if instances == 0 {
+            return Ok(());
+        }
+        // The per-instance output budget check of the per-element engine,
+        // which aborts after the first instance exceeded it (with that
+        // instance's charges recorded).
+        let max_output_bytes = self.profile.max_kernel_output_bytes;
+        let budget_error = per_instance * T::BYTES > max_output_bytes;
+
+        // Per-unit chunking identical to `launch`, so the per-unit cache
+        // statistics of the parallel engines are reproduced exactly. The
+        // charging itself is pure arithmetic and runs inline.
+        let (chunk, active) = match self.mode {
+            ExecMode::Sequential => (instances, 1),
+            ExecMode::Parallel | ExecMode::SpawnParallel => {
+                chunk_plan(self.profile.units, instances)
+            }
+        };
+        let (src_id, layout) = (src.cache_tag(), src.layout());
+        for unit in 0..active {
+            let i0 = unit * chunk;
+            let i1 = ((unit + 1) * chunk).min(instances);
+            let count = if budget_error {
+                // Each unit aborts its chunk after its own first instance,
+                // exactly like `run_chunk` under the per-element engine.
+                per_instance
+            } else {
+                (i1 - i0) * per_instance
+            };
+            let mut ctx = KernelCtx::new(
+                unit,
+                &mut self.counters,
+                Some(&mut self.caches[unit]),
+                max_output_bytes,
+                true,
+            );
+            ctx.charge_copy_block(src_id, layout, block.0 + i0 * per_instance, count, T::BYTES);
+            ctx.flush();
+        }
+        if budget_error {
+            // The per-element reference still *writes* each unit's first
+            // instance before the budget check aborts it — reproduce those
+            // partial writes so the stream contents stay byte-identical
+            // across accounting modes even on this error path.
+            for unit in 0..active {
+                let i0 = unit * chunk;
+                let e0 = block.0 + i0 * per_instance;
+                dst.as_mut_slice()[e0..e0 + per_instance]
+                    .copy_from_slice(&src.as_slice()[e0..e0 + per_instance]);
+            }
+            return Err(StreamError::KernelOutputTooLarge {
+                bytes: per_instance * T::BYTES,
+                max_bytes: max_output_bytes,
+            });
+        }
+        let copied = instances * per_instance;
+        dst.as_mut_slice()[block.0..block.0 + copied]
+            .copy_from_slice(&src.as_slice()[block.0..block.0 + copied]);
+        Ok(())
+    }
+
     /// Execute one stream operation: run `kernel` for `instances` kernel
     /// instances.
     ///
@@ -246,6 +368,7 @@ impl StreamProcessor {
             return Ok(());
         }
         let max_output_bytes = self.profile.max_kernel_output_bytes;
+        let batched = self.accounting == AccountingMode::Batched;
 
         match self.mode {
             ExecMode::Sequential => run_chunk(
@@ -256,6 +379,7 @@ impl StreamProcessor {
                 &mut self.counters,
                 &mut self.caches[0],
                 max_output_bytes,
+                batched,
             ),
             ExecMode::Parallel => {
                 let (chunk, active) = chunk_plan(self.profile.units, instances);
@@ -278,6 +402,7 @@ impl StreamProcessor {
                             &mut self.counters,
                             &mut self.caches[unit],
                             max_output_bytes,
+                            batched,
                         );
                         if first_error.is_none() {
                             first_error = r.err();
@@ -315,6 +440,7 @@ impl StreamProcessor {
                         &mut slot.counters,
                         cache,
                         max_output_bytes,
+                        batched,
                     )
                     .err();
                 };
@@ -354,6 +480,7 @@ impl StreamProcessor {
                                 &mut slot.counters,
                                 cache,
                                 max_output_bytes,
+                                batched,
                             )
                             .err();
                         });
@@ -395,6 +522,14 @@ fn chunk_plan(units: usize, instances: usize) -> (usize, usize) {
 }
 
 /// Run instances `[start, end)` on one simulated unit.
+///
+/// One [`KernelCtx`] serves the whole chunk: per-instance state is reset by
+/// `begin_instance`, while the batched accounting accumulates across
+/// instances (a cache-tile run of a linear view usually continues straight
+/// into the next instance's elements) and is flushed exactly once per exit
+/// path, so an aborted chunk still charges everything the failing instance
+/// touched — identical to the per-access model.
+#[allow(clippy::too_many_arguments)]
 fn run_chunk<F>(
     unit: usize,
     start: usize,
@@ -403,31 +538,29 @@ fn run_chunk<F>(
     local: &mut Counters,
     cache: &mut CacheSim,
     max_output_bytes: usize,
+    batched: bool,
 ) -> Result<()>
 where
     F: Fn(&mut KernelCtx<'_>) + Sync,
 {
+    let mut ctx = KernelCtx::new(unit, local, Some(cache), max_output_bytes, batched);
     for instance in start..end {
-        let mut ctx = KernelCtx {
-            instance,
-            unit,
-            counters: local,
-            cache: Some(cache),
-            bytes_pushed: 0,
-            max_output_bytes,
-            error: None,
-        };
+        ctx.begin_instance(instance);
         kernel(&mut ctx);
         if ctx.bytes_pushed > ctx.max_output_bytes {
+            let bytes = ctx.bytes_pushed;
+            ctx.flush();
             return Err(StreamError::KernelOutputTooLarge {
-                bytes: ctx.bytes_pushed,
-                max_bytes: ctx.max_output_bytes,
+                bytes,
+                max_bytes: max_output_bytes,
             });
         }
-        if let Some(e) = ctx.error {
+        if let Some(e) = ctx.error.take() {
+            ctx.flush();
             return Err(e);
         }
     }
+    ctx.flush();
     Ok(())
 }
 
@@ -934,6 +1067,59 @@ mod tests {
         })
         .unwrap();
         assert_eq!(out.as_slice(), &[3, 4, 0, 0, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    fn launch_copy_is_byte_identical_across_accounting_modes() {
+        let src = Stream::from_vec("src", (0u32..512).collect(), Layout::ZOrder);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let run = |accounting: AccountingMode| {
+                let mut p = StreamProcessor::with_mode(GpuProfile::geforce_6800(), mode);
+                p.set_accounting_mode(accounting);
+                let mut dst: Stream<u32> = Stream::new("dst", 512, Layout::ZOrder);
+                let r = p.launch_copy("copy", &src, &mut dst, (32, 256), 2);
+                assert!(r.is_ok());
+                (dst.as_slice().to_vec(), p.counters(), p.simulated_time())
+            };
+            let batched = run(AccountingMode::Batched);
+            let reference = run(AccountingMode::PerAccess);
+            assert_eq!(batched, reference, "{mode:?}");
+            // The copied block landed; everything else stayed default.
+            assert_eq!(&batched.0[32..288], src.range(32, 256));
+            assert!(batched.0[..32].iter().all(|&v| v == 0));
+        }
+    }
+
+    #[test]
+    fn launch_copy_budget_error_is_byte_identical_across_accounting_modes() {
+        // A per-instance element count whose bytes exceed the output
+        // budget: the launch errors, but each active unit's first instance
+        // still ran (and wrote) under the per-element reference — the
+        // vectorized path must reproduce the partial writes, the charges
+        // and the error exactly.
+        let mut profile = GpuProfile::geforce_6800();
+        profile.max_kernel_output_bytes = 4; // one u32
+        let src = Stream::from_vec("src", (1u32..=64).collect(), Layout::Linear);
+        for mode in [ExecMode::Sequential, ExecMode::Parallel] {
+            let run = |accounting: AccountingMode| {
+                let mut p = StreamProcessor::with_mode(profile.clone(), mode);
+                p.set_accounting_mode(accounting);
+                let mut dst: Stream<u32> = Stream::new("dst", 64, Layout::Linear);
+                let err = p
+                    .launch_copy("copy", &src, &mut dst, (0, 64), 2)
+                    .unwrap_err();
+                (dst.as_slice().to_vec(), p.counters(), err)
+            };
+            let batched = run(AccountingMode::Batched);
+            let reference = run(AccountingMode::PerAccess);
+            assert_eq!(batched, reference, "{mode:?}");
+            assert!(matches!(
+                batched.2,
+                StreamError::KernelOutputTooLarge { bytes: 8, .. }
+            ));
+            // The first instance's pair was written before the abort.
+            assert_eq!(&batched.0[..2], &[1, 2]);
+        }
     }
 
     #[test]

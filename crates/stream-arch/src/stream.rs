@@ -217,17 +217,33 @@ impl<'a, T: StreamElement> SubStream<'a, T> {
 /// substream.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockSet {
+    /// Inline storage for the single-range case, so the block sets the
+    /// sort drivers build on every launch never touch the allocator.
+    single: [(usize, usize); 1],
+    /// Multi-block storage; empty (unallocated) for single-range sets.
     blocks: Vec<(usize, usize)>,
-    /// Exclusive prefix sums of block lengths, plus the total at the end.
+    /// Exclusive prefix sums of block lengths, plus the total at the end;
+    /// empty (unallocated) for single-range sets.
     prefix: Vec<usize>,
+    /// Cached total element count, kept inline so the per-access bounds
+    /// check does not chase the prefix vector.
+    total: usize,
+    /// Start of the single range when the set is one contiguous block —
+    /// the overwhelmingly common case, for which [`BlockSet::locate`]
+    /// degenerates to one addition — `usize::MAX` otherwise.
+    single_start: usize,
 }
 
 impl BlockSet {
-    /// A substream consisting of a single contiguous range.
+    /// A substream consisting of a single contiguous range. Allocates
+    /// nothing.
     pub fn contiguous(start: usize, len: usize) -> Self {
         BlockSet {
-            blocks: vec![(start, len)],
-            prefix: vec![0, len],
+            single: [(start, len)],
+            blocks: Vec::new(),
+            prefix: Vec::new(),
+            total: len,
+            single_start: start,
         }
     }
 
@@ -247,6 +263,11 @@ impl BlockSet {
                 }
             }
         }
+        // A single-range set normalizes to the inline representation, so
+        // `multi(vec![(s, l)])` and `contiguous(s, l)` compare equal.
+        if let [(start, len)] = blocks.as_slice() {
+            return Ok(Self::contiguous(*start, *len));
+        }
         let mut prefix = Vec::with_capacity(blocks.len() + 1);
         let mut acc = 0usize;
         prefix.push(0);
@@ -254,22 +275,42 @@ impl BlockSet {
             acc += len;
             prefix.push(acc);
         }
-        Ok(BlockSet { blocks, prefix })
+        Ok(BlockSet {
+            single: [(0, 0)],
+            blocks,
+            prefix,
+            total: acc,
+            single_start: usize::MAX,
+        })
     }
 
     /// Total number of elements.
+    #[inline]
     pub fn total(&self) -> usize {
-        *self.prefix.last().unwrap_or(&0)
+        self.total
     }
 
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.blocks().len()
+    }
+
+    /// `Some(start)` when the set is a single contiguous range (the shape
+    /// every sort driver builds; the views' block accessors use it to
+    /// locate a whole per-instance range with one addition).
+    #[inline]
+    pub fn contiguous_start(&self) -> Option<usize> {
+        (self.single_start != usize::MAX).then_some(self.single_start)
     }
 
     /// The raw blocks.
+    #[inline]
     pub fn blocks(&self) -> &[(usize, usize)] {
-        &self.blocks
+        if self.single_start != usize::MAX {
+            &self.single
+        } else {
+            &self.blocks
+        }
     }
 
     /// Map a logical substream position to the global element index in the
@@ -280,7 +321,12 @@ impl BlockSet {
     #[inline]
     pub fn locate(&self, pos: usize) -> usize {
         debug_assert!(pos < self.total(), "position {pos} out of substream bounds");
-        // The block lists used by the sort are tiny (one or a handful of
+        // Single contiguous block (every block set the sort drivers build):
+        // one addition, no memory traffic.
+        if self.single_start != usize::MAX {
+            return self.single_start + pos;
+        }
+        // The multi-block lists used by tests are tiny (a handful of
         // blocks), so a linear scan beats binary search in practice and is
         // branch-predictable.
         let mut b = 0;
@@ -293,16 +339,16 @@ impl BlockSet {
 
     /// True if the given global element index is covered by this block set.
     pub fn contains_index(&self, index: usize) -> bool {
-        self.blocks
+        self.blocks()
             .iter()
             .any(|&(start, len)| index >= start && index < start + len)
     }
 
     /// True if any block of `self` overlaps any block of `other`.
     pub fn overlaps(&self, other: &BlockSet) -> bool {
-        self.blocks.iter().any(|&(s1, l1)| {
+        self.blocks().iter().any(|&(s1, l1)| {
             other
-                .blocks
+                .blocks()
                 .iter()
                 .any(|&(s2, l2)| l1 > 0 && l2 > 0 && s1 < s2 + l2 && s2 < s1 + l1)
         })

@@ -1,0 +1,155 @@
+//! Property tests for zero-fill elision ([`stream_arch::StreamArena`]'s
+//! `take_uninit` / write-watermark API):
+//!
+//! * sorts that allocate their working streams uninitialized from a
+//!   recycled arena are **byte identical** — output, every counter, cache
+//!   statistics and simulated time — to fresh-allocation runs, across
+//!   distributions, sizes straddling capacity-class boundaries, and
+//!   recycled-buffer reuse chains (where the uninit buffers really do
+//!   carry a previous, differently-sized run's stale data);
+//! * the elision actually fires in steady state (elided-element stats
+//!   grow run over run) — a regression guard against the API silently
+//!   degrading to the refilling path;
+//! * the segmented batch path stays identical under reuse too.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use proptest::prelude::*;
+use stream_arch::{GpuProfile, StreamProcessor};
+use workloads::Distribution;
+
+fn distribution_strategy() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        Just(Distribution::Sorted),
+        Just(Distribution::Reverse),
+        Just(Distribution::NearlySorted { swaps: 16 }),
+        Just(Distribution::FewDistinct { distinct: 4 }),
+    ]
+}
+
+/// Sizes straddling the arena's power-of-two capacity classes: just
+/// below, at, and just above a class boundary, plus small degenerates.
+fn size_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1 => 0usize..3,
+        2 => 200usize..280,
+        3 => 960usize..1100,
+        2 => 2000usize..2100,
+        2 => 4000usize..4200,
+    ]
+}
+
+/// A fresh-allocation reference run: new processor, pooling and elision
+/// off, so every stream is a brand-new default-initialized allocation —
+/// the pre-arena semantics the elided runs must reproduce bit for bit.
+fn reference_run(
+    sorter: &GpuAbiSorter,
+    input: &[stream_arch::Value],
+) -> (Vec<stream_arch::Value>, stream_arch::Counters, f64) {
+    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+    proc.arena().set_enabled(false);
+    proc.arena().set_elision(false);
+    let run = sorter.sort_run(&mut proc, input).expect("reference sort");
+    (run.output, run.counters, run.sim_time.total_ms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A chain of differently-sized, differently-distributed sorts on one
+    /// pooled processor with elision on: every run's uninit streams are
+    /// backed by the previous runs' stale buffers, and every run must be
+    /// byte-identical to a fresh-allocation run of the same input.
+    #[test]
+    fn uninit_reuse_chains_are_byte_identical_to_fresh_runs(
+        chain in proptest::collection::vec((distribution_strategy(), size_strategy(), 0u64..1000), 2..6)
+    ) {
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let mut pooled = StreamProcessor::new(GpuProfile::geforce_7800());
+        pooled.arena().set_enabled(true);
+        pooled.arena().set_elision(true);
+        for (dist, n, seed) in chain {
+            let input = workloads::generate(dist, n, seed);
+            let run = sorter.sort_run(&mut pooled, &input).expect("pooled sort");
+            let (ref_out, ref_counters, ref_sim) = reference_run(&sorter, &input);
+            prop_assert_eq!(&run.output, &ref_out);
+            prop_assert_eq!(&run.counters, &ref_counters);
+            prop_assert_eq!(run.sim_time.total_ms, ref_sim);
+        }
+    }
+
+    /// The elision-off switch really restores refilling semantics *and*
+    /// stays byte-identical too (the measurement baseline of E21 must be
+    /// functionally indistinguishable).
+    #[test]
+    fn elision_off_pooled_runs_are_also_identical(
+        case in (distribution_strategy(), size_strategy(), 0u64..1000)
+    ) {
+        let (dist, n, seed) = case;
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let mut pooled = StreamProcessor::new(GpuProfile::geforce_7800());
+        pooled.arena().set_enabled(true);
+        pooled.arena().set_elision(false);
+        let input = workloads::generate(dist, n, seed);
+        // Two runs so the second consumes recycled (cleared-and-refilled)
+        // buffers.
+        sorter.sort_run(&mut pooled, &input).expect("warm-up sort");
+        let run = sorter.sort_run(&mut pooled, &input).expect("pooled sort");
+        let (ref_out, ref_counters, ref_sim) = reference_run(&sorter, &input);
+        prop_assert_eq!(&run.output, &ref_out);
+        prop_assert_eq!(&run.counters, &ref_counters);
+        prop_assert_eq!(run.sim_time.total_ms, ref_sim);
+        prop_assert_eq!(pooled.arena_ref().stats().elided_elements, 0);
+    }
+}
+
+/// The elision must actually fire: repeated same-class sorts serve every
+/// working stream below the write watermark, so the elided-element count
+/// grows by the full stream footprint each run.
+#[test]
+fn steady_state_sorts_elide_the_whole_refill() {
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+    proc.arena().set_enabled(true);
+    proc.arena().set_elision(true);
+    let input = workloads::uniform(1024, 7);
+
+    sorter.sort_run(&mut proc, &input).expect("warm-up");
+    let after_warmup = proc.arena_ref().stats().elided_elements;
+    sorter
+        .sort_run(&mut proc, &input)
+        .expect("steady-state run");
+    let per_run = proc.arena_ref().stats().elided_elements - after_warmup;
+    // The six uninit working streams of an n=1024 sort: two 2n-node tree
+    // streams, two 2n-index pq streams, two n-value scratch streams.
+    let expected = 4 * 2 * 1024 + 2 * 1024;
+    assert_eq!(
+        per_run, expected as u64,
+        "a steady-state run must elide every working-stream refill"
+    );
+}
+
+/// Segmented (batched-service) sorts reuse stale buffers across
+/// submissions and stay identical to fresh-allocation segmented runs.
+#[test]
+fn segmented_runs_with_reuse_are_identical_to_fresh_runs() {
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let mut pooled = StreamProcessor::new(GpuProfile::geforce_7800());
+    pooled.arena().set_enabled(true);
+    pooled.arena().set_elision(true);
+    for (segments, segment_len, seed) in [(4usize, 64usize, 1u64), (8, 32, 2), (2, 256, 3)] {
+        let input = workloads::uniform(segments * segment_len, seed);
+        let run = sorter
+            .sort_segments_run(&mut pooled, &input, segment_len)
+            .expect("segmented sort");
+        let mut fresh = StreamProcessor::new(GpuProfile::geforce_7800());
+        fresh.arena().set_enabled(false);
+        fresh.arena().set_elision(false);
+        let reference = sorter
+            .sort_segments_run(&mut fresh, &input, segment_len)
+            .expect("reference segmented sort");
+        assert_eq!(run.output, reference.output);
+        assert_eq!(run.counters, reference.counters);
+        assert_eq!(run.sim_time.total_ms, reference.sim_time.total_ms);
+    }
+}

@@ -19,8 +19,8 @@
 use abisort::{GpuAbiSorter, SortConfig};
 use proptest::prelude::*;
 use stream_arch::{
-    Counters, ExecMode, GatherView, GpuProfile, Layout, ReadView, SimTime, Stream, StreamProcessor,
-    WriteView,
+    AccountingMode, Counters, ExecMode, GatherView, GpuProfile, Layout, ReadView, SimTime, Stream,
+    StreamProcessor, WriteView,
 };
 use workloads::Distribution;
 
@@ -84,8 +84,14 @@ struct Outcome {
 /// Run `shape.launches` launches of a kernel that reads, gathers and
 /// writes — and, when poisoned, gathers out of bounds at `fail_at`.
 fn run_shape(shape: &Shape, mode: ExecMode) -> Outcome {
+    run_shape_accounted(shape, mode, AccountingMode::Batched)
+}
+
+/// [`run_shape`] under an explicit accounting mode.
+fn run_shape_accounted(shape: &Shape, mode: ExecMode, accounting: AccountingMode) -> Outcome {
     let mut proc =
         StreamProcessor::with_mode(GpuProfile::geforce_6800().with_units(shape.units), mode);
+    proc.set_accounting_mode(accounting);
     let n = shape.instances;
     let input = Stream::from_vec("in", (0..n as u32).collect(), Layout::ZOrder);
     let lookup = Stream::from_vec("lut", (0..n.max(1) as u32).rev().collect(), Layout::Linear);
@@ -172,6 +178,56 @@ proptest! {
         let first = run_shape(&shape, ExecMode::Parallel);
         let second = run_shape(&shape, ExecMode::Parallel);
         prop_assert_eq!(first, second);
+    }
+
+    /// Batched accounting == per-access accounting, byte for byte, under
+    /// every execution mode: output bytes, all counters (including the
+    /// per-unit cache statistics merged into them), simulated time and
+    /// returned errors. This is the E21 identity assertion for the
+    /// block-accumulation cost model, over shapes including 0/1-instance
+    /// and error-aborted launches.
+    #[test]
+    fn batched_accounting_is_byte_identical_to_per_access(shape in shape_strategy()) {
+        for mode in [ExecMode::Sequential, ExecMode::Parallel, ExecMode::SpawnParallel] {
+            let batched = run_shape_accounted(&shape, mode, AccountingMode::Batched);
+            let reference = run_shape_accounted(&shape, mode, AccountingMode::PerAccess);
+            prop_assert_eq!(&batched.output, &reference.output);
+            prop_assert_eq!(&batched.counters, &reference.counters);
+            prop_assert_eq!(&batched.sim_time, &reference.sim_time);
+            prop_assert_eq!(&batched.errors, &reference.errors);
+        }
+    }
+}
+
+/// Sort-level accounting identity: full GPU-ABiSort runs (which exercise
+/// the bulk view accessors, the vectorized copy launch and the gather
+/// paths) produce byte-identical records under both accounting modes,
+/// across distributions and under arena reuse.
+#[test]
+fn batched_sort_runs_are_byte_identical_to_per_access_sort_runs() {
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let mut batched = StreamProcessor::new(GpuProfile::geforce_7800());
+    batched.set_accounting_mode(AccountingMode::Batched);
+    let mut reference = StreamProcessor::new(GpuProfile::geforce_7800());
+    reference.set_accounting_mode(AccountingMode::PerAccess);
+    for dist in [
+        Distribution::Uniform,
+        Distribution::Sorted,
+        Distribution::FewDistinct { distinct: 4 },
+    ] {
+        for n in [257usize, 1000, 2048] {
+            let input = workloads::generate(dist, n, 23);
+            let a = sorter.sort_run(&mut batched, &input).unwrap();
+            let b = sorter.sort_run(&mut reference, &input).unwrap();
+            assert_eq!(a.output, b.output, "{} n={n}", dist.name());
+            assert_eq!(a.counters, b.counters, "{} n={n}", dist.name());
+            assert_eq!(
+                a.sim_time.total_ms,
+                b.sim_time.total_ms,
+                "{} n={n}",
+                dist.name()
+            );
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! is written against `proc_macro` alone — no `syn`, no `quote`. It parses
 //! the derive input with a small hand-rolled token walker and emits
 //! field-by-field JSON serialization against the vendored `serde` shim's
-//! concrete [`Serializer`] API.
+//! concrete `Serializer` API.
 //!
 //! Supported shapes (everything this workspace derives): non-generic named
 //! structs, tuple structs, unit structs, and enums with unit, tuple and

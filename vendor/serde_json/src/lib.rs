@@ -1,13 +1,20 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! Provides the single entry point this workspace uses,
-//! [`to_string_pretty`], on top of the vendored `serde` shim's concrete
-//! JSON [`serde::Serializer`]. Output matches real `serde_json` pretty
-//! formatting (two-space indent, `": "` separators, floats keep `.0`),
-//! except that non-finite floats serialize as `null` instead of erroring.
+//! Provides the entry points this workspace uses: [`to_string_pretty`]
+//! on top of the vendored `serde` shim's concrete JSON
+//! [`serde::Serializer`] (output matches real `serde_json` pretty
+//! formatting — two-space indent, `": "` separators, floats keep `.0` —
+//! except that non-finite floats serialize as `null` instead of
+//! erroring), and a self-describing [`Value`] tree with [`from_str`] for
+//! reading JSON back (the perf-regression gate parses committed
+//! `BENCH_*.json` baselines with it).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+mod value;
+
+pub use value::{from_str, Value};
 
 use std::fmt;
 

@@ -1,0 +1,363 @@
+//! A self-describing JSON value tree and a recursive-descent parser —
+//! the `serde_json::Value` / `serde_json::from_str` subset this workspace
+//! needs to read its own reports back (numbers are parsed as `f64`, which
+//! covers every field the bench reports emit).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Number(f64),
+    /// A string (escape sequences decoded).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; key order is not preserved (lookups by name only).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member `key` of an object, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse error: a message and the byte offset it was raised at.
+#[derive(Debug)]
+pub struct ParseError {
+    msg: &'static str,
+    offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &'static str) -> ParseError {
+        ParseError {
+            msg,
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, msg: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, msg: &'static str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(msg))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => {
+                self.eat_literal("true", "expected `true`")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false", "expected `false`")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.eat_literal("null", "expected `null`")?;
+                Ok(Value::Null)
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{', "expected `{`")?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by the bench
+                            // reports; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err("unknown escape character")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // byte sequence is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("-12.5e2").unwrap(), Value::Number(-1250.0));
+        assert_eq!(
+            from_str("\"a\\nb\\u0041\"").unwrap(),
+            Value::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = from_str(
+            r#"{
+  "wallclock": [
+    { "scenario": "matrix-parallel", "case": "n=1024", "speedup": 26.99 },
+    { "scenario": "matrix-sequential", "case": "x", "speedup": 2.5 }
+  ],
+  "empty": [],
+  "none": {}
+}"#,
+        )
+        .unwrap();
+        let rows = doc.get("wallclock").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("scenario").unwrap().as_str().unwrap(),
+            "matrix-parallel"
+        );
+        assert_eq!(rows[1].get("speedup").unwrap().as_f64().unwrap(), 2.5);
+        assert_eq!(doc.get("empty").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
+    fn round_trips_the_shim_serializer_output() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            n: usize,
+            ms: f64,
+            label: String,
+        }
+        let json = crate::to_string_pretty(&vec![Row {
+            n: 1024,
+            ms: 3.5,
+            label: "few-distinct(16)".into(),
+        }])
+        .unwrap();
+        let parsed = from_str(&json).unwrap();
+        let row = &parsed.as_array().unwrap()[0];
+        assert_eq!(row.get("n").unwrap().as_f64().unwrap(), 1024.0);
+        assert_eq!(row.get("ms").unwrap().as_f64().unwrap(), 3.5);
+        assert_eq!(
+            row.get("label").unwrap().as_str().unwrap(),
+            "few-distinct(16)"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\": 1} x").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+}
