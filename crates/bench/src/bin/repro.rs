@@ -9,7 +9,7 @@
 //!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
 //!                         scaling | ablation | pram | terasort | padding |
-//!                         service | sharded | wallclock
+//!                         service | sharded | wallclock | netsoak
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
@@ -287,6 +287,20 @@ fn main() {
         eprintln!("running wall-clock engine comparison E21 (this times real host work) …");
         report.wallclock = bench::wallclock::wallclock_suite(opts.max_log_n);
         println!("{}", bench::wallclock::render_wallclock(&report.wallclock));
+    }
+
+    if wants("netsoak") {
+        let (clients, jobs_per_client) = if opts.max_log_n >= 18 {
+            (8, 40)
+        } else {
+            (4, 12)
+        };
+        eprintln!(
+            "running networked soak E22 ({clients} clients × {jobs_per_client} jobs over \
+             loopback; this times real host work) …"
+        );
+        report.netsoak = vec![bench::netsoak::netsoak(clients, jobs_per_client)];
+        println!("{}", bench::netsoak::render_netsoak(&report.netsoak));
     }
 
     if let Some(path) = &opts.json {

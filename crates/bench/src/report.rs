@@ -4,6 +4,7 @@ use crate::experiments::{
     AblationRow, DataDependenceRow, ScalingRow, StreamOpsRow, TimingRow, TransferRow, WorkRow,
 };
 use crate::extended::{PaddingRow, PramRow, TeraSortRow};
+use crate::netsoak::NetSoakRow;
 use crate::service::ServiceRow;
 use crate::sharded::ShardedRow;
 use crate::wallclock::WallClockRow;
@@ -85,6 +86,8 @@ pub struct Report {
     pub sharded_service: Vec<ServiceRow>,
     /// Wall-clock engine rows (E21), if run.
     pub wallclock: Vec<WallClockRow>,
+    /// Networked-soak rows (E22), if run.
+    pub netsoak: Vec<NetSoakRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

@@ -12,6 +12,18 @@ pub type TenantId = u32;
 
 /// One client sort request: a batch of value/pointer records plus the
 /// metadata the admission queue and policy engine act on.
+///
+/// ```
+/// use sortsvc::SortJob;
+/// use workloads::Distribution;
+///
+/// let job = SortJob::new(7, 2, workloads::uniform(1000, 42))
+///     .arriving_at(3.5)
+///     .with_hint(Distribution::Uniform);
+/// assert_eq!(job.len(), 1000);
+/// assert_eq!(job.bytes(), 8000); // 8 bytes per value/pointer record
+/// assert_eq!(job.tenant, 2);
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct SortJob {
     /// Unique id within the service run.

@@ -26,7 +26,10 @@
 //!   [`stream_arch::StreamProcessor`] per device slot, and the simulated
 //!   timeline;
 //! * [`metrics`] — throughput, latency percentiles, batch occupancy,
-//!   engine mix, device utilization.
+//!   engine mix, device utilization;
+//! * [`net`] — the framed-TCP front-end: a hand-rolled wire protocol
+//!   (`docs/PROTOCOL.md`), a threaded [`SortServer`] feeding this
+//!   pipeline, and a buffering [`SortClient`].
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@
 pub mod batch;
 pub mod job;
 pub mod metrics;
+pub mod net;
 pub mod policy;
 pub mod queue;
 pub mod service;
@@ -58,6 +62,7 @@ pub mod shard;
 pub use batch::{BatchOutcome, BatchPlan};
 pub use job::{JobId, JobResult, RejectReason, SortJob, TenantId};
 pub use metrics::ServiceMetrics;
+pub use net::{ClientConfig, ServerConfig, ServerStats, SortClient, SortServer};
 pub use policy::{Engine, PolicyConfig, SortPolicy};
 pub use queue::{AdmissionController, TenantQueues};
 pub use service::{BatchSummary, ServiceConfig, ServiceReport, SortService};

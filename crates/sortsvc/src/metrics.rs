@@ -5,6 +5,25 @@ use serde::Serialize;
 
 /// Aggregate metrics of one service run. All times are simulated
 /// milliseconds unless the field name says otherwise.
+///
+/// Every service run reports one of these (and the networked
+/// [`ServerStats`](crate::ServerStats) embeds an aggregate across its
+/// micro-batches):
+///
+/// ```
+/// use sortsvc::{ServiceConfig, SortJob, SortService};
+///
+/// let service = SortService::new(ServiceConfig::default());
+/// let jobs = SortJob::from_requests(
+///     workloads::RequestMix::small_job_heavy(20).generate(7),
+/// );
+/// let report = service.process(jobs).unwrap();
+///
+/// let m = &report.metrics;
+/// assert_eq!(m.jobs_submitted, m.jobs_completed + m.jobs_rejected);
+/// assert!(m.latency_p99_ms >= m.latency_p50_ms);
+/// assert!(m.throughput_kelems_per_s.is_finite());
+/// ```
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct ServiceMetrics {
     /// Jobs submitted (admitted + rejected).

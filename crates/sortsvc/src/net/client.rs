@@ -1,0 +1,387 @@
+//! The buffering wire client: batched submission, pipelined outstanding
+//! jobs, and per-job futures-by-polling.
+//!
+//! [`SortClient`] encodes each submission into an in-memory buffer and
+//! only touches the socket when the buffer crosses the configured
+//! thresholds (or on an explicit [`SortClient::flush`]), so a burst of
+//! small jobs costs one `write` instead of one syscall each — the wire
+//! analogue of the service's own job coalescing. Responses are read by a
+//! background thread and parked under their job id; the [`JobTicket`]
+//! returned per submission is a future-by-polling over that mailbox
+//! ([`JobTicket::poll`] / [`JobTicket::wait_timeout`]), which is what
+//! lets one client keep many jobs outstanding at once.
+
+use super::error::ErrorCode;
+use super::frame::{
+    Frame, FramePoll, FrameReader, FrameType, PayloadEncoding, RejectPayload, ResultPayload,
+    SubmitPayload,
+};
+use super::lock;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use stream_arch::Value;
+
+/// Configuration of a [`SortClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Tenant id stamped on submissions (the service's fairness key).
+    pub tenant: u32,
+    /// Payload encoding used for submissions ([`PayloadEncoding::RawLe`]
+    /// by default; the server mirrors it in results).
+    pub encoding: PayloadEncoding,
+    /// Auto-flush after this many buffered submissions.
+    pub flush_jobs: usize,
+    /// Auto-flush when the submission buffer reaches this many bytes.
+    pub flush_bytes: usize,
+    /// Maximum frame payload length the client will read.
+    pub max_frame_bytes: u32,
+    /// Socket read timeout of the response thread — the granularity at
+    /// which it notices the client shutting down.
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            tenant: 0,
+            encoding: PayloadEncoding::RawLe,
+            flush_jobs: 32,
+            flush_bytes: 1 << 20,
+            max_frame_bytes: 64 << 20,
+            read_timeout: Duration::from_millis(5),
+        }
+    }
+}
+
+/// The server's answer to one job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobReply {
+    /// The job completed; these are the sorted records.
+    Sorted(Vec<Value>),
+    /// The job was turned away.
+    Rejected {
+        /// Why (see [`ErrorCode`]; `code.is_retryable()` tells whether
+        /// resubmitting can help).
+        code: ErrorCode,
+        /// Advisory back-off before a retry, milliseconds (0 = no hint).
+        retry_after_ms: u32,
+    },
+}
+
+impl JobReply {
+    /// The sorted records, if the job completed.
+    pub fn sorted(self) -> Option<Vec<Value>> {
+        match self {
+            JobReply::Sorted(values) => Some(values),
+            JobReply::Rejected { .. } => None,
+        }
+    }
+
+    /// True when the job was rejected.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, JobReply::Rejected { .. })
+    }
+}
+
+/// State shared between the client handle and its response thread.
+struct ClientShared {
+    /// Parked replies by job id, filled by the response thread.
+    replies: Mutex<HashMap<u64, JobReply>>,
+    /// Signalled whenever a reply is parked or the connection dies.
+    ready: Condvar,
+    /// Set when the connection is finished (client drop, server goodbye,
+    /// fatal protocol error, I/O error).
+    closed: AtomicBool,
+    /// Why the connection died, when it died abnormally.
+    fatal: Mutex<Option<String>>,
+    /// `PONG` frames received (see [`SortClient::ping`]).
+    pongs: AtomicU64,
+}
+
+impl ClientShared {
+    fn die(&self, reason: Option<String>) {
+        if let Some(msg) = reason {
+            lock(&self.fatal).get_or_insert(msg);
+        }
+        self.closed.store(true, Ordering::SeqCst);
+        let _guard = lock(&self.replies);
+        self.ready.notify_all();
+    }
+
+    fn closed_error(&self) -> io::Error {
+        let msg = lock(&self.fatal)
+            .clone()
+            .unwrap_or_else(|| "connection closed".into());
+        io::Error::new(io::ErrorKind::ConnectionAborted, msg)
+    }
+}
+
+/// A handle to one outstanding job: a future-by-polling over the client's
+/// reply mailbox.
+pub struct JobTicket {
+    shared: Arc<ClientShared>,
+    job_id: u64,
+}
+
+impl JobTicket {
+    /// The wire job id this ticket tracks.
+    pub fn job_id(&self) -> u64 {
+        self.job_id
+    }
+
+    /// Take the reply if it has arrived (non-blocking). Returns `None`
+    /// while the job is still outstanding.
+    pub fn poll(&self) -> Option<JobReply> {
+        lock(&self.shared.replies).remove(&self.job_id)
+    }
+
+    /// Block until the reply arrives, the connection dies, or `timeout`
+    /// elapses. Remember to [`SortClient::flush`] first — a buffered
+    /// submission the server never saw cannot be answered.
+    pub fn wait_timeout(&self, timeout: Duration) -> io::Result<JobReply> {
+        let deadline = Instant::now() + timeout;
+        let mut replies = lock(&self.shared.replies);
+        loop {
+            if let Some(reply) = replies.remove(&self.job_id) {
+                return Ok(reply);
+            }
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return Err(self.shared.closed_error());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no reply for job {} within {timeout:?}", self.job_id),
+                ));
+            }
+            replies = match self.shared.ready.wait_timeout(replies, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+}
+
+/// A buffering client for the framed-TCP sorting protocol.
+///
+/// ```no_run
+/// use sortsvc::net::SortClient;
+/// use std::time::Duration;
+///
+/// let mut client = SortClient::connect("127.0.0.1:7600")?;
+/// let ticket = client.submit(workloads::uniform(1024, 7))?;
+/// client.flush()?;
+/// let sorted = ticket
+///     .wait_timeout(Duration::from_secs(10))?
+///     .sorted()
+///     .expect("not rejected");
+/// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct SortClient {
+    stream: TcpStream,
+    shared: Arc<ClientShared>,
+    buf: Vec<u8>,
+    buffered_jobs: usize,
+    next_job_id: u64,
+    config: ClientConfig,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl SortClient {
+    /// Connect with the default [`ClientConfig`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<SortClient> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with an explicit configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<SortClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(Some(config.read_timeout))?;
+        let shared = Arc::new(ClientShared {
+            replies: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            pongs: AtomicU64::new(0),
+        });
+        let reader = {
+            let shared = shared.clone();
+            let limit = config.max_frame_bytes;
+            thread::spawn(move || response_loop(read_half, shared, limit))
+        };
+        Ok(SortClient {
+            stream,
+            shared,
+            buf: Vec::new(),
+            buffered_jobs: 0,
+            next_job_id: 0,
+            config,
+            reader: Some(reader),
+        })
+    }
+
+    /// Submit one job under the configured tenant and encoding. The
+    /// submission is *buffered*; it reaches the server on auto-flush
+    /// (see [`ClientConfig::flush_jobs`] / [`ClientConfig::flush_bytes`])
+    /// or an explicit [`SortClient::flush`].
+    pub fn submit(&mut self, values: Vec<Value>) -> io::Result<JobTicket> {
+        let (tenant, encoding) = (self.config.tenant, self.config.encoding);
+        self.submit_with(values, tenant, encoding)
+    }
+
+    /// Submit one job with an explicit tenant and encoding.
+    pub fn submit_with(
+        &mut self,
+        values: Vec<Value>,
+        tenant: u32,
+        encoding: PayloadEncoding,
+    ) -> io::Result<JobTicket> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(self.shared.closed_error());
+        }
+        let job_id = self.next_job_id;
+        let payload = SubmitPayload {
+            job_id,
+            tenant,
+            encoding,
+            values,
+        }
+        .encode()
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.next_job_id += 1;
+        Frame::new(FrameType::Submit, payload).encode_into(&mut self.buf);
+        self.buffered_jobs += 1;
+        if self.buffered_jobs >= self.config.flush_jobs || self.buf.len() >= self.config.flush_bytes
+        {
+            self.flush()?;
+        }
+        Ok(JobTicket {
+            shared: self.shared.clone(),
+            job_id,
+        })
+    }
+
+    /// Write every buffered submission to the socket.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.buf)?;
+        self.stream.flush()?;
+        self.buf.clear();
+        self.buffered_jobs = 0;
+        Ok(())
+    }
+
+    /// Submissions buffered but not yet written.
+    pub fn buffered_jobs(&self) -> usize {
+        self.buffered_jobs
+    }
+
+    /// Send a `PING` (flushing first, to preserve frame order). The pong
+    /// is counted asynchronously; see [`SortClient::pongs`].
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.flush()?;
+        self.stream
+            .write_all(&Frame::new(FrameType::Ping, Vec::new()).encode())
+    }
+
+    /// `PONG` frames received so far.
+    pub fn pongs(&self) -> u64 {
+        self.shared.pongs.load(Ordering::SeqCst)
+    }
+
+    /// Flush, announce `GOODBYE` and tear the connection down. Dropping
+    /// the client does the same, minus the error reporting.
+    pub fn close(mut self) -> io::Result<()> {
+        self.flush()?;
+        Ok(())
+    }
+}
+
+impl Drop for SortClient {
+    fn drop(&mut self) {
+        let _ = self.flush();
+        let _ = self
+            .stream
+            .write_all(&Frame::new(FrameType::Goodbye, Vec::new()).encode());
+        self.shared.die(None);
+        let _ = self.stream.shutdown(Shutdown::Both);
+        if let Some(h) = self.reader.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The background response thread: decode frames, park replies, record
+/// why the connection ended.
+fn response_loop(mut stream: TcpStream, shared: Arc<ClientShared>, max_frame_bytes: u32) {
+    let mut frames = FrameReader::new(max_frame_bytes);
+    let reason = loop {
+        if shared.closed.load(Ordering::Relaxed) {
+            break None;
+        }
+        match frames.poll(&mut stream) {
+            Ok(FramePoll::Frame(frame)) => match dispatch_reply(frame, &shared) {
+                Ok(()) => continue,
+                Err(reason) => break Some(reason),
+            },
+            Ok(FramePoll::WouldBlock) => continue,
+            Ok(FramePoll::Eof) => break Some("server closed the connection".into()),
+            Err(err) => break Some(format!("frame decode failed: {err}")),
+        }
+    };
+    shared.die(reason);
+}
+
+/// Handle one server frame. `Err` carries the reason the connection is
+/// now over.
+fn dispatch_reply(frame: Frame, shared: &ClientShared) -> Result<(), String> {
+    match frame.frame_type {
+        FrameType::Result => {
+            let payload = ResultPayload::decode(&frame.payload)
+                .map_err(|e| format!("malformed RESULT from server: {e}"))?;
+            park(shared, payload.job_id, JobReply::Sorted(payload.values));
+            Ok(())
+        }
+        FrameType::Reject => {
+            let payload = RejectPayload::decode(&frame.payload)
+                .map_err(|e| format!("malformed REJECT from server: {e}"))?;
+            park(
+                shared,
+                payload.job_id,
+                JobReply::Rejected {
+                    code: payload.code,
+                    retry_after_ms: payload.retry_after_ms,
+                },
+            );
+            Ok(())
+        }
+        FrameType::Pong => {
+            shared.pongs.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        // Version-1 servers never ping; tolerate it anyway.
+        FrameType::Ping => Ok(()),
+        FrameType::Goodbye => Err("server said goodbye".into()),
+        FrameType::Error => Err(match super::frame::ErrorPayload::decode(&frame.payload) {
+            Ok(p) => format!("server reported {}: {}", p.code, p.message),
+            Err(_) => "server reported an unreadable error".into(),
+        }),
+        FrameType::Submit => Err("server sent a client-only SUBMIT frame".into()),
+    }
+}
+
+fn park(shared: &ClientShared, job_id: u64, reply: JobReply) {
+    lock(&shared.replies).insert(job_id, reply);
+    shared.ready.notify_all();
+}

@@ -1,0 +1,182 @@
+//! Typed wire error codes and their mapping onto the service's
+//! [`RejectReason`] backpressure.
+//!
+//! The in-process service signals overload by *returning* a
+//! [`RejectReason`]; the wire front-end turns that into a `REJECT` frame
+//! carrying one of these codes plus a `retry_after_ms` hint, so an
+//! overloaded server degrades gracefully — clients get a typed, retryable
+//! answer instead of a dropped connection. The normative code table lives
+//! in `docs/PROTOCOL.md` § Error codes.
+//!
+//! ```
+//! use sortsvc::net::ErrorCode;
+//! use sortsvc::RejectReason;
+//!
+//! assert_eq!(ErrorCode::from(RejectReason::QueueFull), ErrorCode::QueueFull);
+//! assert!(ErrorCode::QueueFull.is_retryable());
+//! assert!(!ErrorCode::QueueFull.is_connection_fatal());
+//! assert!(ErrorCode::BadMagic.is_connection_fatal());
+//! ```
+
+use crate::job::RejectReason;
+use std::fmt;
+
+/// Error codes of protocol version 1.
+///
+/// Codes below 100 are **per-job**: they arrive in a `REJECT` frame, the
+/// connection survives, and — for the retryable ones — the job may be
+/// resubmitted after the advisory `retry_after_ms`. Codes at or above 100
+/// are **connection-fatal**: they arrive in an `ERROR` frame and the
+/// sender closes the connection, because the byte stream can no longer be
+/// trusted to be in sync.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The admission queue already holds its configured maximum number of
+    /// jobs ([`RejectReason::QueueFull`]). Retryable.
+    QueueFull = 1,
+    /// Admitting the job would exceed the service's bounded in-flight
+    /// memory ([`RejectReason::MemoryPressure`]). Retryable.
+    MemoryPressure = 2,
+    /// The server's wire-level submission queue is full — backpressure
+    /// applied before the job ever reached the service. Retryable.
+    ServerBusy = 3,
+    /// The job's payload did not decode (bad record section, unknown
+    /// reserved bits, …). Not retryable: the same bytes will fail again.
+    MalformedPayload = 4,
+    /// The submission named a payload encoding this server does not
+    /// support.
+    UnsupportedEncoding = 5,
+    /// The job carries more records than the server accepts per job.
+    JobTooLarge = 6,
+    /// The service failed internally while executing the job's batch.
+    Internal = 7,
+
+    /// Frame-layer violation: the magic bytes were wrong.
+    BadMagic = 100,
+    /// Frame-layer violation: unsupported protocol version.
+    BadVersion = 101,
+    /// Frame-layer violation: length prefix beyond the receiver's bound.
+    FrameOversized = 102,
+    /// Frame-layer violation: anything else that desynchronises the
+    /// stream (unknown frame type, non-zero reserved word, truncation,
+    /// a frame type that is invalid in the current direction).
+    BadFrame = 103,
+}
+
+impl ErrorCode {
+    /// Decode a wire code.
+    pub fn from_wire(code: u16) -> Option<ErrorCode> {
+        match code {
+            1 => Some(ErrorCode::QueueFull),
+            2 => Some(ErrorCode::MemoryPressure),
+            3 => Some(ErrorCode::ServerBusy),
+            4 => Some(ErrorCode::MalformedPayload),
+            5 => Some(ErrorCode::UnsupportedEncoding),
+            6 => Some(ErrorCode::JobTooLarge),
+            7 => Some(ErrorCode::Internal),
+            100 => Some(ErrorCode::BadMagic),
+            101 => Some(ErrorCode::BadVersion),
+            102 => Some(ErrorCode::FrameOversized),
+            103 => Some(ErrorCode::BadFrame),
+            _ => None,
+        }
+    }
+
+    /// True for codes that end the connection (`ERROR` frame codes).
+    pub fn is_connection_fatal(&self) -> bool {
+        (*self as u16) >= 100
+    }
+
+    /// True when resubmitting the same job later can succeed — the
+    /// overload codes. Malformed or oversized jobs fail deterministically
+    /// and must not be retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ErrorCode::QueueFull | ErrorCode::MemoryPressure | ErrorCode::ServerBusy
+        )
+    }
+
+    /// Short stable name (matches the table in `docs/PROTOCOL.md`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorCode::QueueFull => "QUEUE_FULL",
+            ErrorCode::MemoryPressure => "MEMORY_PRESSURE",
+            ErrorCode::ServerBusy => "SERVER_BUSY",
+            ErrorCode::MalformedPayload => "MALFORMED_PAYLOAD",
+            ErrorCode::UnsupportedEncoding => "UNSUPPORTED_ENCODING",
+            ErrorCode::JobTooLarge => "JOB_TOO_LARGE",
+            ErrorCode::Internal => "INTERNAL",
+            ErrorCode::BadMagic => "BAD_MAGIC",
+            ErrorCode::BadVersion => "BAD_VERSION",
+            ErrorCode::FrameOversized => "FRAME_OVERSIZED",
+            ErrorCode::BadFrame => "BAD_FRAME",
+        }
+    }
+}
+
+impl From<RejectReason> for ErrorCode {
+    /// The wire image of the service's admission backpressure.
+    fn from(reason: RejectReason) -> ErrorCode {
+        match reason {
+            RejectReason::QueueFull => ErrorCode::QueueFull,
+            RejectReason::MemoryPressure => ErrorCode::MemoryPressure,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), *self as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_code_round_trips_through_the_wire() {
+        for code in [
+            ErrorCode::QueueFull,
+            ErrorCode::MemoryPressure,
+            ErrorCode::ServerBusy,
+            ErrorCode::MalformedPayload,
+            ErrorCode::UnsupportedEncoding,
+            ErrorCode::JobTooLarge,
+            ErrorCode::Internal,
+            ErrorCode::BadMagic,
+            ErrorCode::BadVersion,
+            ErrorCode::FrameOversized,
+            ErrorCode::BadFrame,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code as u16), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire(0), None);
+        assert_eq!(ErrorCode::from_wire(999), None);
+    }
+
+    #[test]
+    fn reject_reasons_map_onto_wire_codes() {
+        assert_eq!(
+            ErrorCode::from(RejectReason::QueueFull),
+            ErrorCode::QueueFull
+        );
+        assert_eq!(
+            ErrorCode::from(RejectReason::MemoryPressure),
+            ErrorCode::MemoryPressure
+        );
+    }
+
+    #[test]
+    fn fatality_and_retryability_split_the_code_space() {
+        assert!(!ErrorCode::QueueFull.is_connection_fatal());
+        assert!(!ErrorCode::MalformedPayload.is_connection_fatal());
+        assert!(ErrorCode::BadMagic.is_connection_fatal());
+        assert!(ErrorCode::BadFrame.is_connection_fatal());
+        assert!(ErrorCode::ServerBusy.is_retryable());
+        assert!(!ErrorCode::MalformedPayload.is_retryable());
+        assert!(!ErrorCode::BadVersion.is_retryable());
+    }
+}

@@ -1,0 +1,74 @@
+//! # `sortsvc::net` — the framed-TCP front-end of the sorting service
+//!
+//! Everything below is hand-rolled on `std::net` (no crates.io): a
+//! length-prefixed binary [`frame`] layer, a threaded [`server`] that
+//! feeds wire submissions into the existing admission →
+//! tenant-fair-queue → coalescer → pooled-engine pipeline, a buffering
+//! [`client`], and the typed [`error`] codes that map the service's
+//! backpressure onto the wire. The byte-level contract — frame layout,
+//! state machine, error codes, versioning — is specified normatively in
+//! `docs/PROTOCOL.md`; this module is its reference implementation.
+//!
+//! The layering mirrors the in-process service:
+//!
+//! | wire concept | in-process concept |
+//! |---|---|
+//! | `SUBMIT` frame | [`crate::SortJob`] |
+//! | `RESULT` frame | [`crate::JobResult`] output |
+//! | `REJECT` frame + [`ErrorCode`] | [`crate::RejectReason`] |
+//! | client submission buffering | service job coalescing |
+//! | `retry_after_ms` hint | admission backpressure |
+//!
+//! ## A complete round trip
+//!
+//! ```
+//! use sortsvc::net::{ServerConfig, SortClient, SortServer};
+//! use std::time::Duration;
+//!
+//! // Tiny service profile so the doctest calibrates fast.
+//! let mut config = ServerConfig::default();
+//! config.service.device_slots = 1;
+//!
+//! let server = SortServer::start("127.0.0.1:0", config)?;
+//! let mut client = SortClient::connect(server.local_addr())?;
+//!
+//! let ticket = client.submit(workloads::uniform(256, 42))?;
+//! client.flush()?;
+//! let sorted = ticket
+//!     .wait_timeout(Duration::from_secs(30))?
+//!     .sorted()
+//!     .expect("a 256-element job is not rejected by an idle server");
+//! assert_eq!(sorted.len(), 256);
+//! assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+//!
+//! drop(client);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.service.jobs_completed, 1);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientConfig, JobReply, JobTicket, SortClient};
+pub use error::ErrorCode;
+pub use frame::{
+    ErrorPayload, Frame, FrameError, FramePoll, FrameReader, FrameType, PayloadEncoding,
+    PayloadError, RejectPayload, ResultPayload, SubmitPayload, HEADER_LEN, JOB_HEADER_LEN, MAGIC,
+    PROTOCOL_VERSION, RAW_RECORD_LEN,
+};
+pub use server::{ServerConfig, ServerStats, SortServer};
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock a mutex, riding over poisoning: a panicked holder cannot leave
+/// these single-field states (a write half, a stats struct, a reply map)
+/// half-updated in a way that matters more than serving on.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}

@@ -1,0 +1,712 @@
+//! The framed-TCP server front-end: an accept loop, one reader thread per
+//! connection, and a dispatcher thread that micro-batches wire submissions
+//! into [`SortService::process`] runs.
+//!
+//! The server is the bridge between the wire protocol (`docs/PROTOCOL.md`)
+//! and the in-process pipeline: every well-formed `SUBMIT` frame becomes a
+//! [`SortJob`] stamped with its wall-clock arrival time and flows through
+//! the existing admission → tenant-fair-queue → coalescer → pooled-engine
+//! path. Responses stream back per job id over the submitting connection
+//! (`RESULT` on completion, `REJECT` with a typed [`ErrorCode`] and a
+//! `retry_after_ms` hint on backpressure).
+//!
+//! Overload never drops a connection. Three layers of backpressure each
+//! produce a typed, retryable answer:
+//!
+//! 1. **Wire level** — when more than [`ServerConfig::max_pending_jobs`]
+//!    submissions are in flight, new jobs are rejected with
+//!    [`ErrorCode::ServerBusy`] before they reach the service.
+//! 2. **Admission control** — the service's own [`crate::RejectReason`]
+//!    ([`ErrorCode::QueueFull`] / [`ErrorCode::MemoryPressure`]) are
+//!    forwarded as `REJECT` frames.
+//! 3. **Per-job validation** — malformed payloads, unknown encodings and
+//!    oversized jobs are rejected individually; only frame-layer
+//!    violations (bad magic, wrong version, oversized length prefix) are
+//!    connection-fatal, because the byte stream can no longer be trusted.
+
+use super::error::ErrorCode;
+use super::frame::{
+    ErrorPayload, Frame, FramePoll, FrameReader, FrameType, PayloadEncoding, RejectPayload,
+    ResultPayload, SubmitPayload, HEADER_LEN, JOB_HEADER_LEN,
+};
+use super::lock;
+use crate::job::SortJob;
+use crate::metrics::{percentile, ratio, ServiceMetrics};
+use crate::service::{ServiceConfig, ServiceReport, SortService};
+use serde::Serialize;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+use stream_arch::Value;
+
+/// Aggregate latency samples kept for the percentile snapshot; once the
+/// cap is reached further jobs still count but stop contributing samples.
+const LATENCY_SAMPLE_CAP: usize = 1 << 20;
+
+/// Configuration of a [`SortServer`].
+///
+/// ```
+/// use sortsvc::net::ServerConfig;
+///
+/// let mut config = ServerConfig::default();
+/// config.service.device_slots = 4;       // the in-process pipeline knobs
+/// config.max_pending_jobs = 64;          // wire-level backpressure bound
+/// assert!(config.max_batch_jobs > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Configuration of the in-process [`SortService`] the server feeds.
+    pub service: ServiceConfig,
+    /// Wall-clock window the dispatcher holds a micro-batch open after its
+    /// first submission, waiting for more jobs to coalesce with.
+    pub batch_window: Duration,
+    /// Maximum submissions per micro-batch (a batch closes early when it
+    /// fills).
+    pub max_batch_jobs: usize,
+    /// Wire-level backpressure bound: submissions accepted but not yet
+    /// answered. Beyond it new jobs get [`ErrorCode::ServerBusy`].
+    pub max_pending_jobs: usize,
+    /// Maximum frame payload length the server will read (the
+    /// [`FrameReader`] bound; larger length prefixes are connection-fatal).
+    pub max_frame_bytes: u32,
+    /// Maximum records per job; larger jobs get [`ErrorCode::JobTooLarge`].
+    pub max_job_elements: usize,
+    /// Socket read timeout of the reader threads — the granularity at
+    /// which they notice a shutdown request.
+    pub read_timeout: Duration,
+    /// Base advisory back-off returned in `retry_after_ms` with retryable
+    /// rejects ([`ErrorCode::MemoryPressure`] hints twice this, since
+    /// memory drains slower than queue slots).
+    pub retry_after: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            service: ServiceConfig::default(),
+            batch_window: Duration::from_millis(1),
+            max_batch_jobs: 256,
+            max_pending_jobs: 1024,
+            max_frame_bytes: 64 << 20,
+            max_job_elements: 1 << 22,
+            read_timeout: Duration::from_millis(5),
+            retry_after: Duration::from_millis(10),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a running server.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Peak simultaneous connections.
+    pub peak_connections: u64,
+    /// Frames received (all types).
+    pub frames_received: u64,
+    /// Frames sent (all types).
+    pub frames_sent: u64,
+    /// Jobs rejected before reaching the service (busy, malformed, too
+    /// large, unsupported encoding).
+    pub wire_rejects: u64,
+    /// Connection-fatal protocol violations answered with `ERROR`.
+    pub fatal_errors: u64,
+    /// Micro-batches the dispatcher ran through the service.
+    pub micro_batches: u64,
+    /// Aggregate service metrics over every micro-batch: job/batch/engine
+    /// counters and simulated makespan are summed, latency percentiles are
+    /// recomputed over the pooled per-job samples, occupancy stays
+    /// capacity-weighted. `jobs_submitted` / `jobs_rejected` include the
+    /// wire-level rejects, so `submitted = completed + rejected` holds for
+    /// the server exactly as it does for one in-process run.
+    pub service: ServiceMetrics,
+}
+
+/// What one reader thread hands the dispatcher per accepted `SUBMIT`.
+struct Submission {
+    writer: Arc<ConnWriter>,
+    job_id: u64,
+    tenant: u32,
+    encoding: PayloadEncoding,
+    values: Vec<Value>,
+    received: Instant,
+}
+
+/// The write half of one connection. Reader threads (rejects, pongs) and
+/// the dispatcher (results) share it behind a mutex, so response frames
+/// never interleave mid-frame.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+    shared: Arc<Shared>,
+}
+
+impl ConnWriter {
+    /// Send one frame, best effort: a peer that vanished mid-response is
+    /// the peer's problem, not the server's.
+    fn send(&self, frame_type: FrameType, payload: Vec<u8>) {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        Frame::new(frame_type, payload).encode_into(&mut bytes);
+        if lock(&self.stream).write_all(&bytes).is_ok() {
+            self.shared.stat(|s| s.frames_sent += 1);
+        }
+    }
+
+    fn close(&self) {
+        let _ = lock(&self.stream).shutdown(Shutdown::Both);
+    }
+}
+
+/// State shared by every server thread.
+struct Shared {
+    stop: AtomicBool,
+    pending: AtomicUsize,
+    stats: Mutex<StatsInner>,
+    device_slots: usize,
+    policy_crossover: u64,
+}
+
+impl Shared {
+    fn stat<R>(&self, f: impl FnOnce(&mut StatsInner) -> R) -> R {
+        f(&mut lock(&self.stats))
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let s = lock(&self.stats);
+        let mut lat = s.latencies_ms.clone();
+        lat.sort_by(f64::total_cmp);
+        let lat_sum: f64 = lat.iter().sum();
+        let service = ServiceMetrics {
+            jobs_submitted: s.jobs_submitted + s.wire_rejects as usize,
+            jobs_completed: s.jobs_completed,
+            jobs_rejected: s.jobs_rejected + s.wire_rejects as usize,
+            batches: s.service_batches,
+            elements_sorted: s.elements_sorted,
+            makespan_ms: s.makespan_ms,
+            throughput_jobs_per_s: ratio(s.jobs_completed as f64, s.makespan_ms / 1e3),
+            throughput_kelems_per_s: ratio(s.elements_sorted as f64 / 1e3, s.makespan_ms / 1e3),
+            latency_mean_ms: ratio(lat_sum, lat.len() as f64),
+            latency_p50_ms: percentile(&lat, 0.5),
+            latency_p99_ms: percentile(&lat, 0.99),
+            queue_mean_ms: ratio(s.queue_ms_sum, s.jobs_completed as f64),
+            mean_batch_occupancy: ratio(s.occupancy_weight, s.capacity_total),
+            mean_jobs_per_batch: ratio(s.batch_jobs as f64, s.service_batches as f64),
+            cpu_jobs: s.cpu_jobs,
+            gpu_jobs: s.gpu_jobs,
+            sharded_jobs: s.sharded_jobs,
+            tera_jobs: s.tera_jobs,
+            sharded_batches: s.sharded_batches,
+            shard_skew_max: s.shard_skew_max,
+            device_busy_ms: s.device_busy_ms,
+            device_utilization: ratio(s.device_busy_ms, self.device_slots as f64 * s.makespan_ms),
+            wall_ms: s.wall_ms,
+            policy_crossover: self.policy_crossover,
+        };
+        ServerStats {
+            connections_accepted: s.connections_accepted,
+            connections_open: s.connections_open,
+            peak_connections: s.peak_connections,
+            frames_received: s.frames_received,
+            frames_sent: s.frames_sent,
+            wire_rejects: s.wire_rejects,
+            fatal_errors: s.fatal_errors,
+            micro_batches: s.micro_batches,
+            service,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatsInner {
+    connections_accepted: u64,
+    connections_open: u64,
+    peak_connections: u64,
+    frames_received: u64,
+    frames_sent: u64,
+    wire_rejects: u64,
+    fatal_errors: u64,
+    micro_batches: u64,
+    // Service-level aggregates across micro-batch runs.
+    jobs_submitted: usize,
+    jobs_completed: usize,
+    jobs_rejected: usize,
+    service_batches: usize,
+    batch_jobs: u64,
+    elements_sorted: u64,
+    makespan_ms: f64,
+    device_busy_ms: f64,
+    wall_ms: f64,
+    occupancy_weight: f64,
+    capacity_total: f64,
+    cpu_jobs: usize,
+    gpu_jobs: usize,
+    sharded_jobs: usize,
+    tera_jobs: usize,
+    sharded_batches: usize,
+    shard_skew_max: f64,
+    latencies_ms: Vec<f64>,
+    queue_ms_sum: f64,
+}
+
+impl StatsInner {
+    /// Fold one service run into the aggregates.
+    fn merge_run(&mut self, report: &ServiceReport) {
+        let m = &report.metrics;
+        self.micro_batches += 1;
+        self.jobs_submitted += m.jobs_submitted;
+        self.jobs_completed += m.jobs_completed;
+        self.jobs_rejected += m.jobs_rejected;
+        self.service_batches += m.batches;
+        self.elements_sorted += m.elements_sorted;
+        self.makespan_ms += m.makespan_ms;
+        self.device_busy_ms += m.device_busy_ms;
+        self.wall_ms += m.wall_ms;
+        self.cpu_jobs += m.cpu_jobs;
+        self.gpu_jobs += m.gpu_jobs;
+        self.sharded_jobs += m.sharded_jobs;
+        self.tera_jobs += m.tera_jobs;
+        self.sharded_batches += m.sharded_batches;
+        self.shard_skew_max = self.shard_skew_max.max(m.shard_skew_max);
+        for b in &report.batches {
+            self.occupancy_weight += b.occupancy * b.capacity as f64;
+            self.capacity_total += b.capacity as f64;
+            self.batch_jobs += b.jobs as u64;
+        }
+        for r in &report.results {
+            if self.latencies_ms.len() < LATENCY_SAMPLE_CAP {
+                self.latencies_ms.push(r.latency_ms);
+            }
+            self.queue_ms_sum += r.queue_ms;
+        }
+    }
+}
+
+/// The framed-TCP sorting server.
+///
+/// [`SortServer::start`] binds, calibrates a [`SortService`] and spawns
+/// the thread ensemble; the handle only *observes* ([`SortServer::stats`])
+/// and *stops* ([`SortServer::shutdown`], also run on drop). Shutdown is
+/// graceful: accepted submissions still in the dispatcher queue are
+/// processed and answered before the threads exit.
+pub struct SortServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    submit_tx: Option<Sender<Submission>>,
+}
+
+impl SortServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving, calibrating a fresh [`SortService`] from
+    /// [`ServerConfig::service`].
+    pub fn start(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<SortServer> {
+        let service = SortService::new(config.service.clone());
+        Self::start_with(addr, config, service)
+    }
+
+    /// Bind `addr` and start serving with an already built service (lets
+    /// tests share one policy calibration across servers).
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        service: SortService,
+    ) -> io::Result<SortServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            stats: Mutex::new(StatsInner::default()),
+            device_slots: service.config().device_slots,
+            policy_crossover: service.policy().crossover() as u64,
+        });
+        let (tx, rx) = mpsc::channel::<Submission>();
+
+        let dispatcher = {
+            let config = config.clone();
+            let shared = shared.clone();
+            let started = Instant::now();
+            thread::spawn(move || dispatcher_loop(rx, service, config, shared, started))
+        };
+        let accept = {
+            let tx = tx.clone();
+            let shared = shared.clone();
+            thread::spawn(move || accept_loop(listener, tx, config, shared))
+        };
+
+        Ok(SortServer {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            submit_tx: Some(tx),
+        })
+    }
+
+    /// The address the server is listening on (resolves the ephemeral
+    /// port of a `"127.0.0.1:0"` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Stop accepting, drain the dispatcher queue, join every thread and
+    /// return the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.shared.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // With the accept thread and every reader gone, dropping the last
+        // sender disconnects the channel; the dispatcher drains what is
+        // queued, answers it, and exits.
+        drop(self.submit_tx.take());
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SortServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Accept connections until asked to stop, then join the reader threads.
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Submission>,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+) {
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(config.read_timeout));
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                shared.stat(|s| {
+                    s.connections_accepted += 1;
+                    s.connections_open += 1;
+                    s.peak_connections = s.peak_connections.max(s.connections_open);
+                });
+                let writer = Arc::new(ConnWriter {
+                    stream: Mutex::new(write_half),
+                    shared: shared.clone(),
+                });
+                let tx = tx.clone();
+                let config = config.clone();
+                let shared = shared.clone();
+                readers.push(thread::spawn(move || {
+                    reader_loop(stream, writer, tx, config, shared)
+                }));
+            }
+            // Nonblocking accept: idle-sleep and re-check the stop flag.
+            Err(_) => thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    for h in readers {
+        let _ = h.join();
+    }
+}
+
+/// One connection's read loop: decode frames, answer protocol traffic,
+/// forward submissions.
+fn reader_loop(
+    mut stream: TcpStream,
+    writer: Arc<ConnWriter>,
+    tx: Sender<Submission>,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+) {
+    let mut frames = FrameReader::new(config.max_frame_bytes);
+    while !shared.stop.load(Ordering::Relaxed) {
+        match frames.poll(&mut stream) {
+            Ok(FramePoll::Frame(frame)) => {
+                shared.stat(|s| s.frames_received += 1);
+                if !handle_frame(frame, &writer, &tx, &config, &shared) {
+                    break;
+                }
+            }
+            Ok(FramePoll::WouldBlock) => continue,
+            Ok(FramePoll::Eof) => break,
+            Err(err) => {
+                // The stream is out of sync: say why, then hang up.
+                writer.send(
+                    FrameType::Error,
+                    ErrorPayload {
+                        code: err.error_code(),
+                        message: err.to_string(),
+                    }
+                    .encode(),
+                );
+                shared.stat(|s| s.fatal_errors += 1);
+                break;
+            }
+        }
+    }
+    writer.close();
+    shared.stat(|s| s.connections_open -= 1);
+}
+
+/// Dispatch one client frame. Returns `false` when the connection should
+/// close.
+fn handle_frame(
+    frame: Frame,
+    writer: &Arc<ConnWriter>,
+    tx: &Sender<Submission>,
+    config: &ServerConfig,
+    shared: &Arc<Shared>,
+) -> bool {
+    match frame.frame_type {
+        FrameType::Submit => {
+            handle_submit(frame.payload, writer, tx, config, shared);
+            true
+        }
+        FrameType::Ping => {
+            writer.send(FrameType::Pong, frame.payload);
+            true
+        }
+        // An unsolicited PONG is harmless; ignore it.
+        FrameType::Pong => true,
+        FrameType::Goodbye => false,
+        // The peer declared the connection broken; nothing left to say.
+        FrameType::Error => false,
+        // Server-to-client frame types are invalid in this direction.
+        FrameType::Result | FrameType::Reject => {
+            writer.send(
+                FrameType::Error,
+                ErrorPayload {
+                    code: ErrorCode::BadFrame,
+                    message: "RESULT/REJECT are server-to-client frames".into(),
+                }
+                .encode(),
+            );
+            shared.stat(|s| s.fatal_errors += 1);
+            false
+        }
+    }
+}
+
+/// Validate one submission and either queue it or reject it in place.
+fn handle_submit(
+    payload: Vec<u8>,
+    writer: &Arc<ConnWriter>,
+    tx: &Sender<Submission>,
+    config: &ServerConfig,
+    shared: &Arc<Shared>,
+) {
+    // The job id lives in the first 8 payload bytes, so it is recoverable
+    // (for the echo in the reject) even when the rest is malformed.
+    let echo_id = payload
+        .get(0..8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        .unwrap_or(0);
+    if payload.len() >= JOB_HEADER_LEN && PayloadEncoding::from_wire(payload[12]).is_none() {
+        reject(writer, shared, echo_id, ErrorCode::UnsupportedEncoding, 0);
+        return;
+    }
+    let submit = match SubmitPayload::decode(&payload) {
+        Ok(s) => s,
+        Err(_) => {
+            reject(writer, shared, echo_id, ErrorCode::MalformedPayload, 0);
+            return;
+        }
+    };
+    if submit.values.len() > config.max_job_elements {
+        reject(writer, shared, submit.job_id, ErrorCode::JobTooLarge, 0);
+        return;
+    }
+    // Wire-level backpressure: bound the submissions in flight before the
+    // service's own admission control ever sees them.
+    let admitted = shared
+        .pending
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+            (n < config.max_pending_jobs).then_some(n + 1)
+        })
+        .is_ok();
+    if !admitted {
+        let hint = retry_hint_ms(config, ErrorCode::ServerBusy);
+        reject(writer, shared, submit.job_id, ErrorCode::ServerBusy, hint);
+        return;
+    }
+    let submission = Submission {
+        writer: writer.clone(),
+        job_id: submit.job_id,
+        tenant: submit.tenant,
+        encoding: submit.encoding,
+        values: submit.values,
+        received: Instant::now(),
+    };
+    if tx.send(submission).is_err() {
+        // The dispatcher is gone (shutdown race): still answer.
+        shared.pending.fetch_sub(1, Ordering::SeqCst);
+        let hint = retry_hint_ms(config, ErrorCode::ServerBusy);
+        reject(writer, shared, echo_id, ErrorCode::ServerBusy, hint);
+    }
+}
+
+fn reject(writer: &ConnWriter, shared: &Shared, job_id: u64, code: ErrorCode, retry_after_ms: u32) {
+    shared.stat(|s| s.wire_rejects += 1);
+    writer.send(
+        FrameType::Reject,
+        RejectPayload {
+            job_id,
+            code,
+            retry_after_ms,
+        }
+        .encode(),
+    );
+}
+
+/// The advisory back-off sent with a retryable reject.
+fn retry_hint_ms(config: &ServerConfig, code: ErrorCode) -> u32 {
+    let base = (config.retry_after.as_millis() as u32).max(1);
+    match code {
+        ErrorCode::QueueFull | ErrorCode::ServerBusy => base,
+        // In-flight memory drains slower than queue slots.
+        ErrorCode::MemoryPressure => 2 * base,
+        _ => 0,
+    }
+}
+
+/// Collect submissions into wall-clock micro-batches and run each through
+/// the service.
+fn dispatcher_loop(
+    rx: Receiver<Submission>,
+    service: SortService,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+    started: Instant,
+) {
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(s) => s,
+            Err(RecvTimeoutError::Timeout) => continue,
+            // Every sender dropped and the queue is drained: shutdown.
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let deadline = Instant::now() + config.batch_window;
+        let mut batch = vec![first];
+        while batch.len() < config.max_batch_jobs {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(s) => batch.push(s),
+                Err(_) => break,
+            }
+        }
+        run_batch(&service, &config, &shared, started, batch);
+    }
+}
+
+/// Run one micro-batch through the service and fan the answers back out
+/// to the submitting connections.
+fn run_batch(
+    service: &SortService,
+    config: &ServerConfig,
+    shared: &Shared,
+    started: Instant,
+    mut batch: Vec<Submission>,
+) {
+    let n = batch.len();
+    // Service job ids are batch positions, so each verdict maps back to
+    // its wire submission by index; arrival times are wall-clock
+    // milliseconds since server start, which preserves arrival order for
+    // the admission queue and fairness machinery.
+    let jobs: Vec<SortJob> = batch
+        .iter_mut()
+        .enumerate()
+        .map(|(i, sub)| SortJob {
+            id: i as u64,
+            tenant: sub.tenant,
+            arrival_ms: sub.received.duration_since(started).as_secs_f64() * 1e3,
+            values: std::mem::take(&mut sub.values),
+            hint: None,
+        })
+        .collect();
+
+    match service.process(jobs) {
+        Ok(report) => {
+            shared.stat(|s| s.merge_run(&report));
+            for (id, reason) in &report.rejected {
+                let sub = &batch[*id as usize];
+                let code = ErrorCode::from(*reason);
+                sub.writer.send(
+                    FrameType::Reject,
+                    RejectPayload {
+                        job_id: sub.job_id,
+                        code,
+                        retry_after_ms: retry_hint_ms(config, code),
+                    }
+                    .encode(),
+                );
+            }
+            for result in report.results {
+                let sub = &batch[result.id as usize];
+                let reply = ResultPayload {
+                    job_id: sub.job_id,
+                    encoding: sub.encoding,
+                    values: result.output,
+                };
+                match reply.encode() {
+                    Ok(payload) => sub.writer.send(FrameType::Result, payload),
+                    // Unreachable in practice: a result mirrors its
+                    // submission's encoding, and anything JSON cannot
+                    // carry could not have been submitted as JSON.
+                    Err(_) => sub.writer.send(
+                        FrameType::Reject,
+                        RejectPayload {
+                            job_id: sub.job_id,
+                            code: ErrorCode::Internal,
+                            retry_after_ms: 0,
+                        }
+                        .encode(),
+                    ),
+                }
+            }
+        }
+        Err(_) => {
+            // The whole batch failed inside the engine: answer every job
+            // so no client hangs, and count them as submitted + rejected.
+            shared.stat(|s| {
+                s.jobs_submitted += n;
+                s.jobs_rejected += n;
+            });
+            for sub in &batch {
+                sub.writer.send(
+                    FrameType::Reject,
+                    RejectPayload {
+                        job_id: sub.job_id,
+                        code: ErrorCode::Internal,
+                        retry_after_ms: 0,
+                    }
+                    .encode(),
+                );
+            }
+        }
+    }
+    shared.pending.fetch_sub(n, Ordering::SeqCst);
+}

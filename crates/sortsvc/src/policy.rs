@@ -106,6 +106,23 @@ impl Default for PolicyConfig {
 }
 
 /// The calibrated policy.
+///
+/// ```
+/// use abisort::SortConfig;
+/// use sortsvc::{PolicyConfig, SortPolicy};
+/// use stream_arch::GpuProfile;
+///
+/// let policy = SortPolicy::calibrate(
+///     &GpuProfile::geforce_7800(),
+///     &SortConfig::default(),
+///     &PolicyConfig::default(),
+/// );
+/// // Probe sorts fit the launch-overhead/per-element decomposition and
+/// // derive the paper's Section-8 crossover: CPU quicksort below it,
+/// // GPU-ABiSort above.
+/// assert!(policy.crossover() > 0);
+/// assert!(policy.est_cpu_ms(100, None) < policy.est_cpu_ms(100_000, None));
+/// ```
 #[derive(Clone, Debug)]
 pub struct SortPolicy {
     cpu_model: CpuSortModel,

@@ -162,6 +162,46 @@ impl RequestMix {
         .normalized()
     }
 
+    /// A per-connection mix for the networked front-end: the stream one
+    /// client pushes down one TCP connection. Sizes stay modest (wire
+    /// jobs are encoded, shipped and echoed back, so megabyte jobs would
+    /// measure the loopback, not the service), a single tenant per
+    /// connection (the client stamps its own tenant id), and zero
+    /// inter-arrival gap — a soak client submits as fast as its pipeline
+    /// window allows, so arrival pacing comes from the wire, not the
+    /// generator.
+    pub fn connection_driven(jobs: usize) -> Self {
+        RequestMix {
+            jobs,
+            tenants: 1,
+            mean_interarrival_ms: 0.0,
+            size_classes: vec![
+                SizeClass {
+                    weight: 6,
+                    min: 64,
+                    max: 512,
+                },
+                SizeClass {
+                    weight: 3,
+                    min: 512,
+                    max: 4096,
+                },
+                SizeClass {
+                    weight: 1,
+                    min: 8192,
+                    max: 16384,
+                },
+            ],
+            distributions: vec![
+                Distribution::Uniform,
+                Distribution::Reverse,
+                Distribution::NearlySorted { swaps: 32 },
+                Distribution::FewDistinct { distinct: 16 },
+            ],
+        }
+        .normalized()
+    }
+
     /// Generate the deterministic request stream for `seed`.
     ///
     /// Requests arrive in non-decreasing `arrival_ms` order; tenants,
@@ -278,6 +318,21 @@ mod tests {
         let reqs = RequestMix::mixed(300).generate(5);
         assert!(reqs.iter().any(|r| r.values.len() < 1024));
         assert!(reqs.iter().any(|r| r.values.len() > 16 * 1024));
+    }
+
+    #[test]
+    fn connection_driven_is_single_tenant_and_wire_sized() {
+        let mix = RequestMix::connection_driven(60);
+        let reqs = mix.generate(13);
+        assert_eq!(reqs.len(), 60);
+        for r in &reqs {
+            // One tenant per connection: the wire client stamps its own.
+            assert_eq!(r.tenant, 0);
+            assert!(r.values.len() >= 64 && r.values.len() <= 16384);
+        }
+        // Mostly coalescer-regime jobs with a tail above the cutoff.
+        assert!(reqs.iter().filter(|r| r.values.len() < 1024).count() > reqs.len() / 3);
+        assert!(reqs.iter().any(|r| r.values.len() > 4096));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Networked sorting service demo: the framed-TCP front-end end to end.
+//!
+//! Starts a [`SortServer`] on an ephemeral loopback port, connects a few
+//! buffering [`SortClient`]s from separate threads, pipelines a seeded
+//! request mix through them, and prints the server's wire + service
+//! statistics. Everything a production deployment would split across
+//! machines runs here in one process — the bytes on the loopback socket
+//! are exactly the protocol documented in `docs/PROTOCOL.md`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example net_sort_service [-- <clients> [<jobs-per-client>]]
+//! ```
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::sortsvc::net::JobReply;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// One client connection: submit `jobs` requests pipelined, wait for every
+/// reply, and return (completed, rejected, total round-trip ms).
+fn run_client(addr: SocketAddr, tenant: u32, jobs: usize) -> (usize, usize, f64) {
+    let requests = RequestMix::connection_driven(jobs).generate(2006 ^ ((tenant as u64) << 32));
+    let mut client = SortClient::connect_with(
+        addr,
+        ClientConfig {
+            tenant,
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect to loopback server");
+
+    let started = Instant::now();
+    let tickets: Vec<_> = requests
+        .into_iter()
+        .map(|r| client.submit(r.values).expect("submit job"))
+        .collect();
+    client.flush().expect("flush buffered submissions");
+
+    let (mut completed, mut rejected) = (0usize, 0usize);
+    for ticket in tickets {
+        match ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("job went unanswered")
+        {
+            JobReply::Sorted(values) => {
+                assert!(
+                    values.windows(2).all(|w| w[0] <= w[1]),
+                    "wire result must come back sorted"
+                );
+                completed += 1;
+            }
+            JobReply::Rejected { code, .. } => {
+                eprintln!("  tenant {tenant}: job rejected with {code}");
+                rejected += 1;
+            }
+        }
+    }
+    (completed, rejected, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let jobs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+
+    let server =
+        SortServer::start("127.0.0.1:0", ServerConfig::default()).expect("bind loopback server");
+    let addr = server.local_addr();
+    println!("sort server listening on {addr} ({clients} clients × {jobs} jobs)\n");
+
+    let outcomes: Vec<_> = std::thread::scope(|scope| {
+        (0..clients)
+            .map(|c| scope.spawn(move || run_client(addr, c as u32, jobs)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+
+    for (tenant, (completed, rejected, wall_ms)) in outcomes.iter().enumerate() {
+        println!(
+            "tenant {tenant}: {completed} completed, {rejected} rejected in {wall_ms:.1} ms wall"
+        );
+    }
+    let total: usize = outcomes.iter().map(|(c, r, _)| c + r).sum();
+    assert_eq!(total, clients * jobs, "every job must be answered");
+
+    let stats = server.shutdown();
+    println!("\nserver statistics:");
+    println!(
+        "  connections         : {} accepted, {} peak simultaneous",
+        stats.connections_accepted, stats.peak_connections
+    );
+    println!(
+        "  frames              : {} received, {} sent",
+        stats.frames_received, stats.frames_sent
+    );
+    println!(
+        "  micro-batches       : {} ({} service batches)",
+        stats.micro_batches, stats.service.batches
+    );
+    println!(
+        "  jobs                : {} completed, {} rejected ({} wire-level)",
+        stats.service.jobs_completed, stats.service.jobs_rejected, stats.wire_rejects
+    );
+    println!("  elements sorted     : {}", stats.service.elements_sorted);
+    println!(
+        "  service latency     : p50 {:.2} / p99 {:.2} ms (simulated)",
+        stats.service.latency_p50_ms, stats.service.latency_p99_ms
+    );
+    println!(
+        "  engine mix          : {} cpu-quicksort, {} gpu-abisort, {} terasort",
+        stats.service.cpu_jobs, stats.service.gpu_jobs, stats.service.tera_jobs
+    );
+    assert_eq!(
+        stats.service.jobs_completed,
+        outcomes.iter().map(|(c, _, _)| c).sum::<usize>(),
+        "server and clients must agree on the completed-job count"
+    );
+}

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use baselines::{CpuSorter, GpuSortBaseline, OddEvenMergeSort, PeriodicBalancedSort};
     pub use pram::{PramModel, PramStats};
     pub use sortsvc::{
-        Engine, ServiceConfig, ShardedConfig, ShardedSorter, SortJob, SortPolicy, SortService,
+        ClientConfig, Engine, ServerConfig, ServiceConfig, ShardedConfig, ShardedSorter,
+        SortClient, SortJob, SortPolicy, SortServer, SortService,
     };
     pub use stream_arch::{
         ExecMode, GpuProfile, Layout, Node, StreamProcessor, TransferModel, Value,

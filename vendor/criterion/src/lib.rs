@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of criterion the workspace's bench targets use:
+//!
+//! * [`Criterion::benchmark_group`] with [`BenchmarkGroup::sample_size`],
+//!   [`BenchmarkGroup::measurement_time`], [`BenchmarkGroup::throughput`],
+//!   [`BenchmarkGroup::bench_function`] and
+//!   [`BenchmarkGroup::bench_with_input`];
+//! * [`BenchmarkId::new`], [`Throughput::Elements`] /
+//!   [`Throughput::Bytes`], [`Bencher::iter`], [`black_box`];
+//! * the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark body is timed over
+//! `sample_size` samples (bounded by `measurement_time`) and the mean,
+//! fastest and slowest sample go to stdout. There are no plots, no
+//! statistical regression tests, and no saved baselines. The one CI-facing
+//! behaviour preserved exactly is **`--test` mode**: invoked as
+//! `cargo bench -- --test`, every benchmark body runs once and the binary
+//! exits, so the harness cannot silently rot without failing CI.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported compiler barrier for benchmark inputs/outputs.
+pub use std::hint::black_box;
+
+/// The benchmark context a `criterion_main!` binary threads through its
+/// groups.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Configure from the process arguments, the way cargo invokes bench
+    /// binaries: `--test` selects smoke mode (each body runs once),
+    /// `--bench` (what `cargo bench` passes) is accepted and ignored, and
+    /// the first free argument becomes a substring filter on benchmark
+    /// ids. Unknown flags are ignored so new cargo versions cannot break
+    /// the harness.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time" => {
+                    let _ = args.next(); // flag takes a value; skip it
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Print the closing line (kept for API compatibility).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion shim: all benchmark bodies ran once (--test mode)");
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (each sample is one timed call of the body).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark; sampling stops early when spent.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Attach a throughput unit to subsequent benchmarks; per-sample rates
+    /// are reported alongside times.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let full = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: if self.criterion.test_mode {
+                None // --test: exactly one sample, no budget
+            } else {
+                Some((self.sample_size, self.measurement_time))
+            },
+        };
+        f(&mut bencher);
+        report(&full, &bencher.samples, self.throughput.as_ref());
+    }
+}
+
+/// How many work units one call of a benchmark body processes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements per call.
+    Elements(u64),
+    /// Bytes per call.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function[..], &self.parameter) {
+            ("", Some(p)) => write!(f, "{p}"),
+            (name, Some(p)) => write!(f, "{name}/{p}"),
+            (name, None) => write!(f, "{name}"),
+        }
+    }
+}
+
+/// The timing driver handed to benchmark bodies.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    /// `None` in `--test` mode (one sample); otherwise (samples, budget).
+    budget: Option<(usize, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let (samples, budget) = self.budget.unwrap_or((1, Duration::MAX));
+        let started = Instant::now();
+        for done in 0..samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if done + 1 < samples && started.elapsed() >= budget {
+                break;
+            }
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<&Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<50} no samples");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let fastest = samples.iter().min().expect("non-empty");
+    let slowest = samples.iter().max().expect("non-empty");
+    let rate = throughput.map(|t| {
+        let per_s = |units: u64| units as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", per_s(*n) / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", per_s(*n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{id:<50} mean {:>12?}  [{:?} .. {:?}]  ({} samples){}",
+        mean,
+        fastest,
+        slowest,
+        samples.len(),
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle benchmark functions into a group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
