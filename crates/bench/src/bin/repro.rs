@@ -14,6 +14,11 @@
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
 //!   --json PATH           additionally write all collected results as JSON
+//!   --trace PATH          enable structured tracing for the whole run and
+//!                         write the collected spans as Chrome trace_event
+//!                         JSON to PATH (load in chrome://tracing or
+//!                         https://ui.perfetto.dev; see
+//!                         docs/OBSERVABILITY.md)
 //!   --check-baseline PATH perf-regression gate: after running the
 //!                         wallclock scenario, compare each row's speedup
 //!                         against the committed BENCH_WALL.json at PATH
@@ -42,6 +47,7 @@ struct Options {
     experiments: Vec<String>,
     max_log_n: u32,
     json: Option<String>,
+    trace: Option<String>,
     check_baseline: Option<String>,
     baseline_tolerance: f64,
 }
@@ -55,6 +61,7 @@ fn parse_args() -> Options {
         experiments: Vec::new(),
         max_log_n: 20,
         json: None,
+        trace: None,
         check_baseline: None,
         baseline_tolerance: 0.25,
     };
@@ -94,6 +101,9 @@ fn parse_args() -> Options {
             }
             "--json" => {
                 opts.json = Some(args.next().expect("--json requires a path"));
+            }
+            "--trace" => {
+                opts.trace = Some(args.next().expect("--trace requires a path"));
             }
             "--check-baseline" => {
                 opts.check_baseline = Some(args.next().expect("--check-baseline requires a path"));
@@ -144,6 +154,9 @@ fn print_figures() {
 
 fn main() {
     let opts = parse_args();
+    if opts.trace.is_some() {
+        stream_arch::telemetry::TraceSink::global().set_enabled(true);
+    }
     let mut report = Report {
         host: bench::HostInfo::detect(),
         ..Default::default()
@@ -306,6 +319,18 @@ fn main() {
     if let Some(path) = &opts.json {
         std::fs::write(path, report.to_json()).expect("failed to write JSON report");
         eprintln!("wrote JSON report to {path}");
+    }
+
+    if let Some(path) = &opts.trace {
+        let sink = stream_arch::telemetry::TraceSink::global();
+        sink.set_enabled(false);
+        let events = sink.take_events();
+        let n = events.len();
+        std::fs::write(path, stream_arch::telemetry::chrome_trace_json(&events))
+            .expect("failed to write trace JSON");
+        eprintln!(
+            "wrote Chrome trace ({n} spans) to {path} — load in chrome://tracing or Perfetto"
+        );
     }
 
     if let Some(path) = &opts.check_baseline {

@@ -12,13 +12,14 @@
 
 use crate::service::SCENARIO_SEED;
 use serde::Serialize;
-use sortsvc::metrics::{percentile, ratio};
+use sortsvc::metrics::ratio;
 use sortsvc::net::{ClientConfig, JobReply, JobTicket, ServerConfig, SortClient};
 use sortsvc::SortServer;
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::thread;
 use std::time::{Duration, Instant};
+use stream_arch::telemetry::{HistogramSummary, LogHistogram};
 use workloads::RequestMix;
 
 /// How many jobs one soak client keeps outstanding before reaping the
@@ -66,11 +67,20 @@ pub struct NetSoakRow {
     /// Server-side simulated p99 latency (ms) — the service's own view of
     /// the same jobs, for comparison with the wire numbers.
     pub service_p99_ms: f64,
+    /// Full distribution of the client-observed round trips (the stage
+    /// the wire adds; source of `wire_p50_ms` / `wire_p99_ms`).
+    pub wire: HistogramSummary,
+    /// Server-side distribution of simulated queue/coalesce wait per job.
+    pub queue: HistogramSummary,
+    /// Server-side distribution of simulated execution time per job.
+    pub execute: HistogramSummary,
 }
 
-/// What one client thread brings home.
+/// What one client thread brings home. Latencies stream into a mergeable
+/// histogram rather than a materialized vector, so a long soak's memory
+/// is O(buckets) and the per-stage breakdown is exact-to-bucket.
 struct ClientOutcome {
-    latencies_ms: Vec<f64>,
+    wire: LogHistogram,
     completed: usize,
     rejected: usize,
 }
@@ -104,11 +114,12 @@ pub fn netsoak_with(config: ServerConfig, clients: usize, jobs_per_client: usize
     let wall_s = soak_started.elapsed().as_secs_f64();
     let stats = server.shutdown();
 
-    let mut latencies: Vec<f64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_ms.iter().copied())
-        .collect();
-    latencies.sort_by(f64::total_cmp);
+    // Merge the per-client wire histograms — associative and lossless, so
+    // the merged quantiles equal one histogram over every round trip.
+    let mut wire = LogHistogram::new();
+    for o in &outcomes {
+        wire.merge(&o.wire);
+    }
     let completed: usize = outcomes.iter().map(|o| o.completed).sum();
     let rejected: usize = outcomes.iter().map(|o| o.rejected).sum();
     let jobs = clients * jobs_per_client;
@@ -117,7 +128,6 @@ pub fn netsoak_with(config: ServerConfig, clients: usize, jobs_per_client: usize
         jobs,
         "every submitted job must be answered (completed or typed-rejected)"
     );
-    let lat_sum: f64 = latencies.iter().sum();
 
     NetSoakRow {
         clients,
@@ -125,9 +135,9 @@ pub fn netsoak_with(config: ServerConfig, clients: usize, jobs_per_client: usize
         completed,
         rejected,
         rejection_rate: ratio(rejected as f64, jobs as f64),
-        wire_p50_ms: percentile(&latencies, 0.5),
-        wire_p99_ms: percentile(&latencies, 0.99),
-        wire_mean_ms: ratio(lat_sum, latencies.len() as f64),
+        wire_p50_ms: wire.quantile(0.5),
+        wire_p99_ms: wire.quantile(0.99),
+        wire_mean_ms: wire.mean(),
         throughput_jobs_per_s: ratio(completed as f64, wall_s),
         connections: stats.connections_accepted,
         peak_connections: stats.peak_connections,
@@ -136,6 +146,9 @@ pub fn netsoak_with(config: ServerConfig, clients: usize, jobs_per_client: usize
         micro_batches: stats.micro_batches,
         elements_sorted: stats.service.elements_sorted,
         service_p99_ms: stats.service.latency_p99_ms,
+        wire: wire.summary(),
+        queue: stats.service.queue_wait,
+        execute: stats.service.execution,
     }
 }
 
@@ -154,7 +167,7 @@ fn client_worker(addr: SocketAddr, tenant: u32, jobs: usize) -> ClientOutcome {
     .expect("connect to loopback server");
 
     let mut outcome = ClientOutcome {
-        latencies_ms: Vec::with_capacity(jobs),
+        wire: LogHistogram::new(),
         completed: 0,
         rejected: 0,
     };
@@ -164,9 +177,7 @@ fn client_worker(addr: SocketAddr, tenant: u32, jobs: usize) -> ClientOutcome {
         let reply = ticket
             .wait_timeout(REPLY_TIMEOUT)
             .expect("job went unanswered");
-        outcome
-            .latencies_ms
-            .push(submitted.elapsed().as_secs_f64() * 1e3);
+        outcome.wire.record(submitted.elapsed().as_secs_f64() * 1e3);
         match reply {
             JobReply::Sorted(values) => {
                 assert!(
@@ -232,6 +243,19 @@ pub fn render_netsoak(rows: &[NetSoakRow]) -> String {
         "(wire p50/p99 are client-observed round trips — wall clock, host dependent; \
          svc p99 is the server's simulated view of the same jobs)\n",
     );
+    out.push_str("per-stage breakdown (streaming histograms; queue/execute are simulated ms):\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:>7} clients | wire mean {:>8.2} p99 {:>8.2} | queue mean {:>8.2} p99 {:>8.2} | execute mean {:>8.2} p99 {:>8.2}\n",
+            row.clients,
+            row.wire.mean_ms,
+            row.wire.p99_ms,
+            row.queue.mean_ms,
+            row.queue.p99_ms,
+            row.execute.mean_ms,
+            row.execute.p99_ms,
+        ));
+    }
     out
 }
 

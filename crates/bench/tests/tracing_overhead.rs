@@ -1,0 +1,90 @@
+//! Tracing-overhead acceptance: with the sink disabled, the instrumented
+//! [`StreamProcessor::launch`] must cost within 5% of its hook-free twin
+//! [`StreamProcessor::launch_untraced`] (the compiled-out control) on a
+//! launch-overhead-dominated workload — i.e. disabled tracing is one
+//! atomic branch, not a tax. With the sink enabled, the cost must stay
+//! within a loose constant factor.
+//!
+//! Wall-clock and release-grade, so ignored by default; CI runs it
+//! explicitly with `--release --ignored` (see the `obs` job).
+
+use std::time::Instant;
+use stream_arch::{GpuProfile, Layout, ReadView, Stream, StreamProcessor, TraceSink, WriteView};
+
+/// Launches per timed trial. Small kernels, many launches: the regime
+/// where per-launch overhead (and therefore the telemetry hook) is the
+/// dominant cost.
+const LAUNCHES: usize = 3000;
+const INSTANCES: usize = 64;
+const TRIALS: usize = 21;
+
+/// One timed trial: `LAUNCHES` small kernel launches through `launch`
+/// (`traced = true`) or `launch_untraced`.
+fn trial(proc_: &mut StreamProcessor, input: &Stream<u32>, traced: bool) -> f64 {
+    let n = INSTANCES;
+    let mut output: Stream<u32> = Stream::new("out", n, Layout::Linear);
+    let started = Instant::now();
+    for _ in 0..LAUNCHES {
+        let read = ReadView::contiguous(input, 0, n, 1).unwrap();
+        let write = WriteView::contiguous(&mut output, 0, n, 1).unwrap();
+        let kernel = |ctx: &mut stream_arch::KernelCtx<'_>| {
+            let v = read.get(ctx, 0);
+            write.set(ctx, 0, v.wrapping_mul(3).wrapping_add(1));
+        };
+        if traced {
+            proc_.launch("overhead-probe", n, kernel).unwrap();
+        } else {
+            proc_.launch_untraced("overhead-probe", n, kernel).unwrap();
+        }
+    }
+    started.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+#[test]
+#[ignore = "release-mode wall-clock workload (run explicitly, see ci.yml)"]
+fn disabled_tracing_costs_less_than_five_percent() {
+    let sink = TraceSink::global();
+    sink.set_enabled(false);
+    let mut proc_ = StreamProcessor::new(GpuProfile::idealized(4));
+    let input = Stream::from_vec("in", (0u32..INSTANCES as u32).collect(), Layout::Linear);
+
+    // Warm up both paths, then interleave the trials so slow drift in the
+    // host (frequency scaling, a noisy neighbour) hits both arms equally.
+    trial(&mut proc_, &input, true);
+    trial(&mut proc_, &input, false);
+    let mut traced = Vec::with_capacity(TRIALS);
+    let mut control = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        traced.push(trial(&mut proc_, &input, true));
+        control.push(trial(&mut proc_, &input, false));
+    }
+    let (traced, control) = (median(traced), median(control));
+    assert!(
+        traced <= control * 1.05,
+        "disabled tracing overhead exceeds 5%: traced {traced:.6}s vs control {control:.6}s \
+         ({:.2}%)",
+        100.0 * (traced / control - 1.0)
+    );
+
+    // Enabled tracing may pay for real work (timestamping, buffering) but
+    // must stay within a loose constant factor on the same workload.
+    sink.set_enabled(true);
+    let mut enabled = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        enabled.push(trial(&mut proc_, &input, true));
+        // Drain per trial so the MAX_EVENTS cap never mutes the hook.
+        sink.take_events();
+    }
+    sink.set_enabled(false);
+    sink.take_events();
+    let enabled = median(enabled);
+    assert!(
+        enabled <= control * 3.0,
+        "enabled tracing is pathologically slow: {enabled:.6}s vs control {control:.6}s"
+    );
+}

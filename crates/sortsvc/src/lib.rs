@@ -29,7 +29,10 @@
 //!   engine mix, device utilization;
 //! * [`net`] — the framed-TCP front-end: a hand-rolled wire protocol
 //!   (`docs/PROTOCOL.md`), a threaded [`SortServer`] feeding this
-//!   pipeline, and a buffering [`SortClient`].
+//!   pipeline, and a buffering [`SortClient`];
+//! * [`telemetry`] — the simulated-timeline span tree of a service run,
+//!   emitted into the process-wide [`stream_arch::telemetry`] trace sink
+//!   (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quick start
 //!
@@ -58,6 +61,7 @@ pub mod policy;
 pub mod queue;
 pub mod service;
 pub mod shard;
+pub mod telemetry;
 
 pub use batch::{BatchOutcome, BatchPlan};
 pub use job::{JobId, JobResult, RejectReason, SortJob, TenantId};

@@ -2,6 +2,7 @@
 //! occupancy, engine mix and device utilization.
 
 use serde::Serialize;
+use stream_arch::telemetry::HistogramSummary;
 
 /// Aggregate metrics of one service run. All times are simulated
 /// milliseconds unless the field name says otherwise.
@@ -77,6 +78,15 @@ pub struct ServiceMetrics {
     /// The policy's calibrated single-job CPU/GPU crossover, for
     /// visibility in reports (`u64::MAX` ⇒ never GPU).
     pub policy_crossover: u64,
+    /// Streaming-histogram summary of end-to-end latency (the source of
+    /// `latency_p50_ms` / `latency_p99_ms`, plus count/p90/max).
+    pub latency: HistogramSummary,
+    /// Per-stage histogram: time jobs spent queued/coalescing before
+    /// their batch started (the source of `queue_mean_ms`).
+    pub queue_wait: HistogramSummary,
+    /// Per-stage histogram: batch execution time per job (`latency −
+    /// queue wait`).
+    pub execution: HistogramSummary,
 }
 
 /// Nearest-rank percentile of an **already sorted** slice; 0 for empty

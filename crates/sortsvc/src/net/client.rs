@@ -14,7 +14,7 @@
 use super::error::ErrorCode;
 use super::frame::{
     Frame, FramePoll, FrameReader, FrameType, PayloadEncoding, RejectPayload, ResultPayload,
-    SubmitPayload,
+    StatsPayload, SubmitPayload,
 };
 use super::lock;
 use std::collections::HashMap;
@@ -101,6 +101,8 @@ struct ClientShared {
     fatal: Mutex<Option<String>>,
     /// `PONG` frames received (see [`SortClient::ping`]).
     pongs: AtomicU64,
+    /// The latest unclaimed `STATS` response (see [`SortClient::stats`]).
+    stats: Mutex<Option<String>>,
 }
 
 impl ClientShared {
@@ -212,6 +214,7 @@ impl SortClient {
             closed: AtomicBool::new(false),
             fatal: Mutex::new(None),
             pongs: AtomicU64::new(0),
+            stats: Mutex::new(None),
         });
         let reader = {
             let shared = shared.clone();
@@ -300,6 +303,82 @@ impl SortClient {
         self.shared.pongs.load(Ordering::SeqCst)
     }
 
+    /// Ask the server for a [`ServerStats`](crate::ServerStats) snapshot
+    /// over the wire (a `STATS` round trip) and parse the JSON answer.
+    ///
+    /// The snapshot carries the full stats surface — wire counters plus
+    /// the aggregate service metrics with their streaming-histogram
+    /// summaries — so a live client can watch percentiles move without
+    /// any side channel to the server process:
+    ///
+    /// ```
+    /// use sortsvc::net::{ServerConfig, SortClient, SortServer};
+    /// use std::time::Duration;
+    ///
+    /// let mut config = ServerConfig::default();
+    /// config.service.device_slots = 1;
+    /// let server = SortServer::start("127.0.0.1:0", config)?;
+    /// let mut client = SortClient::connect(server.local_addr())?;
+    ///
+    /// let ticket = client.submit(workloads::uniform(256, 9))?;
+    /// client.flush()?;
+    /// ticket.wait_timeout(Duration::from_secs(30))?;
+    ///
+    /// let stats = client.stats()?;
+    /// let completed = stats
+    ///     .get("service")
+    ///     .and_then(|s| s.get("jobs_completed"))
+    ///     .and_then(|v| v.as_f64());
+    /// assert_eq!(completed, Some(1.0));
+    /// # Ok::<(), std::io::Error>(())
+    /// ```
+    ///
+    /// Keep at most one `STATS` request outstanding per client: replies
+    /// carry no correlation id, so a second concurrent request could
+    /// claim the first one's answer.
+    pub fn stats(&mut self) -> io::Result<serde_json::Value> {
+        self.stats_timeout(Duration::from_secs(30))
+    }
+
+    /// [`SortClient::stats`] with an explicit reply deadline.
+    pub fn stats_timeout(&mut self, timeout: Duration) -> io::Result<serde_json::Value> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(self.shared.closed_error());
+        }
+        // Flush first so the snapshot reflects every submission already
+        // handed to this client, then send the empty STATS request.
+        self.flush()?;
+        self.stream
+            .write_all(&Frame::new(FrameType::Stats, Vec::new()).encode())?;
+        let deadline = Instant::now() + timeout;
+        let mut replies = lock(&self.shared.replies);
+        loop {
+            if let Some(json) = lock(&self.shared.stats).take() {
+                drop(replies);
+                return serde_json::from_str(&json).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed STATS JSON from server: {e}"),
+                    )
+                });
+            }
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return Err(self.shared.closed_error());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no STATS reply within {timeout:?}"),
+                ));
+            }
+            replies = match self.shared.ready.wait_timeout(replies, deadline - now) {
+                Ok((guard, _)) => guard,
+                Err(poisoned) => poisoned.into_inner().0,
+            };
+        }
+    }
+
     /// Flush, announce `GOODBYE` and tear the connection down. Dropping
     /// the client does the same, minus the error reporting.
     pub fn close(mut self) -> io::Result<()> {
@@ -368,6 +447,17 @@ fn dispatch_reply(frame: Frame, shared: &ClientShared) -> Result<(), String> {
         }
         FrameType::Pong => {
             shared.pongs.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+        FrameType::Stats => {
+            let payload = StatsPayload::decode(&frame.payload)
+                .map_err(|e| format!("malformed STATS from server: {e}"))?;
+            *lock(&shared.stats) = Some(payload.json);
+            // Same lost-wakeup discipline as `die()`: take the condvar's
+            // mutex so a waiter is either before its mailbox check (and
+            // will see the value) or already parked (and gets notified).
+            let _guard = lock(&shared.replies);
+            shared.ready.notify_all();
             Ok(())
         }
         // Version-1 servers never ping; tolerate it anyway.

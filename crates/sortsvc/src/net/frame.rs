@@ -69,6 +69,12 @@ pub enum FrameType {
     Pong = 0x05,
     /// Either direction: clean connection shutdown announcement.
     Goodbye = 0x06,
+    /// Client → server: request a stats snapshot (empty payload);
+    /// server → client: the snapshot as UTF-8 JSON (see [`StatsPayload`]).
+    /// Added within version 1 per the `docs/PROTOCOL.md` § Versioning
+    /// rules: receivers that predate it reject it with a typed
+    /// `UNKNOWN_TYPE` error rather than misparsing.
+    Stats = 0x07,
     /// Either direction: connection-fatal protocol error; the sender
     /// closes the connection after this frame.
     Error = 0x7F,
@@ -84,6 +90,7 @@ impl FrameType {
             0x04 => Some(FrameType::Ping),
             0x05 => Some(FrameType::Pong),
             0x06 => Some(FrameType::Goodbye),
+            0x07 => Some(FrameType::Stats),
             0x7F => Some(FrameType::Error),
             _ => None,
         }
@@ -509,6 +516,39 @@ impl ErrorPayload {
             .map_err(|_| PayloadError("error message is not valid UTF-8"))?
             .to_string();
         Ok(ErrorPayload { code, message })
+    }
+}
+
+/// The payload of a server→client [`FrameType::Stats`] frame: a
+/// [`ServerStats`](crate::ServerStats) snapshot serialized as UTF-8 JSON.
+/// (The client→server request direction carries an *empty* payload and
+/// does not use this struct.)
+///
+/// JSON rather than a fixed binary layout because the snapshot is a
+/// diagnostic surface, not a data plane: fields may be added within
+/// protocol version 1, and clients should read it with a tolerant JSON
+/// parser instead of pinning offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsPayload {
+    /// The snapshot as a JSON document.
+    pub json: String,
+}
+
+impl StatsPayload {
+    /// Encode into payload bytes (the UTF-8 bytes of the document).
+    pub fn encode(&self) -> Vec<u8> {
+        self.json.clone().into_bytes()
+    }
+
+    /// Decode from payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<StatsPayload, PayloadError> {
+        if bytes.is_empty() {
+            return Err(PayloadError("stats response payload is empty"));
+        }
+        let json = std::str::from_utf8(bytes)
+            .map_err(|_| PayloadError("stats payload is not valid UTF-8"))?
+            .to_string();
+        Ok(StatsPayload { json })
     }
 }
 

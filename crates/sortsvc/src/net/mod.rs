@@ -56,8 +56,8 @@ pub use client::{ClientConfig, JobReply, JobTicket, SortClient};
 pub use error::ErrorCode;
 pub use frame::{
     ErrorPayload, Frame, FrameError, FramePoll, FrameReader, FrameType, PayloadEncoding,
-    PayloadError, RejectPayload, ResultPayload, SubmitPayload, HEADER_LEN, JOB_HEADER_LEN, MAGIC,
-    PROTOCOL_VERSION, RAW_RECORD_LEN,
+    PayloadError, RejectPayload, ResultPayload, StatsPayload, SubmitPayload, HEADER_LEN,
+    JOB_HEADER_LEN, MAGIC, PROTOCOL_VERSION, RAW_RECORD_LEN,
 };
 pub use server::{ServerConfig, ServerStats, SortServer};
 

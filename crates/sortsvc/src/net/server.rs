@@ -23,29 +23,35 @@
 //!    oversized jobs are rejected individually; only frame-layer
 //!    violations (bad magic, wrong version, oversized length prefix) are
 //!    connection-fatal, because the byte stream can no longer be trusted.
+//!
+//! Observability is built in on two axes: any client can ask for a
+//! [`ServerStats`] snapshot over the wire with an empty `STATS` frame
+//! (answered as UTF-8 JSON), and [`ServerConfig::trace_path`] turns on the
+//! process-wide [`stream_arch::telemetry`] sink for the server's lifetime,
+//! exporting a Chrome `trace_event` JSON file at shutdown. Hot-path wire
+//! counters (frames, connections, rejects) are relaxed atomics so the
+//! per-frame path never contends on the service-aggregate mutex.
 
 use super::error::ErrorCode;
 use super::frame::{
     ErrorPayload, Frame, FramePoll, FrameReader, FrameType, PayloadEncoding, RejectPayload,
-    ResultPayload, SubmitPayload, HEADER_LEN, JOB_HEADER_LEN,
+    ResultPayload, StatsPayload, SubmitPayload, HEADER_LEN, JOB_HEADER_LEN,
 };
 use super::lock;
 use crate::job::SortJob;
-use crate::metrics::{percentile, ratio, ServiceMetrics};
+use crate::metrics::{ratio, ServiceMetrics};
 use crate::service::{ServiceConfig, ServiceReport, SortService};
 use serde::Serialize;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
+use stream_arch::telemetry::{self, LogHistogram, TraceSink};
 use stream_arch::Value;
-
-/// Aggregate latency samples kept for the percentile snapshot; once the
-/// cap is reached further jobs still count but stop contributing samples.
-const LATENCY_SAMPLE_CAP: usize = 1 << 20;
 
 /// Configuration of a [`SortServer`].
 ///
@@ -82,6 +88,13 @@ pub struct ServerConfig {
     /// rejects ([`ErrorCode::MemoryPressure`] hints twice this, since
     /// memory drains slower than queue slots).
     pub retry_after: Duration,
+    /// When set, the server enables the process-wide
+    /// [`stream_arch::telemetry`] sink for its lifetime and writes the
+    /// collected spans as Chrome `trace_event` JSON to this path at
+    /// shutdown (loadable in `chrome://tracing` / Perfetto). `None` (the
+    /// default) leaves tracing untouched: the only per-frame cost is one
+    /// relaxed atomic load.
+    pub trace_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +108,7 @@ impl Default for ServerConfig {
             max_job_elements: 1 << 22,
             read_timeout: Duration::from_millis(5),
             retry_after: Duration::from_millis(10),
+            trace_path: None,
         }
     }
 }
@@ -120,11 +134,13 @@ pub struct ServerStats {
     /// Micro-batches the dispatcher ran through the service.
     pub micro_batches: u64,
     /// Aggregate service metrics over every micro-batch: job/batch/engine
-    /// counters and simulated makespan are summed, latency percentiles are
-    /// recomputed over the pooled per-job samples, occupancy stays
-    /// capacity-weighted. `jobs_submitted` / `jobs_rejected` include the
-    /// wire-level rejects, so `submitted = completed + rejected` holds for
-    /// the server exactly as it does for one in-process run.
+    /// counters and simulated makespan are summed, latency/queue/execution
+    /// distributions are merged streaming histograms (so percentiles stay
+    /// exact-to-bucket no matter how many jobs the server has seen),
+    /// occupancy stays capacity-weighted. `jobs_submitted` /
+    /// `jobs_rejected` include the wire-level rejects, so
+    /// `submitted = completed + rejected` holds for the server exactly as
+    /// it does for one in-process run.
     pub service: ServiceMetrics,
 }
 
@@ -153,7 +169,7 @@ impl ConnWriter {
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         Frame::new(frame_type, payload).encode_into(&mut bytes);
         if lock(&self.stream).write_all(&bytes).is_ok() {
-            self.shared.stat(|s| s.frames_sent += 1);
+            self.shared.wire.frames_sent.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -162,38 +178,67 @@ impl ConnWriter {
     }
 }
 
+/// Per-frame wire counters. These are bumped on every frame of every
+/// connection, so they are relaxed atomics rather than fields behind the
+/// [`StatsInner`] mutex: a reader thread never blocks on another
+/// connection's counter bump (or on a concurrent [`Shared::snapshot`])
+/// just to note that a frame went by. Each counter is independently
+/// monotone; a snapshot is a set of individually-exact values, not a
+/// cross-counter transaction — the same guarantee the old mutex gave
+/// anyone who read stats while traffic was in flight.
+#[derive(Default)]
+struct WireStats {
+    connections_accepted: AtomicU64,
+    connections_open: AtomicU64,
+    peak_connections: AtomicU64,
+    frames_received: AtomicU64,
+    frames_sent: AtomicU64,
+    wire_rejects: AtomicU64,
+    fatal_errors: AtomicU64,
+}
+
+impl WireStats {
+    fn connection_opened(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+        let open = self.connections_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_connections.fetch_max(open, Ordering::Relaxed);
+    }
+}
+
 /// State shared by every server thread.
 struct Shared {
     stop: AtomicBool,
     pending: AtomicUsize,
+    wire: WireStats,
     stats: Mutex<StatsInner>,
     device_slots: usize,
     policy_crossover: u64,
 }
 
 impl Shared {
+    /// Fold into the service-aggregate side of the stats. Only the
+    /// dispatcher calls this (once per micro-batch), so the mutex is off
+    /// the per-frame path entirely — see [`WireStats`].
     fn stat<R>(&self, f: impl FnOnce(&mut StatsInner) -> R) -> R {
         f(&mut lock(&self.stats))
     }
 
     fn snapshot(&self) -> ServerStats {
         let s = lock(&self.stats);
-        let mut lat = s.latencies_ms.clone();
-        lat.sort_by(f64::total_cmp);
-        let lat_sum: f64 = lat.iter().sum();
+        let wire_rejects = self.wire.wire_rejects.load(Ordering::Relaxed);
         let service = ServiceMetrics {
-            jobs_submitted: s.jobs_submitted + s.wire_rejects as usize,
+            jobs_submitted: s.jobs_submitted + wire_rejects as usize,
             jobs_completed: s.jobs_completed,
-            jobs_rejected: s.jobs_rejected + s.wire_rejects as usize,
+            jobs_rejected: s.jobs_rejected + wire_rejects as usize,
             batches: s.service_batches,
             elements_sorted: s.elements_sorted,
             makespan_ms: s.makespan_ms,
             throughput_jobs_per_s: ratio(s.jobs_completed as f64, s.makespan_ms / 1e3),
             throughput_kelems_per_s: ratio(s.elements_sorted as f64 / 1e3, s.makespan_ms / 1e3),
-            latency_mean_ms: ratio(lat_sum, lat.len() as f64),
-            latency_p50_ms: percentile(&lat, 0.5),
-            latency_p99_ms: percentile(&lat, 0.99),
-            queue_mean_ms: ratio(s.queue_ms_sum, s.jobs_completed as f64),
+            latency_mean_ms: s.latency_hist.mean(),
+            latency_p50_ms: s.latency_hist.quantile(0.5),
+            latency_p99_ms: s.latency_hist.quantile(0.99),
+            queue_mean_ms: s.queue_hist.mean(),
             mean_batch_occupancy: ratio(s.occupancy_weight, s.capacity_total),
             mean_jobs_per_batch: ratio(s.batch_jobs as f64, s.service_batches as f64),
             cpu_jobs: s.cpu_jobs,
@@ -206,32 +251,30 @@ impl Shared {
             device_utilization: ratio(s.device_busy_ms, self.device_slots as f64 * s.makespan_ms),
             wall_ms: s.wall_ms,
             policy_crossover: self.policy_crossover,
+            latency: s.latency_hist.summary(),
+            queue_wait: s.queue_hist.summary(),
+            execution: s.exec_hist.summary(),
         };
         ServerStats {
-            connections_accepted: s.connections_accepted,
-            connections_open: s.connections_open,
-            peak_connections: s.peak_connections,
-            frames_received: s.frames_received,
-            frames_sent: s.frames_sent,
-            wire_rejects: s.wire_rejects,
-            fatal_errors: s.fatal_errors,
+            connections_accepted: self.wire.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.wire.connections_open.load(Ordering::Relaxed),
+            peak_connections: self.wire.peak_connections.load(Ordering::Relaxed),
+            frames_received: self.wire.frames_received.load(Ordering::Relaxed),
+            frames_sent: self.wire.frames_sent.load(Ordering::Relaxed),
+            wire_rejects,
+            fatal_errors: self.wire.fatal_errors.load(Ordering::Relaxed),
             micro_batches: s.micro_batches,
             service,
         }
     }
 }
 
+/// Service-level aggregates across micro-batch runs, folded in by the
+/// dispatcher once per batch. Per-frame wire counters live in
+/// [`WireStats`] instead.
 #[derive(Default)]
 struct StatsInner {
-    connections_accepted: u64,
-    connections_open: u64,
-    peak_connections: u64,
-    frames_received: u64,
-    frames_sent: u64,
-    wire_rejects: u64,
-    fatal_errors: u64,
     micro_batches: u64,
-    // Service-level aggregates across micro-batch runs.
     jobs_submitted: usize,
     jobs_completed: usize,
     jobs_rejected: usize,
@@ -249,8 +292,13 @@ struct StatsInner {
     tera_jobs: usize,
     sharded_batches: usize,
     shard_skew_max: f64,
-    latencies_ms: Vec<f64>,
-    queue_ms_sum: f64,
+    // Streaming distributions over every completed job. Unlike the
+    // materialized sample vector they replaced, these are O(buckets) no
+    // matter how long the server runs, and merging micro-batches is
+    // lossless (bucket counts add).
+    latency_hist: LogHistogram,
+    queue_hist: LogHistogram,
+    exec_hist: LogHistogram,
 }
 
 impl StatsInner {
@@ -277,11 +325,15 @@ impl StatsInner {
             self.capacity_total += b.capacity as f64;
             self.batch_jobs += b.jobs as u64;
         }
+        // Re-record the per-job samples rather than merging the report's
+        // summaries: bucketing is deterministic, so the server's
+        // histograms are byte-for-byte what one big run over the same
+        // samples would produce — which is what makes a `STATS` snapshot
+        // agree exactly with the per-run [`ServiceMetrics`] rollup.
         for r in &report.results {
-            if self.latencies_ms.len() < LATENCY_SAMPLE_CAP {
-                self.latencies_ms.push(r.latency_ms);
-            }
-            self.queue_ms_sum += r.queue_ms;
+            self.latency_hist.record(r.latency_ms);
+            self.queue_hist.record(r.queue_ms);
+            self.exec_hist.record(r.latency_ms - r.queue_ms);
         }
     }
 }
@@ -299,6 +351,7 @@ pub struct SortServer {
     accept: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
     submit_tx: Option<Sender<Submission>>,
+    trace_path: Option<PathBuf>,
 }
 
 impl SortServer {
@@ -320,9 +373,14 @@ impl SortServer {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let trace_path = config.trace_path.clone();
+        if trace_path.is_some() {
+            TraceSink::global().set_enabled(true);
+        }
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
+            wire: WireStats::default(),
             stats: Mutex::new(StatsInner::default()),
             device_slots: service.config().device_slots,
             policy_crossover: service.policy().crossover() as u64,
@@ -347,6 +405,7 @@ impl SortServer {
             accept: Some(accept),
             dispatcher: Some(dispatcher),
             submit_tx: Some(tx),
+            trace_path,
         })
     }
 
@@ -380,6 +439,17 @@ impl SortServer {
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
+        if let Some(path) = self.trace_path.take() {
+            // Every thread has joined, so the sink holds the complete
+            // span set. Export failures are reported, not fatal: the
+            // server already shut down cleanly.
+            let sink = TraceSink::global();
+            sink.set_enabled(false);
+            let json = telemetry::chrome_trace_json(&sink.take_events());
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("sortsvc: failed to write trace {}: {err}", path.display());
+            }
+        }
     }
 }
 
@@ -405,11 +475,7 @@ fn accept_loop(
                 let Ok(write_half) = stream.try_clone() else {
                     continue;
                 };
-                shared.stat(|s| {
-                    s.connections_accepted += 1;
-                    s.connections_open += 1;
-                    s.peak_connections = s.peak_connections.max(s.connections_open);
-                });
+                shared.wire.connection_opened();
                 let writer = Arc::new(ConnWriter {
                     stream: Mutex::new(write_half),
                     shared: shared.clone(),
@@ -443,7 +509,7 @@ fn reader_loop(
     while !shared.stop.load(Ordering::Relaxed) {
         match frames.poll(&mut stream) {
             Ok(FramePoll::Frame(frame)) => {
-                shared.stat(|s| s.frames_received += 1);
+                shared.wire.frames_received.fetch_add(1, Ordering::Relaxed);
                 if !handle_frame(frame, &writer, &tx, &config, &shared) {
                     break;
                 }
@@ -460,13 +526,13 @@ fn reader_loop(
                     }
                     .encode(),
                 );
-                shared.stat(|s| s.fatal_errors += 1);
+                shared.wire.fatal_errors.fetch_add(1, Ordering::Relaxed);
                 break;
             }
         }
     }
     writer.close();
-    shared.stat(|s| s.connections_open -= 1);
+    shared.wire.connections_open.fetch_sub(1, Ordering::Relaxed);
 }
 
 /// Dispatch one client frame. Returns `false` when the connection should
@@ -489,6 +555,28 @@ fn handle_frame(
         }
         // An unsolicited PONG is harmless; ignore it.
         FrameType::Pong => true,
+        FrameType::Stats => {
+            if !frame.payload.is_empty() {
+                // A non-empty STATS request means the peer speaks a
+                // different dialect; don't guess at the rest of the
+                // stream.
+                writer.send(
+                    FrameType::Error,
+                    ErrorPayload {
+                        code: ErrorCode::BadFrame,
+                        message: "STATS request payload must be empty".into(),
+                    }
+                    .encode(),
+                );
+                shared.wire.fatal_errors.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+            let payload = StatsPayload {
+                json: serde_json::to_string(&shared.snapshot()).expect("stats serialize"),
+            };
+            writer.send(FrameType::Stats, payload.encode());
+            true
+        }
         FrameType::Goodbye => false,
         // The peer declared the connection broken; nothing left to say.
         FrameType::Error => false,
@@ -502,7 +590,7 @@ fn handle_frame(
                 }
                 .encode(),
             );
-            shared.stat(|s| s.fatal_errors += 1);
+            shared.wire.fatal_errors.fetch_add(1, Ordering::Relaxed);
             false
         }
     }
@@ -526,6 +614,7 @@ fn handle_submit(
         reject(writer, shared, echo_id, ErrorCode::UnsupportedEncoding, 0);
         return;
     }
+    let decode_started = telemetry::enabled().then(Instant::now);
     let submit = match SubmitPayload::decode(&payload) {
         Ok(s) => s,
         Err(_) => {
@@ -533,6 +622,14 @@ fn handle_submit(
             return;
         }
     };
+    if let Some(started) = decode_started {
+        telemetry::record_host_span(
+            "wire",
+            "submit-decode",
+            started,
+            &[("bytes", payload.len() as f64)],
+        );
+    }
     if submit.values.len() > config.max_job_elements {
         reject(writer, shared, submit.job_id, ErrorCode::JobTooLarge, 0);
         return;
@@ -567,7 +664,7 @@ fn handle_submit(
 }
 
 fn reject(writer: &ConnWriter, shared: &Shared, job_id: u64, code: ErrorCode, retry_after_ms: u32) {
-    shared.stat(|s| s.wire_rejects += 1);
+    shared.wire.wire_rejects.fetch_add(1, Ordering::Relaxed);
     writer.send(
         FrameType::Reject,
         RejectPayload {
@@ -632,6 +729,8 @@ fn run_batch(
     mut batch: Vec<Submission>,
 ) {
     let n = batch.len();
+    let _batch_span =
+        telemetry::host_span("service", "micro-batch").map(|s| s.arg("jobs", n as f64));
     // Service job ids are batch positions, so each verdict maps back to
     // its wire submission by index; arrival times are wall-clock
     // milliseconds since server start, which preserves arrival order for
@@ -706,6 +805,18 @@ fn run_batch(
                     .encode(),
                 );
             }
+        }
+    }
+    // Wall-clock wire residency: SUBMIT accepted → answer written. One
+    // span per job, closing exactly when its reply has gone out.
+    if telemetry::enabled() {
+        for sub in &batch {
+            telemetry::record_host_span(
+                "wire",
+                "job-residency",
+                sub.received,
+                &[("job", sub.job_id as f64)],
+            );
         }
     }
     shared.pending.fetch_sub(n, Ordering::SeqCst);

@@ -25,12 +25,13 @@
 
 use crate::batch::{self, BatchBuilder, BatchOutcome, BatchPlan};
 use crate::job::{JobId, JobResult, RejectReason, SortJob};
-use crate::metrics::{percentile, ratio, ServiceMetrics};
+use crate::metrics::{ratio, ServiceMetrics};
 use crate::policy::{Engine, PolicyConfig, SortPolicy};
 use crate::queue::{AdmissionController, TenantQueues};
 use crate::shard::{ShardedConfig, ShardedSorter};
 use abisort::{GpuAbiSorter, SortConfig};
 use serde::Serialize;
+use stream_arch::telemetry::LogHistogram;
 use stream_arch::{GpuProfile, Result, StreamProcessor};
 use terasort::TeraSortConfig;
 use workloads::Distribution;
@@ -202,7 +203,9 @@ impl SortService {
 
         let (plans, rejected) = self.plan(jobs);
         let outcomes = self.execute(&plans)?;
-        Ok(self.assemble(submitted, plans, outcomes, rejected))
+        let report = self.assemble(submitted, plans, outcomes, rejected);
+        crate::telemetry::emit_service_trace(&report);
+        Ok(report)
     }
 
     // --- Phase 1: planning ----------------------------------------------
@@ -406,10 +409,20 @@ impl SortService {
         } else {
             (last_completion - first_arrival).max(0.0)
         };
-        let mut latencies: Vec<f64> = results.iter().map(|r| r.latency_ms).collect();
-        latencies.sort_by(f64::total_cmp);
-        let mean = |v: &[f64]| ratio(v.iter().sum::<f64>(), v.len() as f64);
-        let queue_times: Vec<f64> = results.iter().map(|r| r.queue_ms).collect();
+        // Streaming histograms instead of sort-the-whole-vector
+        // percentiles: mergeable across micro-batches (the net server
+        // folds these into its live snapshot) and constant-memory however
+        // many jobs the run carried. Queue wait and execution tile each
+        // job's latency exactly (`latency = queue + execute` by timeline
+        // construction), which is also what the trace span tree shows.
+        let mut latency_hist = LogHistogram::new();
+        let mut queue_hist = LogHistogram::new();
+        let mut exec_hist = LogHistogram::new();
+        for r in &results {
+            latency_hist.record(r.latency_ms);
+            queue_hist.record(r.queue_ms);
+            exec_hist.record(r.latency_ms - r.queue_ms);
+        }
 
         let metrics = ServiceMetrics {
             jobs_submitted: submitted,
@@ -420,10 +433,10 @@ impl SortService {
             makespan_ms,
             throughput_jobs_per_s: ratio(completed as f64 * 1_000.0, makespan_ms),
             throughput_kelems_per_s: ratio(elements as f64, makespan_ms),
-            latency_mean_ms: mean(&latencies),
-            latency_p50_ms: percentile(&latencies, 0.5),
-            latency_p99_ms: percentile(&latencies, 0.99),
-            queue_mean_ms: mean(&queue_times),
+            latency_mean_ms: latency_hist.mean(),
+            latency_p50_ms: latency_hist.quantile(0.5),
+            latency_p99_ms: latency_hist.quantile(0.99),
+            queue_mean_ms: queue_hist.mean(),
             mean_batch_occupancy: ratio(occupancy_weighted, capacity_total),
             mean_jobs_per_batch: ratio(completed as f64, batches.len() as f64),
             cpu_jobs,
@@ -436,6 +449,9 @@ impl SortService {
             device_utilization: ratio(busy, slots as f64 * makespan_ms),
             wall_ms,
             policy_crossover: self.policy.crossover().try_into().unwrap_or(u64::MAX),
+            latency: latency_hist.summary(),
+            queue_wait: queue_hist.summary(),
+            execution: exec_hist.summary(),
         };
 
         ServiceReport {

@@ -1,0 +1,102 @@
+//! Service-side telemetry: the simulated-timeline span tree of a service
+//! run, emitted into the process-wide [`stream_arch::telemetry`] sink.
+//!
+//! The service's timeline is *simulated* (the deterministic slot schedule
+//! of [`crate::SortService`]), so its spans are reconstructed from the
+//! [`ServiceReport`] rather than measured with a host clock: every
+//! completed job gets its own track under [`SIM_PID`] carrying a
+//! three-span tree —
+//!
+//! ```text
+//! job 17 t3                [arrival ............................ end]
+//! ├─ queue-wait            [arrival ... batch start]
+//! └─ execute [gpu-abisort]              [batch start ........... end]
+//! ```
+//!
+//! By timeline construction `latency = queue + execute` exactly, so the
+//! child spans tile the job span with no gap — the trace accounts for
+//! 100% of each job's end-to-end latency (asserted ≥ 95% in
+//! `tests/telemetry.rs`). Coalesced batches additionally get one span per
+//! device slot track, which is where batch occupancy and engine choice
+//! show up in the viewer.
+//!
+//! Emission is free unless tracing is enabled
+//! ([`stream_arch::telemetry::enabled`]); with the sink on,
+//! [`SortService::process`](crate::SortService::process) calls
+//! [`emit_service_trace`] automatically, so both in-process runs and the
+//! net server's micro-batches land in the same trace.
+
+use crate::service::ServiceReport;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use stream_arch::telemetry::{self, TraceEvent, SIM_PID};
+
+/// Job tracks start well above the device-slot tracks, so slots and jobs
+/// never collide in the viewer.
+const JOB_TID_BASE: u64 = 1 << 20;
+
+/// Monotone job-track allocator: successive service runs (the net
+/// server's micro-batches) reuse job ids starting at 0, but their
+/// simulated timelines overlap, so each run's jobs get fresh tracks.
+static NEXT_JOB_TRACK: AtomicU64 = AtomicU64::new(0);
+
+/// Emit the simulated span tree of one service run. No-op when tracing
+/// is off.
+pub fn emit_service_trace(report: &ServiceReport) {
+    if !telemetry::enabled() {
+        return;
+    }
+    for b in &report.batches {
+        telemetry::record(TraceEvent {
+            pid: SIM_PID,
+            tid: 1 + b.slot as u64,
+            name: format!("batch {} [{}] ×{}", b.id, b.engine, b.jobs),
+            cat: "batch",
+            ts_us: b.start_ms * 1e3,
+            dur_us: b.duration_ms * 1e3,
+            args: vec![
+                ("jobs", b.jobs as f64),
+                ("elements", b.elements as f64),
+                ("occupancy", b.occupancy),
+                ("slots", b.slots as f64),
+            ],
+        });
+    }
+
+    let batch_start: HashMap<usize, f64> =
+        report.batches.iter().map(|b| (b.id, b.start_ms)).collect();
+    let first_track = NEXT_JOB_TRACK.fetch_add(report.results.len() as u64, Ordering::Relaxed);
+    for (i, r) in report.results.iter().enumerate() {
+        let tid = JOB_TID_BASE + first_track + i as u64;
+        let start_ms = batch_start.get(&r.batch).copied().unwrap_or(0.0);
+        let arrival_ms = start_ms - r.queue_ms;
+        let args = vec![("tenant", r.tenant as f64), ("batch", r.batch as f64)];
+        telemetry::record(TraceEvent {
+            pid: SIM_PID,
+            tid,
+            name: format!("job {} t{}", r.id, r.tenant),
+            cat: "job",
+            ts_us: arrival_ms * 1e3,
+            dur_us: r.latency_ms * 1e3,
+            args: args.clone(),
+        });
+        telemetry::record(TraceEvent {
+            pid: SIM_PID,
+            tid,
+            name: "queue-wait".to_string(),
+            cat: "queue",
+            ts_us: arrival_ms * 1e3,
+            dur_us: r.queue_ms * 1e3,
+            args: args.clone(),
+        });
+        telemetry::record(TraceEvent {
+            pid: SIM_PID,
+            tid,
+            name: format!("execute [{}]", r.engine.name()),
+            cat: "execute",
+            ts_us: start_ms * 1e3,
+            dur_us: (r.latency_ms - r.queue_ms) * 1e3,
+            args,
+        });
+    }
+}

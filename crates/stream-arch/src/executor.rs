@@ -40,6 +40,7 @@ use crate::kernel::{AccountingMode, KernelCtx};
 use crate::metrics::{Counters, SimTime};
 use crate::profile::GpuProfile;
 use crate::stream::Stream;
+use crate::telemetry;
 use crate::value::StreamElement;
 use std::cell::UnsafeCell;
 use std::sync::{Arc, Condvar, Mutex};
@@ -358,7 +359,34 @@ impl StreamProcessor {
     /// unit→chunk assignment all three execution modes and both parallel
     /// engines share, which is what keeps cache statistics and error
     /// selection reproducible.
-    pub fn launch<F>(&mut self, _name: &str, instances: usize, kernel: F) -> Result<()>
+    pub fn launch<F>(&mut self, name: &str, instances: usize, kernel: F) -> Result<()>
+    where
+        F: Fn(&mut KernelCtx<'_>) + Sync,
+    {
+        // Telemetry gate: one relaxed atomic load when tracing is off.
+        // Dispatched pooled launches are the worker pool's wake/park
+        // epochs, so they get their own span category.
+        if !telemetry::enabled() {
+            return self.launch_untraced(name, instances, kernel);
+        }
+        let started = std::time::Instant::now();
+        let cat = if self.mode == ExecMode::Parallel && instances > INLINE_INSTANCES {
+            "epoch"
+        } else {
+            "launch"
+        };
+        let result = self.launch_untraced(name, instances, kernel);
+        telemetry::record_host_span(cat, name, started, &[("instances", instances as f64)]);
+        result
+    }
+
+    /// [`StreamProcessor::launch`] minus the telemetry hook: semantically
+    /// identical (same counters, same results, same errors), never
+    /// recorded in a trace even when the sink is enabled.
+    ///
+    /// This exists as the compiled-out control for the tracing-overhead
+    /// acceptance test; production callers use [`StreamProcessor::launch`].
+    pub fn launch_untraced<F>(&mut self, _name: &str, instances: usize, kernel: F) -> Result<()>
     where
         F: Fn(&mut KernelCtx<'_>) + Sync,
     {

@@ -50,6 +50,7 @@ pub mod layout;
 pub mod metrics;
 pub mod profile;
 pub mod stream;
+pub mod telemetry;
 pub mod transfer;
 pub mod value;
 
@@ -62,5 +63,6 @@ pub use layout::{Addr2D, Layout, Mapping1Dto2D, RowMajor2D, ZOrder2D};
 pub use metrics::{CostBreakdown, Counters, SimTime};
 pub use profile::GpuProfile;
 pub use stream::{BlockSet, Stream, SubStream};
+pub use telemetry::{HistogramSummary, LogHistogram, TraceEvent, TraceSink};
 pub use transfer::{BusKind, DeviceLink, TransferModel};
 pub use value::{Node, StreamElement, Value, NULL_INDEX};

@@ -1,0 +1,191 @@
+//! End-to-end telemetry properties:
+//!
+//! * the streaming [`LogHistogram`] merge is associative/commutative and
+//!   its quantiles track exact sorted-vector percentiles within the
+//!   bucket-resolution bound (1/64 relative), including the 0- and
+//!   1-sample edges;
+//! * a traced service run exports Chrome `trace_event` JSON that parses,
+//!   has balanced `B`/`E` pairs on every track, and whose per-job span
+//!   tree accounts for ≥ 95% of each job's end-to-end latency.
+//!
+//! The tracing test owns the process-global [`TraceSink`] and is the only
+//! test in this binary that touches it, so the default parallel test
+//! runner cannot interleave another enable/drain with it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sortsvc::{ServiceConfig, SortJob, SortService};
+use stream_arch::telemetry::{chrome_trace_json, LogHistogram, TraceSink, SIM_PID};
+use workloads::RequestMix;
+
+/// Nearest-rank percentile of an unsorted sample set — the exact
+/// reference the histogram approximates.
+fn exact_percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Positive samples spanning ~12 orders of magnitude, the histogram's
+/// working range for millisecond latencies.
+fn sample_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => 1.0e-6f64..1.0e6f64,
+        1 => Just(0.0f64),
+        1 => 1.0e-9f64..1.0e-6f64,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        a in vec(sample_strategy(), 0..200),
+        b in vec(sample_strategy(), 0..200),
+        c in vec(sample_strategy(), 0..200),
+    ) {
+        let h = |samples: &[f64]| {
+            let mut h = LogHistogram::new();
+            for &s in samples {
+                h.record(s);
+            }
+            h
+        };
+        let (ha, hb, hc) = (h(&a), h(&b), h(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c) == one histogram over everything.
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right = hc.clone();
+        right.merge(&hb);
+        right.merge(&ha);
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let flat = h(&all);
+
+        for hist in [&left, &right] {
+            prop_assert_eq!(hist.count(), flat.count());
+            prop_assert!((hist.sum() - flat.sum()).abs() <= 1e-9 * flat.sum().abs().max(1.0));
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert_eq!(hist.quantile(q), flat.quantile(q));
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_stay_within_bucket_resolution(
+        samples in vec(sample_strategy(), 0..400),
+        // Exclusive upper bound (the vendored proptest has no inclusive
+        // ranges); q = 1.0 is pinned in the edge-case test below.
+        q in 0.0f64..1.0f64,
+    ) {
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let exact = exact_percentile(&samples, q);
+        let approx = hist.quantile(q);
+        // Log-bucketed with 32 sub-buckets per octave: the bucket midpoint
+        // is within 1/64 of any sample in the bucket.
+        prop_assert!(
+            (approx - exact).abs() <= exact.abs() / 64.0 + 1e-12,
+            "q={} exact={} approx={}", q, exact, approx
+        );
+    }
+}
+
+#[test]
+fn histogram_edges_are_exact_for_zero_and_one_sample() {
+    let empty = LogHistogram::new();
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.quantile(0.5), 0.0);
+    assert_eq!(empty.quantile(0.99), 0.0);
+    assert_eq!(empty.mean(), 0.0);
+
+    let mut one = LogHistogram::new();
+    one.record(3.7251);
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(one.quantile(q), 3.7251, "a 1-sample histogram is exact");
+    }
+    assert_eq!(one.mean(), 3.7251);
+}
+
+/// The tentpole acceptance test: trace a full service run, export it, and
+/// check that (a) the export is valid JSON with balanced begin/end pairs
+/// and (b) the queue + execute child spans account for ≥ 95% of every
+/// job's end-to-end latency.
+#[test]
+fn traced_service_run_exports_balanced_spans_covering_job_latency() {
+    let sink = TraceSink::global();
+    sink.set_enabled(true);
+    let service = SortService::new(ServiceConfig::default());
+    let jobs = SortJob::from_requests(RequestMix::small_job_heavy(40).generate(2026));
+    let report = service.process(jobs).expect("service run");
+    sink.set_enabled(false);
+    let events = sink.take_events();
+    assert!(report.metrics.jobs_completed > 0);
+
+    // (b) per-job coverage, from the raw events: group the simulated-pid
+    // job tracks and compare the "job" span against its children.
+    let mut covered_jobs = 0;
+    for ev in events.iter().filter(|e| e.pid == SIM_PID && e.cat == "job") {
+        let children_us: f64 = events
+            .iter()
+            .filter(|c| c.tid == ev.tid && c.pid == SIM_PID && matches!(c.cat, "queue" | "execute"))
+            .map(|c| c.dur_us)
+            .sum();
+        assert!(
+            ev.dur_us <= 0.0 || children_us >= 0.95 * ev.dur_us,
+            "span tree covers {:.1}% of job '{}' ({}us of {}us)",
+            100.0 * children_us / ev.dur_us,
+            ev.name,
+            children_us,
+            ev.dur_us
+        );
+        covered_jobs += 1;
+    }
+    assert_eq!(
+        covered_jobs, report.metrics.jobs_completed,
+        "every completed job gets a traced span tree"
+    );
+
+    // (a) the export parses and every track's B/E pairs balance with
+    // proper nesting (an E always closes the most recent open B).
+    let json = chrome_trace_json(&events);
+    let doc = serde_json::from_str(&json).expect("trace JSON parses");
+    let spans = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(!spans.is_empty());
+    let mut open: std::collections::HashMap<(u64, u64), Vec<String>> =
+        std::collections::HashMap::new();
+    for span in spans {
+        let pid = span.get("pid").and_then(|v| v.as_f64()).unwrap() as u64;
+        let tid = span.get("tid").and_then(|v| v.as_f64()).unwrap() as u64;
+        let name = span
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_string();
+        match span.get("ph").and_then(|v| v.as_str()).unwrap() {
+            "B" => open.entry((pid, tid)).or_default().push(name),
+            "E" => {
+                let stack = open.get_mut(&(pid, tid)).expect("E without B");
+                assert_eq!(stack.pop().as_deref(), Some(name.as_str()), "LIFO nesting");
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for ((pid, tid), stack) in &open {
+        assert!(
+            stack.is_empty(),
+            "unclosed spans on pid {pid} tid {tid}: {stack:?}"
+        );
+    }
+}
