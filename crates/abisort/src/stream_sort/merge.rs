@@ -15,8 +15,7 @@
 //! back after every launch; the pq-index streams use the ping-pong
 //! technique instead.
 
-use super::kernels;
-use super::layout_plan::{overlapped_schedule, table1_element_block, PhaseRef};
+use super::plan::{record_level_plan, PlanBuffers};
 use stream_arch::{Layout, Node, Result, Stream, StreamArena, StreamProcessor};
 
 /// The streams a GPU-ABiSort run operates on.
@@ -92,6 +91,12 @@ pub enum MergeOutcome {
 /// * `overlapped` — use the Section 5.4 overlapped-stage schedule;
 /// * `skip_last_stages` — number of final stages to skip (4 when the
 ///   Section 7.2 fixed merge takes over, 0 otherwise).
+///
+/// Since the launch-graph planner landed this is a record-then-execute
+/// wrapper: [`record_level_plan`] produces the level's launch plan (the
+/// exact sequence this function used to issue inline), and the plan runs
+/// against the level's streams — eagerly or as fused stages, depending on
+/// the processor's [`stream_arch::PlanMode`].
 pub fn merge_level(
     proc: &mut StreamProcessor,
     streams: &mut MergeStreams,
@@ -100,152 +105,27 @@ pub fn merge_level(
     overlapped: bool,
     skip_last_stages: u32,
 ) -> Result<MergeOutcome> {
-    let num_trees = n >> j;
-    if skip_last_stages >= j {
-        return Ok(MergeOutcome::Skipped);
-    }
-    let last_stage = j - 1 - skip_last_stages;
-
-    // Initialization (Listing 5): place the root nodes and spare values of
-    // the input trees where stage 0 phase 0 reads them.
-    kernels::extract_roots_and_spares(proc, &streams.trees_a, &mut streams.trees_b, n, j)?;
-    kernels::copy_back(
+    let (plan, outcome) = record_level_plan(n, j, overlapped, skip_last_stages);
+    plan.execute(
         proc,
-        &streams.trees_b,
-        &mut streams.trees_a,
-        (0, 2 * num_trees),
+        &mut PlanBuffers {
+            trees_a: &mut streams.trees_a,
+            trees_b: &mut streams.trees_b,
+            pq: &mut streams.pq,
+            scratch: None,
+            merged: None,
+            source: None,
+        },
     )?;
-    proc.record_step();
-
-    if overlapped {
-        run_overlapped(proc, streams, j, num_trees, skip_last_stages)?;
-    } else {
-        run_sequential_phases(proc, streams, j, num_trees, last_stage)?;
-    }
-
-    if skip_last_stages == 0 {
-        Ok(MergeOutcome::Complete)
-    } else {
-        let roots_start = table1_element_block(last_stage, 1, num_trees).0;
-        Ok(MergeOutcome::Truncated { roots_start })
-    }
-}
-
-/// Sequential-phase execution (Section 5.3): stages run one after another,
-/// and within a stage the phases run one after another. One stream
-/// operation (plus its copy-back) per phase.
-fn run_sequential_phases(
-    proc: &mut StreamProcessor,
-    streams: &mut MergeStreams,
-    j: u32,
-    num_trees: usize,
-    last_stage: u32,
-) -> Result<()> {
-    for k in 0..=last_stage {
-        let len = (1usize << k) * num_trees;
-        let instances_per_tree = 1usize << k;
-
-        // Phase 0 always reads pq from nothing and writes the initial
-        // (p, q) pairs; use pq[0] as its output.
-        kernels::phase0(
-            proc,
-            &streams.trees_a,
-            &mut streams.trees_b,
-            &mut streams.pq[0],
-            0,
-            len,
-            instances_per_tree,
-        )?;
-        kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (0, 2 * len))?;
-        proc.record_step();
-
-        let mut pq_in = 0usize;
-        for i in 1..(j - k) {
-            let out_block = table1_element_block(k, i, num_trees);
-            let next_start = table1_element_block(k, i + 1, num_trees).0;
-            let (pq_in_stream, pq_out_stream) = split_pq(&mut streams.pq, pq_in);
-            kernels::phase_i(
-                proc,
-                &streams.trees_a,
-                &mut streams.trees_b,
-                pq_in_stream,
-                0,
-                pq_out_stream,
-                0,
-                out_block,
-                next_start,
-                len,
-                instances_per_tree,
-            )?;
-            kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, out_block)?;
-            pq_in = 1 - pq_in;
-            proc.record_step();
-        }
-    }
-    Ok(())
-}
-
-/// Overlapped-stage execution (Section 5.4): step `s` executes phase
-/// `s − 2k` of every active stage `k`. The phases of one step write to
-/// disjoint memory blocks, so on hardware with multi-block substreams they
-/// count as a single stream operation — recorded via
-/// [`StreamProcessor::record_step`].
-fn run_overlapped(
-    proc: &mut StreamProcessor,
-    streams: &mut MergeStreams,
-    j: u32,
-    num_trees: usize,
-    skip_last_stages: u32,
-) -> Result<()> {
-    let mut pq_in = 0usize;
-    for step in overlapped_schedule(j, skip_last_stages) {
-        for PhaseRef { stage: k, phase: i } in step {
-            let len = (1usize << k) * num_trees;
-            let instances_per_tree = 1usize << k;
-            // Each stage uses its own disjoint region of the pq streams:
-            // elements [2·len_k, 4·len_k).
-            let pq_offset = 2 * len;
-            if i == 0 {
-                let (_, pq_out_stream) = split_pq(&mut streams.pq, pq_in);
-                kernels::phase0(
-                    proc,
-                    &streams.trees_a,
-                    &mut streams.trees_b,
-                    pq_out_stream,
-                    pq_offset,
-                    len,
-                    instances_per_tree,
-                )?;
-                kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (0, 2 * len))?;
-            } else {
-                let out_block = table1_element_block(k, i, num_trees);
-                let next_start = table1_element_block(k, i + 1, num_trees).0;
-                let (pq_in_stream, pq_out_stream) = split_pq(&mut streams.pq, pq_in);
-                kernels::phase_i(
-                    proc,
-                    &streams.trees_a,
-                    &mut streams.trees_b,
-                    pq_in_stream,
-                    pq_offset,
-                    pq_out_stream,
-                    pq_offset,
-                    out_block,
-                    next_start,
-                    len,
-                    instances_per_tree,
-                )?;
-                kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, out_block)?;
-            }
-        }
-        pq_in = 1 - pq_in;
-        proc.record_step();
-    }
-    Ok(())
+    Ok(outcome)
 }
 
 /// Borrow the ping-pong pq streams as (input, output) according to which
 /// one currently holds the live indices.
-fn split_pq(pq: &mut [Stream<u32>; 2], pq_in: usize) -> (&Stream<u32>, &mut Stream<u32>) {
+pub(super) fn split_pq(
+    pq: &mut [Stream<u32>; 2],
+    pq_in: usize,
+) -> (&Stream<u32>, &mut Stream<u32>) {
     let (first, second) = pq.split_at_mut(1);
     if pq_in == 0 {
         (&first[0], &mut second[0])

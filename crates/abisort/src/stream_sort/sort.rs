@@ -1,23 +1,31 @@
 //! `GPUABiSort` — the complete sort (Listing 2) with the Section 7
 //! optimizations, wrapped in the [`GpuAbiSorter`] API.
 //!
-//! The driver allocates the streams, optionally performs the Section 7.1
-//! local sort, runs the recursion levels (each a [`super::merge`] call),
-//! and applies either the Listing-2 commit or the Section 7.2 fixed-merge
-//! pipeline at the end of every level. The sorted result is read back from
-//! the input half of the node stream, where every level leaves its output
-//! in in-order storage.
+//! The driver allocates the streams, looks up (or records) the
+//! [`SortPlan`] for the problem shape, and executes it: the plan contains
+//! the Section 7.1 local sort, the recursion levels (Listing 2), and
+//! either the Listing-2 commit or the Section 7.2 fixed-merge pipeline at
+//! the end of every level. The sorted result is read back from the input
+//! half of the node stream, where every level leaves its output in
+//! in-order storage.
 
 use super::kernels;
-use super::merge::{merge_level, MergeOutcome, MergeStreams};
+use super::merge::MergeStreams;
+use super::plan::{PlanBuffers, PlanKey, SortPlan};
 use crate::config::SortConfig;
-use stream_arch::{Counters, Node, Result, SimTime, Stream, StreamProcessor, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use stream_arch::{Counters, Node, PlanMode, Result, SimTime, Stream, StreamProcessor, Value};
 
-/// The GPU-ABiSort sorter: a [`SortConfig`] plus the logic to run it on a
-/// [`StreamProcessor`].
+/// The GPU-ABiSort sorter: a [`SortConfig`], a cache of recorded launch
+/// plans, and the logic to run them on a [`StreamProcessor`].
+///
+/// Clones share the plan cache — a service that hands one sorter to many
+/// worker slots pays the planning cost once per problem shape.
 #[derive(Clone, Debug, Default)]
 pub struct GpuAbiSorter {
     config: SortConfig,
+    plans: Arc<Mutex<HashMap<PlanKey, Arc<SortPlan>>>>,
 }
 
 /// The outcome of one sort run: the sorted data plus the cost-accounting
@@ -60,12 +68,79 @@ pub struct SegmentedRun {
 impl GpuAbiSorter {
     /// Create a sorter with the given configuration.
     pub fn new(config: SortConfig) -> Self {
-        GpuAbiSorter { config }
+        GpuAbiSorter {
+            config,
+            plans: Arc::default(),
+        }
     }
 
     /// The configuration of this sorter.
     pub fn config(&self) -> &SortConfig {
         &self.config
+    }
+
+    /// Number of distinct launch plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    /// The plan key [`Self::sort_run`] would use for an input of `len`
+    /// values (after power-of-two padding), or `None` when no stream
+    /// program runs (`len ≤ 1`).
+    pub fn sort_plan_key(&self, len: usize) -> Option<PlanKey> {
+        if len <= 1 {
+            return None;
+        }
+        let n = len.next_power_of_two();
+        Some(self.plan_key(n, n.trailing_zeros()))
+    }
+
+    /// Record (fresh, uncached) the launch plan [`Self::sort_run`] would
+    /// execute for an input of `len` values — the `repro --dump-plan`
+    /// backend.
+    pub fn describe_plan(&self, len: usize) -> Option<String> {
+        self.sort_plan_key(len)
+            .map(|key| SortPlan::record(key).describe())
+    }
+
+    /// The plan key of a `run_stream_program` invocation: `n` elements,
+    /// levels up to `top_level`, Section 7 optimizations gated on the
+    /// independently sorted block size `2^top_level`.
+    fn plan_key(&self, n: usize, top_level: u32) -> PlanKey {
+        // The Section 7 optimizations assume at least 16 elements per
+        // independently sorted block (8-element local-sort blocks,
+        // 16-element fixed merges); below that the plain algorithm runs.
+        let block = 1usize << top_level;
+        let local_sort = self.config.local_sort_optimization && block >= 16;
+        let fixed_merge = self.config.fixed_merge_optimization && block >= 16;
+        PlanKey {
+            n,
+            first_level: if local_sort { 4 } else { 1 },
+            top_level,
+            local_sort,
+            fixed_merge,
+            overlapped: self.config.overlapped_steps,
+        }
+    }
+
+    /// Look up (or record) the plan for `key`.
+    ///
+    /// Under [`PlanMode::Staged`] plans are cached per sorter: the first
+    /// run of a problem shape records the launch graph, every later run
+    /// replays it. [`PlanMode::Eager`] re-records on every run — the
+    /// pre-planner behaviour, kept for byte-identity reference runs and as
+    /// the baseline the plan-cache wall-clock differential is measured
+    /// against.
+    fn plan_for(&self, proc: &StreamProcessor, key: PlanKey) -> Arc<SortPlan> {
+        if proc.plan_mode() == PlanMode::Eager {
+            return Arc::new(SortPlan::record(key));
+        }
+        let mut plans = self.plans.lock().expect("plan cache poisoned");
+        Arc::clone(
+            plans
+                .entry(key)
+                .or_insert_with(|| Arc::new(SortPlan::record(key))),
+        )
     }
 
     /// Sort `values` ascending, returning just the sorted data.
@@ -232,7 +307,19 @@ impl GpuAbiSorter {
             let n = values.len();
             proc.check_stream_size::<Node>(2 * n)?;
             let layout = self.config.layout.to_layout();
-            let fixed_merge = self.config.fixed_merge_optimization && n >= 16;
+            // A block merge gates the fixed-merge tail on the *total* size
+            // (every level it runs has 16-element groups available), and
+            // never runs the local-sort prologue — the blocks arrive
+            // sorted.
+            let key = PlanKey {
+                n,
+                first_level: block_len.trailing_zeros() + 1,
+                top_level: n.trailing_zeros(),
+                local_sort: false,
+                fixed_merge: self.config.fixed_merge_optimization && n >= 16,
+                overlapped: self.config.overlapped_steps,
+            };
+            let plan = self.plan_for(proc, key);
             let mut streams = MergeStreams::take(proc.arena(), n, layout);
             // Scratch/merged value streams are written in full by
             // `traverse16` / `fixed_merge16` before either is read, so
@@ -247,16 +334,16 @@ impl GpuAbiSorter {
             // sorted in alternating directions" — exactly what the caller
             // provides, so the recursion simply resumes above the blocks.
             kernels::init_input_trees(&mut streams.trees_a, values);
-            let first_level = block_len.trailing_zeros() + 1;
-            self.run_levels(
+            plan.execute(
                 proc,
-                &mut streams,
-                &mut scratch_values,
-                &mut merged_values,
-                n,
-                first_level,
-                n.trailing_zeros(),
-                fixed_merge,
+                &mut PlanBuffers {
+                    trees_a: &mut streams.trees_a,
+                    trees_b: &mut streams.trees_b,
+                    pq: &mut streams.pq,
+                    scratch: Some(&mut scratch_values),
+                    merged: Some(&mut merged_values),
+                    source: None,
+                },
             )?;
             let output = kernels::read_back_values(&streams.trees_a, n);
             streams.recycle(proc.arena());
@@ -290,13 +377,8 @@ impl GpuAbiSorter {
         let n = padded.len();
         proc.check_stream_size::<Node>(2 * n)?;
         let layout = self.config.layout.to_layout();
-        let block = 1usize << top_level;
-
-        // The Section 7 optimizations assume at least 16 elements per
-        // independently sorted block (8-element local-sort blocks,
-        // 16-element fixed merges); below that the plain algorithm runs.
-        let local_sort = self.config.local_sort_optimization && block >= 16;
-        let fixed_merge = self.config.fixed_merge_optimization && block >= 16;
+        let key = self.plan_key(n, top_level);
+        let plan = self.plan_for(proc, key);
 
         if self.config.include_transfer {
             // Upload of the input pairs and readback of the sorted output
@@ -315,122 +397,42 @@ impl GpuAbiSorter {
             proc.arena().take_stream_uninit("merged-values", n, layout);
 
         // --- Input setup -------------------------------------------------
-        let first_level = if local_sort {
-            // Section 7.1: local sort of 8 value/pointer pairs per kernel
-            // instance, then conversion to bitonic trees of 16 nodes.
-            let source = proc
-                .arena()
-                .take_stream_from("source-values", padded, layout);
-            kernels::local_sort8(proc, &source, &mut scratch_values, n)?;
-            proc.record_step();
-            kernels::build_trees16(proc, &scratch_values, &mut streams.trees_b, n)?;
-            kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
-            proc.record_step();
-            proc.arena().recycle(source);
-            4
+        let source = if key.local_sort {
+            // Section 7.1: the plan starts with the local sort of 8
+            // value/pointer pairs per kernel instance; it reads the source
+            // pairs from their own stream.
+            Some(
+                proc.arena()
+                    .take_stream_from("source-values", padded, layout),
+            )
         } else {
             // Listing 2: the input half of the node stream holds the source
             // data with the fixed in-order child indices (host-side
             // initialization / data upload).
             kernels::init_input_trees(&mut streams.trees_a, padded);
-            1
+            None
         };
 
-        self.run_levels(
+        plan.execute(
             proc,
-            &mut streams,
-            &mut scratch_values,
-            &mut merged_values,
-            n,
-            first_level,
-            top_level,
-            fixed_merge,
+            &mut PlanBuffers {
+                trees_a: &mut streams.trees_a,
+                trees_b: &mut streams.trees_b,
+                pq: &mut streams.pq,
+                scratch: Some(&mut scratch_values),
+                merged: Some(&mut merged_values),
+                source: source.as_ref(),
+            },
         )?;
 
         let output = kernels::read_back_values(&streams.trees_a, n);
         streams.recycle(proc.arena());
         proc.arena().recycle(scratch_values);
         proc.arena().recycle(merged_values);
-        Ok(output)
-    }
-
-    /// The recursion levels of Listing 2's main loop, from `first_level` up
-    /// to `top_level` inclusive.
-    #[allow(clippy::too_many_arguments)]
-    fn run_levels(
-        &self,
-        proc: &mut StreamProcessor,
-        streams: &mut MergeStreams,
-        scratch_values: &mut Stream<Value>,
-        merged_values: &mut Stream<Value>,
-        n: usize,
-        first_level: u32,
-        top_level: u32,
-        fixed_merge: bool,
-    ) -> Result<()> {
-        for j in first_level..=top_level {
-            let skip = if fixed_merge && j >= 4 { 4.min(j) } else { 0 };
-            let outcome = merge_level(proc, streams, n, j, self.config.overlapped_steps, skip)?;
-            match outcome {
-                MergeOutcome::Complete => {
-                    // Reinterpret the merged in-order values as the input
-                    // bitonic trees of the next level (Listing 2).
-                    kernels::commit_level(proc, &streams.trees_a, &mut streams.trees_b, n)?;
-                    kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
-                    proc.record_step();
-                }
-                MergeOutcome::Truncated { roots_start } => {
-                    self.fixed_merge_tail(
-                        proc,
-                        streams,
-                        scratch_values,
-                        merged_values,
-                        n,
-                        j,
-                        kernels::GroupSource::WorkspaceSubtrees { roots_start },
-                    )?;
-                }
-                MergeOutcome::Skipped => {
-                    self.fixed_merge_tail(
-                        proc,
-                        streams,
-                        scratch_values,
-                        merged_values,
-                        n,
-                        j,
-                        kernels::GroupSource::InputTrees { n },
-                    )?;
-                }
-            }
+        if let Some(source) = source {
+            proc.arena().recycle(source);
         }
-        Ok(())
-    }
-
-    /// The Section 7.2 tail of an (optionally truncated) level merge:
-    /// extract the 16-value bitonic sequences by in-order traversal, merge
-    /// them with the non-adaptive bitonic merge, and convert the result
-    /// back to bitonic trees for the next level.
-    #[allow(clippy::too_many_arguments)]
-    fn fixed_merge_tail(
-        &self,
-        proc: &mut StreamProcessor,
-        streams: &mut MergeStreams,
-        scratch_values: &mut Stream<Value>,
-        merged_values: &mut Stream<Value>,
-        n: usize,
-        j: u32,
-        source: kernels::GroupSource,
-    ) -> Result<()> {
-        let groups = n / 16;
-        let groups_per_tree = 1usize << (j - 4);
-        kernels::traverse16(proc, &streams.trees_a, scratch_values, groups, source)?;
-        proc.record_step();
-        kernels::fixed_merge16(proc, scratch_values, merged_values, groups, groups_per_tree)?;
-        proc.record_step();
-        kernels::build_trees16(proc, merged_values, &mut streams.trees_b, n)?;
-        kernels::copy_back(proc, &streams.trees_b, &mut streams.trees_a, (n, n))?;
-        proc.record_step();
-        Ok(())
+        Ok(output)
     }
 }
 

@@ -13,6 +13,10 @@
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
+//!   --dump-plan N         print the launch plan the sorter records for an
+//!                         N-element sort (the operator DAG: stages, nodes,
+//!                         named buffer reads/writes; see docs/PLANNER.md)
+//!                         and exit
 //!   --json PATH           additionally write all collected results as JSON
 //!   --trace PATH          enable structured tracing for the whole run and
 //!                         write the collected spans as Chrome trace_event
@@ -98,6 +102,18 @@ fn parse_args() -> Options {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--max-log-n requires an integer argument");
+            }
+            "--dump-plan" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--dump-plan requires an element count");
+                let sorter = abisort::GpuAbiSorter::new(abisort::SortConfig::default());
+                match sorter.describe_plan(n) {
+                    Some(text) => print!("{text}"),
+                    None => println!("no stream program runs for n={n} (already sorted)"),
+                }
+                std::process::exit(0);
             }
             "--json" => {
                 opts.json = Some(args.next().expect("--json requires a path"));

@@ -678,11 +678,16 @@ fn reject(writer: &ConnWriter, shared: &Shared, job_id: u64, code: ErrorCode, re
 
 /// The advisory back-off sent with a retryable reject.
 fn retry_hint_ms(config: &ServerConfig, code: ErrorCode) -> u32 {
-    let base = (config.retry_after.as_millis() as u32).max(1);
+    // `as_millis` is u128; a plain `as u32` cast would silently wrap a
+    // large configured back-off (e.g. 2^32 ms ≈ 49.7 days → 0). Saturate
+    // at the wire field's maximum instead.
+    let base = u32::try_from(config.retry_after.as_millis())
+        .unwrap_or(u32::MAX)
+        .max(1);
     match code {
         ErrorCode::QueueFull | ErrorCode::ServerBusy => base,
         // In-flight memory drains slower than queue slots.
-        ErrorCode::MemoryPressure => 2 * base,
+        ErrorCode::MemoryPressure => base.saturating_mul(2),
         _ => 0,
     }
 }
@@ -820,4 +825,42 @@ fn run_batch(
         }
     }
     shared.pending.fetch_sub(n, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config_with_retry_after(d: Duration) -> ServerConfig {
+        ServerConfig {
+            retry_after: d,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Regression: `retry_after.as_millis()` is u128 — a back-off at or
+    /// beyond 2^32 ms used to wrap to a tiny (or zero) hint via `as u32`.
+    #[test]
+    fn retry_hint_saturates_instead_of_wrapping() {
+        // 2^32 ms wrapped to exactly 0 under the old cast, which `.max(1)`
+        // then turned into a 1 ms hint for a ~49.7-day configured back-off.
+        let wrap = config_with_retry_after(Duration::from_millis(1u64 << 32));
+        assert_eq!(retry_hint_ms(&wrap, ErrorCode::QueueFull), u32::MAX);
+        assert_eq!(retry_hint_ms(&wrap, ErrorCode::ServerBusy), u32::MAX);
+        // The 2x memory-pressure hint must saturate too, even when the
+        // base itself fits in u32.
+        let big = config_with_retry_after(Duration::from_millis(u64::from(u32::MAX)));
+        assert_eq!(retry_hint_ms(&big, ErrorCode::MemoryPressure), u32::MAX);
+    }
+
+    #[test]
+    fn retry_hint_small_values_unchanged() {
+        let c = config_with_retry_after(Duration::from_millis(10));
+        assert_eq!(retry_hint_ms(&c, ErrorCode::QueueFull), 10);
+        assert_eq!(retry_hint_ms(&c, ErrorCode::MemoryPressure), 20);
+        assert_eq!(retry_hint_ms(&c, ErrorCode::JobTooLarge), 0);
+        // A sub-millisecond duration still advertises a non-zero hint.
+        let zero = config_with_retry_after(Duration::from_micros(10));
+        assert_eq!(retry_hint_ms(&zero, ErrorCode::QueueFull), 1);
+    }
 }

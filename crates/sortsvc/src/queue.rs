@@ -20,6 +20,14 @@ pub struct TenantQueues {
     rotation: VecDeque<TenantId>,
     jobs: usize,
     bytes: usize,
+    /// Cached minimum `arrival_ms` over all queue fronts. The planner polls
+    /// [`oldest_arrival_ms`](TenantQueues::oldest_arrival_ms) on every
+    /// arrival while sizing the batch window, so the getter must not scan
+    /// all tenants each time. Maintained incrementally: folded on `push`
+    /// (a push only creates a new front when its queue was empty),
+    /// recomputed on `pop_fair` only when the popped job carried the
+    /// cached minimum.
+    oldest: Option<f64>,
 }
 
 impl TenantQueues {
@@ -44,21 +52,26 @@ impl TenantQueues {
     }
 
     /// Earliest arrival time among queued jobs (the batch-window anchor).
+    ///
+    /// O(1): returns the incrementally maintained cache rather than
+    /// scanning every tenant's queue front per call.
     pub fn oldest_arrival_ms(&self) -> Option<f64> {
-        self.queues
-            .values()
-            .filter_map(|q| q.front())
-            .map(|j| j.arrival_ms)
-            .min_by(|a, b| a.total_cmp(b))
+        self.oldest
     }
 
     /// Enqueue a job at the back of its tenant's FIFO.
     pub fn push(&mut self, job: SortJob) {
         self.jobs += 1;
         self.bytes += job.bytes();
+        let arrival = job.arrival_ms;
         let queue = self.queues.entry(job.tenant).or_default();
         if queue.is_empty() {
             self.rotation.push_back(job.tenant);
+            // The job becomes a queue front: fold it into the cached min.
+            self.oldest = Some(match self.oldest {
+                Some(o) => o.min(arrival),
+                None => arrival,
+            });
         }
         queue.push_back(job);
     }
@@ -72,9 +85,36 @@ impl TenantQueues {
         if !queue.is_empty() {
             self.rotation.push_back(tenant);
         }
+        let new_front = queue.front().map(|j| j.arrival_ms);
         self.jobs -= 1;
         self.bytes -= job.bytes();
+        match self.oldest {
+            // Popped the cached minimum (or a tie): recompute over the
+            // remaining fronts. This is the only O(tenants) path, and it
+            // runs at most once per pop of the globally oldest job.
+            Some(o) if job.arrival_ms <= o => self.oldest = self.scan_oldest(),
+            // Popped a non-minimal front: the min can only change if the
+            // job revealed behind it arrived even earlier (arrivals within
+            // a tenant are not required to be monotone).
+            Some(o) => {
+                if let Some(f) = new_front {
+                    if f < o {
+                        self.oldest = Some(f);
+                    }
+                }
+            }
+            None => {}
+        }
         Some(job)
+    }
+
+    /// Full scan over queue fronts; the slow path behind the cache.
+    fn scan_oldest(&self) -> Option<f64> {
+        self.queues
+            .values()
+            .filter_map(|q| q.front())
+            .map(|j| j.arrival_ms)
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 
@@ -89,6 +129,9 @@ pub struct AdmissionController {
     max_queued_jobs: usize,
     /// (estimated completion sim-time ms, bytes) of scheduled batches.
     scheduled: Vec<(f64, usize)>,
+    /// Running sum of the `bytes` column of `scheduled`, maintained on
+    /// insert and prune so admission never re-sums the list.
+    scheduled_total: usize,
 }
 
 impl AdmissionController {
@@ -98,13 +141,35 @@ impl AdmissionController {
             max_inflight_bytes,
             max_queued_jobs,
             scheduled: Vec::new(),
+            scheduled_total: 0,
         }
     }
 
-    /// Bytes of scheduled-but-unfinished batches as of `now_ms`.
-    pub fn scheduled_bytes(&mut self, now_ms: f64) -> usize {
-        self.scheduled.retain(|&(done_ms, _)| done_ms > now_ms);
-        self.scheduled.iter().map(|&(_, b)| b).sum()
+    /// Drop scheduled batches whose estimated completion is at or before
+    /// `now_ms`, releasing their bytes from the in-flight total.
+    ///
+    /// Pruning is an explicit operation: [`scheduled_bytes`] is a pure
+    /// getter and [`admit`] prunes once up front, so the in-flight total
+    /// is O(1) to read no matter how many batches are outstanding.
+    ///
+    /// [`scheduled_bytes`]: AdmissionController::scheduled_bytes
+    /// [`admit`]: AdmissionController::admit
+    pub fn prune(&mut self, now_ms: f64) {
+        let total = &mut self.scheduled_total;
+        self.scheduled.retain(|&(done_ms, bytes)| {
+            let live = done_ms > now_ms;
+            if !live {
+                *total -= bytes;
+            }
+            live
+        });
+    }
+
+    /// Bytes of scheduled-but-unfinished batches as of the last
+    /// [`prune`](AdmissionController::prune). A pure getter — call
+    /// `prune(now_ms)` first if completions may have elapsed.
+    pub fn scheduled_bytes(&self) -> usize {
+        self.scheduled_total
     }
 
     /// Decide whether a job arriving at `now_ms` may be admitted, given the
@@ -119,7 +184,8 @@ impl AdmissionController {
         if queued_jobs >= self.max_queued_jobs {
             return Err(RejectReason::QueueFull);
         }
-        let inflight = self.scheduled_bytes(now_ms) + queued_bytes;
+        self.prune(now_ms);
+        let inflight = self.scheduled_bytes() + queued_bytes;
         if inflight + job.bytes() > self.max_inflight_bytes {
             return Err(RejectReason::MemoryPressure);
         }
@@ -131,6 +197,7 @@ impl AdmissionController {
     pub fn on_scheduled(&mut self, est_completion_ms: f64, bytes: usize) {
         if bytes > 0 {
             self.scheduled.push((est_completion_ms, bytes));
+            self.scheduled_total += bytes;
         }
     }
 }
@@ -186,6 +253,49 @@ mod tests {
         assert_eq!(q.oldest_arrival_ms(), Some(3.0));
         q.pop_fair();
         assert_eq!(q.oldest_arrival_ms(), None);
+    }
+
+    #[test]
+    fn oldest_arrival_cache_matches_scan_across_many_tenants() {
+        // 64 tenants, 4 jobs each, with arrival times deliberately
+        // non-monotone within a tenant so the pop path has to handle a
+        // revealed front that undercuts the cached minimum.
+        let mut q = TenantQueues::new();
+        let mut id = 0;
+        for tenant in 0..64u32 {
+            for k in 0..4 {
+                let arrival = ((tenant as u64 * 37 + k * 13 + id) % 97) as f64;
+                q.push(job(id, tenant as TenantId, 2).arriving_at(arrival));
+                id += 1;
+            }
+        }
+        // Drain fully, checking the O(1) cache against a fresh scan at
+        // every step.
+        while !q.is_empty() {
+            assert_eq!(
+                q.oldest_arrival_ms(),
+                q.scan_oldest(),
+                "cached min must track the queue fronts"
+            );
+            q.pop_fair();
+        }
+        assert_eq!(q.oldest_arrival_ms(), None);
+    }
+
+    #[test]
+    fn scheduled_bytes_is_a_pure_getter_with_explicit_pruning() {
+        let mut admission = AdmissionController::new(usize::MAX, usize::MAX);
+        admission.on_scheduled(10.0, 64);
+        admission.on_scheduled(20.0, 32);
+        // The getter never mutates: repeated calls agree without a prune.
+        assert_eq!(admission.scheduled_bytes(), 96);
+        assert_eq!(admission.scheduled_bytes(), 96);
+        // Pruning at t=15 releases only the first batch.
+        admission.prune(15.0);
+        assert_eq!(admission.scheduled_bytes(), 32);
+        // A batch completing exactly at `now` is no longer in flight.
+        admission.prune(20.0);
+        assert_eq!(admission.scheduled_bytes(), 0);
     }
 
     #[test]

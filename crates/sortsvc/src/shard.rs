@@ -107,15 +107,26 @@ pub struct ShardedRun {
 
 /// A multi-device sorting engine: splitter partition, concurrent
 /// per-device GPU-ABiSort shard sorts, tournament p-way recombination.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ShardedSorter {
     config: ShardedConfig,
+    /// The device sorter, held for the sharder's lifetime so its launch
+    /// plans are recorded once and replayed across runs (and shared by all
+    /// shard threads of a run).
+    sorter: GpuAbiSorter,
+}
+
+impl Default for ShardedSorter {
+    fn default() -> Self {
+        ShardedSorter::new(ShardedConfig::default())
+    }
 }
 
 impl ShardedSorter {
     /// Create a sharded sorter.
     pub fn new(config: ShardedConfig) -> Self {
-        ShardedSorter { config }
+        let sorter = GpuAbiSorter::new(config.sort_config);
+        ShardedSorter { config, sorter }
     }
 
     /// The sorter's configuration.
@@ -169,7 +180,7 @@ impl ShardedSorter {
         };
 
         // --- Concurrent shard sorts (one device each) --------------------
-        let sorter = GpuAbiSorter::new(self.config.sort_config);
+        let sorter = &self.sorter;
         let mut shard_runs = Vec::with_capacity(p);
         std::thread::scope(|scope| {
             let handles: Vec<_> = procs
@@ -233,7 +244,7 @@ impl ShardedSorter {
         // --- Recombination -----------------------------------------------
         let (output, merge_ms, merge_counters) = self.recombine(
             &mut procs[0],
-            &sorter,
+            sorter,
             sorted_shards,
             n,
             seg,

@@ -346,7 +346,13 @@ impl<'a> KernelCtx<'a> {
     }
 
     #[inline]
-    fn charge_read(&mut self, stream_id: u64, layout: Layout, global_idx: usize, bytes: usize) {
+    pub(crate) fn charge_read(
+        &mut self,
+        stream_id: u64,
+        layout: Layout,
+        global_idx: usize,
+        bytes: usize,
+    ) {
         if self.batched {
             self.pending.stream_reads += words(bytes);
         } else {
@@ -410,7 +416,7 @@ impl<'a> KernelCtx<'a> {
     }
 
     #[inline]
-    fn charge_write(&mut self, bytes: usize) {
+    pub(crate) fn charge_write(&mut self, bytes: usize) {
         if self.batched {
             self.pending.stream_writes += words(bytes);
             self.pending.bytes_written += bytes as u64;
@@ -575,27 +581,46 @@ impl<'a> KernelCtx<'a> {
 }
 
 /// A linear (streaming-read) input view: the paper's `in stream<T>`.
+///
+/// The source is held as a raw pointer rather than a `&[T]`: a staged
+/// stage-fused epoch binds the views of *every* node of the stage up
+/// front, so a view may legitimately coexist with a [`WriteView`] of the
+/// same stream belonging to a later sub-launch. The epoch's barriers order
+/// every read strictly before/after any overlapping write, exactly as the
+/// eager engine's launch boundaries did; a stored shared reference would
+/// turn that well-ordered sharing into language-level UB.
 pub struct ReadView<'a, T> {
-    data: &'a [T],
+    data: *const T,
+    len: usize,
     stream_id: u64,
     layout: Layout,
     blocks: BlockSet,
     per_instance: usize,
+    _marker: PhantomData<&'a [T]>,
 }
+
+// SAFETY: the view only reads plain-old-data elements through a pointer
+// valid for 'a; cross-thread use is ordered by the executor (launch or
+// stage-epoch barriers) exactly like `WriteView`.
+unsafe impl<'a, T: StreamElement> Send for ReadView<'a, T> {}
+unsafe impl<'a, T: StreamElement> Sync for ReadView<'a, T> {}
 
 impl<'a, T: StreamElement> ReadView<'a, T> {
     /// Bind an input substream. Each kernel instance reads exactly
     /// `per_instance` elements from it.
     pub fn new(stream: &'a Stream<T>, blocks: BlockSet, per_instance: usize) -> Result<Self> {
         stream.check_blocks(&blocks)?;
+        let slice = stream.as_slice();
         Ok(ReadView {
-            data: stream.as_slice(),
+            data: slice.as_ptr(),
+            len: slice.len(),
             // The cache model keys on the stable name-derived tag so that
             // identical runs charge identical cache behaviour.
             stream_id: stream.cache_tag(),
             layout: stream.layout(),
             blocks,
             per_instance,
+            _marker: PhantomData,
         })
     }
 
@@ -633,7 +658,12 @@ impl<'a, T: StreamElement> ReadView<'a, T> {
         }
         let global = self.blocks.locate(pos);
         ctx.charge_read(self.stream_id, self.layout, global, T::BYTES);
-        self.data[global]
+        debug_assert!(global < self.len);
+        // SAFETY: `check_blocks` validated every block against the stream
+        // length at view creation, so `global < self.len`; ordering against
+        // concurrent writers is the executor's launch/barrier discipline
+        // (see the type-level comment).
+        unsafe { *self.data.add(global) }
     }
 
     /// Read the first two slots as a pair (`read_from_stream` twice).
@@ -659,7 +689,17 @@ impl<'a, T: StreamElement> ReadView<'a, T> {
                 if pos0 + out.len() <= self.blocks.total() {
                     let g0 = start + pos0;
                     ctx.charge_read_range(self.stream_id, self.layout, g0, out.len(), T::BYTES);
-                    out.copy_from_slice(&self.data[g0..g0 + out.len()]);
+                    debug_assert!(g0 + out.len() <= self.len);
+                    // SAFETY: the contiguous block was validated against the
+                    // stream length at view creation and `pos0 + out.len()`
+                    // is within it; see the type-level comment for ordering.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            self.data.add(g0),
+                            out.as_mut_ptr(),
+                            out.len(),
+                        );
+                    }
                     return;
                 }
             }
@@ -674,44 +714,61 @@ impl<'a, T: StreamElement> ReadView<'a, T> {
 }
 
 /// A random-access (gather) input view: the paper's `gather stream<T>`.
+///
+/// Raw-pointer based for the same reason as [`ReadView`]: a stage-fused
+/// epoch may hold this view alongside a [`WriteView`] of the same stream
+/// owned by a different sub-launch, with the epoch barriers providing the
+/// ordering the eager launch boundaries used to.
 pub struct GatherView<'a, T> {
-    data: &'a [T],
+    data: *const T,
+    len: usize,
     stream_id: u64,
     layout: Layout,
+    _marker: PhantomData<&'a [T]>,
 }
+
+// SAFETY: see `ReadView` — read-only plain-old-data access through a
+// pointer valid for 'a, ordered by the executor.
+unsafe impl<'a, T: StreamElement> Send for GatherView<'a, T> {}
+unsafe impl<'a, T: StreamElement> Sync for GatherView<'a, T> {}
 
 impl<'a, T: StreamElement> GatherView<'a, T> {
     /// Bind a whole stream for gather access.
     pub fn new(stream: &'a Stream<T>) -> Self {
+        let slice = stream.as_slice();
         GatherView {
-            data: stream.as_slice(),
+            data: slice.as_ptr(),
+            len: slice.len(),
             stream_id: stream.cache_tag(),
             layout: stream.layout(),
+            _marker: PhantomData,
         }
     }
 
     /// Length of the gather stream.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the gather stream is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Random read of element `index` (the paper's `bitonicTrees[pidx]`).
     #[inline]
     pub fn gather(&self, ctx: &mut KernelCtx<'_>, index: usize) -> T {
-        if index >= self.data.len() {
+        if index >= self.len {
             ctx.record_error(StreamError::GatherOutOfBounds {
-                stream_len: self.data.len(),
+                stream_len: self.len,
                 index,
             });
             return T::default();
         }
         ctx.charge_gather(self.stream_id, self.layout, index, T::BYTES);
-        self.data[index]
+        // SAFETY: `index < self.len` was just checked; ordering against
+        // concurrent writers is the executor's launch/barrier discipline.
+        unsafe { *self.data.add(index) }
     }
 
     /// Gather the consecutive elements `[start, start + out.len())` into
@@ -720,9 +777,12 @@ impl<'a, T: StreamElement> GatherView<'a, T> {
     /// as one block in batched-accounting mode.
     #[inline]
     pub fn gather_range(&self, ctx: &mut KernelCtx<'_>, start: usize, out: &mut [T]) {
-        if ctx.batched && start + out.len() <= self.data.len() {
+        if ctx.batched && start + out.len() <= self.len {
             ctx.charge_gather_range(self.stream_id, self.layout, start, out.len(), T::BYTES);
-            out.copy_from_slice(&self.data[start..start + out.len()]);
+            // SAFETY: the range was just bounds-checked; ordering as above.
+            unsafe {
+                std::ptr::copy_nonoverlapping(self.data.add(start), out.as_mut_ptr(), out.len());
+            }
             return;
         }
         for (i, v) in out.iter_mut().enumerate() {
