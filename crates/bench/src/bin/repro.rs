@@ -9,7 +9,8 @@
 //!   --figures             the layout figures 4–7 (E4–E7) and Figure 1
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
 //!                         scaling | ablation | pram | terasort | padding |
-//!                         service | sharded | wallclock | netsoak
+//!                         service | sharded | wallclock | netsoak |
+//!                         crashsoak
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
@@ -330,6 +331,24 @@ fn main() {
         );
         report.netsoak = vec![bench::netsoak::netsoak(clients, jobs_per_client)];
         println!("{}", bench::netsoak::render_netsoak(&report.netsoak));
+    }
+
+    if wants("crashsoak") {
+        let (rounds, jobs_per_round, overhead_jobs) = if opts.max_log_n >= 18 {
+            (6, 40, 200)
+        } else {
+            (3, 16, 60)
+        };
+        eprintln!(
+            "running crash soak E23 ({rounds} induced crashes × {jobs_per_round} jobs through \
+             the write-ahead log; this times real host work) …"
+        );
+        report.crashsoak = vec![bench::crashsoak::crash_soak(
+            rounds,
+            jobs_per_round,
+            overhead_jobs,
+        )];
+        println!("{}", bench::crashsoak::render_crashsoak(&report.crashsoak));
     }
 
     if let Some(path) = &opts.json {

@@ -1,5 +1,6 @@
 //! Table rendering and JSON reporting for the `repro` binary.
 
+use crate::crashsoak::CrashSoakRow;
 use crate::experiments::{
     AblationRow, DataDependenceRow, ScalingRow, StreamOpsRow, TimingRow, TransferRow, WorkRow,
 };
@@ -88,6 +89,8 @@ pub struct Report {
     pub wallclock: Vec<WallClockRow>,
     /// Networked-soak rows (E22), if run.
     pub netsoak: Vec<NetSoakRow>,
+    /// Crash-soak rows (E23), if run.
+    pub crashsoak: Vec<CrashSoakRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

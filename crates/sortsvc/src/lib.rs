@@ -32,7 +32,12 @@
 //!   pipeline, and a buffering [`SortClient`];
 //! * [`telemetry`] — the simulated-timeline span tree of a service run,
 //!   emitted into the process-wide [`stream_arch::telemetry`] trace sink
-//!   (see `docs/OBSERVABILITY.md`).
+//!   (see `docs/OBSERVABILITY.md`);
+//! * [`wal`] — the durability tier: an append-only, checksummed
+//!   write-ahead job log with segment rotation, prefix compaction, and
+//!   idempotent crash recovery (see `docs/DURABILITY.md`), surfaced
+//!   through [`net::ServerConfig::durability_dir`] and
+//!   [`SortService::recover`].
 //!
 //! ## Quick start
 //!
@@ -62,12 +67,16 @@ pub mod queue;
 pub mod service;
 pub mod shard;
 pub mod telemetry;
+pub mod wal;
 
 pub use batch::{BatchOutcome, BatchPlan};
 pub use job::{JobId, JobResult, RejectReason, SortJob, TenantId};
 pub use metrics::ServiceMetrics;
-pub use net::{ClientConfig, ServerConfig, ServerStats, SortClient, SortServer};
+pub use net::{
+    ClientConfig, RetryPolicy, RetryingClient, ServerConfig, ServerStats, SortClient, SortServer,
+};
 pub use policy::{Engine, PolicyConfig, SortPolicy};
 pub use queue::{AdmissionController, TenantQueues};
-pub use service::{BatchSummary, ServiceConfig, ServiceReport, SortService};
+pub use service::{BatchSummary, RecoveredService, ServiceConfig, ServiceReport, SortService};
 pub use shard::{ShardedConfig, ShardedRun, ShardedSorter};
+pub use wal::{AdmittedJob, Wal, WalConfig, WalError};

@@ -78,6 +78,15 @@ pub struct ServiceMetrics {
     /// The policy's calibrated single-job CPU/GPU crossover, for
     /// visibility in reports (`u64::MAX` ⇒ never GPU).
     pub policy_crossover: u64,
+    /// Jobs replayed from the write-ahead log on startup — admitted by a
+    /// previous process life but never acknowledged (zero when the run
+    /// had no durability directory or recovered a clean log).
+    pub recovered_jobs: u64,
+    /// Bytes of valid WAL records replayed during startup recovery.
+    pub replayed_bytes: u64,
+    /// Bytes truncated from the WAL's torn tail during startup recovery
+    /// (a partial record written by the crashed process).
+    pub torn_tail_truncated: u64,
     /// Streaming-histogram summary of end-to-end latency (the source of
     /// `latency_p50_ms` / `latency_p99_ms`, plus count/p90/max).
     pub latency: HistogramSummary,

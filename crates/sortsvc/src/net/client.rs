@@ -145,6 +145,15 @@ impl JobTicket {
     /// Block until the reply arrives, the connection dies, or `timeout`
     /// elapses. Remember to [`SortClient::flush`] first — a buffered
     /// submission the server never saw cannot be answered.
+    ///
+    /// **Deadline guarantee**: the wait is condvar-driven, not a poll
+    /// loop. Every iteration recomputes the remaining time and parks for
+    /// at most that long, and a parked reply (or connection death)
+    /// notifies the condvar, so the call returns as soon as its answer
+    /// exists. On timeout the overshoot is bounded by scheduler wake-up
+    /// latency alone — it never rounds up to a fixed poll interval such
+    /// as [`ClientConfig::read_timeout`] (which bounds how fast the
+    /// *response thread* notices shutdown, not this wait).
     pub fn wait_timeout(&self, timeout: Duration) -> io::Result<JobReply> {
         let deadline = Instant::now() + timeout;
         let mut replies = lock(&self.shared.replies);
@@ -474,4 +483,68 @@ fn dispatch_reply(frame: Frame, shared: &ClientShared) -> Result<(), String> {
 fn park(shared: &ClientShared, job_id: u64, reply: JobReply) {
     lock(&shared.replies).insert(job_id, reply);
     shared.ready.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_shared() -> Arc<ClientShared> {
+        Arc::new(ClientShared {
+            replies: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+            fatal: Mutex::new(None),
+            pongs: AtomicU64::new(0),
+            stats: Mutex::new(None),
+        })
+    }
+
+    /// Regression for the deadline guarantee documented on
+    /// [`JobTicket::wait_timeout`]: the wait must track its *own*
+    /// remaining time, not round up to a poll interval.
+    #[test]
+    fn wait_timeout_tracks_its_own_deadline() {
+        let shared = bare_shared();
+        let ticket = JobTicket {
+            shared: shared.clone(),
+            job_id: 7,
+        };
+
+        // A 2 ms timeout with no reply must come back as TimedOut with an
+        // overshoot far below any fixed poll interval (generous bound for
+        // loaded CI machines; the failure mode this pins would add the
+        // full interval per parked iteration).
+        let started = Instant::now();
+        let err = ticket
+            .wait_timeout(Duration::from_millis(2))
+            .expect_err("no reply was parked");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "timeout overshot by {:?}",
+            started.elapsed()
+        );
+
+        // A reply parked mid-wait wakes the waiter immediately — the call
+        // must not sleep anywhere near its (long) deadline.
+        let parker = {
+            let shared = shared.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                park(&shared, 7, JobReply::Sorted(Vec::new()));
+            })
+        };
+        let started = Instant::now();
+        let reply = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("parked reply");
+        assert_eq!(reply, JobReply::Sorted(Vec::new()));
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "condvar wake-up took {:?}",
+            started.elapsed()
+        );
+        parker.join().unwrap();
+    }
 }

@@ -50,6 +50,7 @@
 pub mod client;
 pub mod error;
 pub mod frame;
+pub mod retry;
 pub mod server;
 
 pub use client::{ClientConfig, JobReply, JobTicket, SortClient};
@@ -59,6 +60,7 @@ pub use frame::{
     PayloadError, RejectPayload, ResultPayload, StatsPayload, SubmitPayload, HEADER_LEN,
     JOB_HEADER_LEN, MAGIC, PROTOCOL_VERSION, RAW_RECORD_LEN,
 };
+pub use retry::{RetryPolicy, RetryStats, RetryingClient};
 pub use server::{ServerConfig, ServerStats, SortServer};
 
 use std::sync::{Mutex, MutexGuard};

@@ -1,0 +1,384 @@
+//! Reconnect-and-resubmit on top of [`SortClient`]: capped exponential
+//! backoff with deterministic jitter, honoring the server's
+//! `retry_after_ms` hints and [`ErrorCode::is_retryable`](super::ErrorCode::is_retryable).
+//!
+//! [`SortClient`] is deliberately dumb about failure: a dropped
+//! connection, a server `GOODBYE` (drain) or a retryable reject all
+//! surface as errors and the tickets die with the connection. This module
+//! adds the client-side half of the durability story — a
+//! [`RetryingClient`] that owns the failure loop:
+//!
+//! * a **retryable reject** (`QUEUE_FULL`, `MEMORY_PRESSURE`,
+//!   `SERVER_BUSY` — see [`ErrorCode::is_retryable`](super::ErrorCode::is_retryable)) waits out the
+//!   larger of the server's `retry_after_ms` hint and its own jittered
+//!   exponential backoff, then resubmits on the same connection;
+//! * a **dead connection** (connect failure, I/O error, server
+//!   `GOODBYE`) reconnects — rotating through every resolved address, so
+//!   a drained server's traffic can fail over to a sibling — and
+//!   resubmits;
+//! * a **non-retryable reject** (malformed, too large, internal) and a
+//!   **reply timeout** are returned to the caller: resubmitting cannot
+//!   help the former, and blindly resubmitting after a timeout could run
+//!   the job twice on a healthy-but-slow server.
+//!
+//! Jitter is deterministic (a [`RetryPolicy::jitter_seed`]-keyed hash of
+//! the attempt number), so tests and repro runs see identical schedules
+//! while distinct clients (distinct seeds) still spread their retries.
+
+use super::client::{ClientConfig, JobReply, SortClient};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+use stream_arch::Value;
+
+/// Backoff and give-up policy of a [`RetryingClient`].
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// First-retry backoff (default 10 ms); attempt `k` backs off
+    /// `base · 2^k`, jittered.
+    pub base: Duration,
+    /// Upper bound on any single backoff (default 2 s).
+    pub cap: Duration,
+    /// Attempts per job before giving up (default 8). The first try
+    /// counts, so `max_attempts: 1` means "never retry".
+    pub max_attempts: u32,
+    /// How long to wait for each attempt's reply (default 60 s).
+    pub reply_timeout: Duration,
+    /// Seed of the deterministic jitter. Give distinct clients distinct
+    /// seeds so their retry schedules decorrelate.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(2),
+            max_attempts: 8,
+            reply_timeout: Duration::from_secs(60),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based) when the server
+    /// hinted `retry_after_ms` (0 = no hint): the jittered, capped
+    /// exponential backoff, floored at the hint — the hint is a promise
+    /// that retrying sooner is pointless, so jitter never undercuts it.
+    pub fn delay(&self, attempt: u32, retry_after_ms: u32) -> Duration {
+        let backoff = self
+            .base
+            .checked_mul(1u32 << attempt.min(16))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        let jittered = backoff.mul_f64(jitter_factor(self.jitter_seed, attempt));
+        jittered.max(Duration::from_millis(u64::from(retry_after_ms)))
+    }
+}
+
+/// Deterministic jitter in `[0.5, 1.0)`: a splitmix64-style hash of
+/// `(seed, attempt)` mapped onto the upper half of the unit interval
+/// (full-range jitter could collapse a backoff to ~zero and hammer a
+/// recovering server).
+fn jitter_factor(seed: u64, attempt: u32) -> f64 {
+    let mut z = seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 * 0.5
+}
+
+/// Counters describing what the failure loop has done so far.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Successful (re)connections, including the first.
+    pub connects: u64,
+    /// Reconnections forced by a dead connection.
+    pub reconnects: u64,
+    /// Submissions beyond each job's first attempt.
+    pub resubmits: u64,
+    /// Retryable rejects waited out.
+    pub rejects_retried: u64,
+}
+
+/// A [`SortClient`] wrapped in the reconnect-and-resubmit loop described
+/// in the module docs. One job at a time: [`RetryingClient::sort`] owns
+/// the submission until it has a result or a final error.
+pub struct RetryingClient {
+    addrs: Vec<SocketAddr>,
+    /// Index into `addrs` of the *next* connection attempt.
+    next_addr: usize,
+    config: ClientConfig,
+    policy: RetryPolicy,
+    client: Option<SortClient>,
+    stats: RetryStats,
+}
+
+/// How one attempt ended, internally.
+enum Attempt {
+    Done(Vec<Value>),
+    /// Retry after a backoff; `reconnect` says whether the connection
+    /// must be rebuilt first.
+    Retry {
+        reconnect: bool,
+        retry_after_ms: u32,
+        error: io::Error,
+    },
+    Fatal(io::Error),
+}
+
+impl RetryingClient {
+    /// Resolve `addr` and build a client with default config and policy.
+    /// Resolution may yield several addresses (e.g. a drained primary and
+    /// its sibling); reconnects rotate through all of them.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<RetryingClient> {
+        Self::connect_with(addr, ClientConfig::default(), RetryPolicy::default())
+    }
+
+    /// [`RetryingClient::connect`] with explicit config and policy. The
+    /// first TCP connection is lazy — it happens on the first
+    /// [`RetryingClient::sort`] — so constructing a client before its
+    /// server is up is fine.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+        policy: RetryPolicy,
+    ) -> io::Result<RetryingClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
+        }
+        Ok(RetryingClient {
+            addrs,
+            next_addr: 0,
+            config,
+            policy,
+            client: None,
+            stats: RetryStats::default(),
+        })
+    }
+
+    /// The failure-loop counters so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// The policy the failure loop runs under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Sort `values` remotely, retrying per the [`RetryPolicy`]. Returns
+    /// the sorted records, or the *last* error once the policy gives up
+    /// (or immediately for non-retryable rejects and reply timeouts).
+    pub fn sort(&mut self, values: Vec<Value>) -> io::Result<Vec<Value>> {
+        let mut last_error: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                self.stats.resubmits += 1;
+            }
+            match self.try_once(&values) {
+                Attempt::Done(sorted) => return Ok(sorted),
+                Attempt::Fatal(err) => return Err(err),
+                Attempt::Retry {
+                    reconnect,
+                    retry_after_ms,
+                    error,
+                } => {
+                    if reconnect {
+                        self.client = None;
+                        self.stats.reconnects += 1;
+                    } else {
+                        self.stats.rejects_retried += 1;
+                    }
+                    last_error = Some(error);
+                    // No sleep after the final attempt — we are about to
+                    // give up, not retry.
+                    if attempt + 1 < self.policy.max_attempts {
+                        thread::sleep(self.policy.delay(attempt, retry_after_ms));
+                    }
+                }
+            }
+        }
+        Err(last_error.unwrap_or_else(|| io::Error::other("retry policy allows zero attempts")))
+    }
+
+    /// One submit → flush → wait round trip, classifying every failure.
+    fn try_once(&mut self, values: &[Value]) -> Attempt {
+        let client = match self.ensure_connected() {
+            Ok(c) => c,
+            Err(err) => {
+                return Attempt::Retry {
+                    reconnect: true,
+                    retry_after_ms: 0,
+                    error: err,
+                }
+            }
+        };
+        let connection_lost = |error: io::Error| Attempt::Retry {
+            reconnect: true,
+            retry_after_ms: 0,
+            error,
+        };
+        let ticket = match client.submit(values.to_vec()) {
+            Ok(t) => t,
+            Err(err) => return connection_lost(err),
+        };
+        if let Err(err) = client.flush() {
+            return connection_lost(err);
+        }
+        match ticket.wait_timeout(self.policy.reply_timeout) {
+            Ok(JobReply::Sorted(sorted)) => Attempt::Done(sorted),
+            Ok(JobReply::Rejected {
+                code,
+                retry_after_ms,
+            }) => {
+                let error = io::Error::other(format!("server rejected the job: {code}"));
+                if code.is_retryable() {
+                    Attempt::Retry {
+                        reconnect: false,
+                        retry_after_ms,
+                        error,
+                    }
+                } else {
+                    Attempt::Fatal(error)
+                }
+            }
+            // A timeout on a live connection is ambiguous — the job may
+            // still complete — so resubmitting risks running it twice.
+            // Hand the decision back to the caller.
+            Err(err) if err.kind() == io::ErrorKind::TimedOut => Attempt::Fatal(err),
+            Err(err) => connection_lost(err),
+        }
+    }
+
+    /// Connect (to the next address in rotation) if not connected.
+    fn ensure_connected(&mut self) -> io::Result<&mut SortClient> {
+        if self.client.is_none() {
+            let addr = self.addrs[self.next_addr % self.addrs.len()];
+            self.next_addr = (self.next_addr + 1) % self.addrs.len();
+            let client = SortClient::connect_with(addr, self.config.clone())?;
+            self.stats.connects += 1;
+            self.client = Some(client);
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{ServerConfig, SortServer};
+
+    fn small_server(max_pending: usize) -> SortServer {
+        let mut config = ServerConfig::default();
+        config.service.device_slots = 1;
+        config.max_pending_jobs = max_pending;
+        SortServer::start("127.0.0.1:0", config).expect("bind loopback")
+    }
+
+    fn fast_policy(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(10),
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn delay_is_capped_jittered_and_honors_hints() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..40 {
+            let d = policy.delay(attempt, 0);
+            assert!(d <= policy.cap, "attempt {attempt}: {d:?} above cap");
+            assert!(
+                d >= policy.base / 2,
+                "attempt {attempt}: {d:?} under the jitter floor"
+            );
+            // Deterministic: same policy, same attempt, same delay.
+            assert_eq!(d, policy.delay(attempt, 0));
+        }
+        // Early backoffs are small; the hint floors them.
+        assert!(policy.delay(0, 0) < Duration::from_millis(500));
+        assert!(policy.delay(0, 500) >= Duration::from_millis(500));
+        // The hint floors even the cap.
+        assert!(policy.delay(30, 5_000) >= Duration::from_secs(5));
+    }
+
+    #[test]
+    fn jitter_stays_in_the_upper_half_and_varies() {
+        let mut distinct = std::collections::HashSet::new();
+        for attempt in 0..64 {
+            let f = jitter_factor(7, attempt);
+            assert!((0.5..1.0).contains(&f), "factor {f} out of range");
+            distinct.insert(f.to_bits());
+        }
+        assert!(distinct.len() > 32, "jitter must actually vary");
+    }
+
+    #[test]
+    fn sorts_through_a_healthy_server() {
+        let server = small_server(1024);
+        let mut client = RetryingClient::connect(server.local_addr()).expect("resolve");
+        let sorted = client.sort(workloads::uniform(512, 11)).expect("sorted");
+        assert_eq!(sorted.len(), 512);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(client.stats().connects, 1);
+        assert_eq!(client.stats().resubmits, 0);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts_of_connection_refusal() {
+        // Bind-then-drop frees a port nothing listens on; connecting to
+        // it is refused immediately (no firewalled-port hang).
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr")
+        };
+        let mut client =
+            RetryingClient::connect_with(addr, ClientConfig::default(), fast_policy(3))
+                .expect("resolve");
+        let err = client
+            .sort(workloads::uniform(8, 1))
+            .expect_err("no server");
+        assert_ne!(err.kind(), io::ErrorKind::TimedOut);
+        assert_eq!(client.stats().reconnects, 3, "every attempt reconnects");
+        assert_eq!(client.stats().resubmits, 2, "attempts beyond the first");
+    }
+
+    #[test]
+    fn fails_over_to_a_sibling_after_a_drain() {
+        let primary = small_server(1024);
+        let sibling = small_server(1024);
+        let addrs = [primary.local_addr(), sibling.local_addr()];
+        let mut client =
+            RetryingClient::connect_with(&addrs[..], ClientConfig::default(), fast_policy(8))
+                .expect("resolve");
+
+        // First job lands on the primary.
+        assert_eq!(
+            client.sort(workloads::uniform(64, 3)).expect("ok").len(),
+            64
+        );
+        assert_eq!(client.stats().connects, 1);
+
+        // Drain the primary: it answers in-flight work, says GOODBYE and
+        // goes away. The next job must fail over and still come back
+        // sorted — the reconnect-and-resubmit contract.
+        let stats = primary.drain();
+        assert_eq!(stats.service.jobs_completed, 1);
+        let sorted = client.sort(workloads::uniform(128, 4)).expect("failover");
+        assert_eq!(sorted.len(), 128);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(client.stats().reconnects >= 1, "must have reconnected");
+
+        let sibling_stats = sibling.shutdown();
+        assert_eq!(sibling_stats.service.jobs_completed, 1);
+    }
+}

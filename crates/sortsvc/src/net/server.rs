@@ -41,13 +41,14 @@ use super::lock;
 use crate::job::SortJob;
 use crate::metrics::{ratio, ServiceMetrics};
 use crate::service::{ServiceConfig, ServiceReport, SortService};
+use crate::wal::{self, AdmittedJob, Wal, WalConfig};
 use serde::Serialize;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 use stream_arch::telemetry::{self, LogHistogram, TraceSink};
@@ -95,6 +96,16 @@ pub struct ServerConfig {
     /// default) leaves tracing untouched: the only per-frame cost is one
     /// relaxed atomic load.
     pub trace_path: Option<PathBuf>,
+    /// When set, turns on the durability tier: a [`Wal`] in this
+    /// directory records every admitted job before it is enqueued and
+    /// every delivered outcome after its reply is sent, and on start the
+    /// log is replayed (see [`SortService::recover`]) *before* the
+    /// listener accepts traffic. `None` (the default) keeps durability
+    /// entirely off the hot path — no extra I/O, no extra locking.
+    pub durability_dir: Option<PathBuf>,
+    /// WAL tuning (segment size, fsync policy) used when
+    /// [`ServerConfig::durability_dir`] is set.
+    pub wal: WalConfig,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +120,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(5),
             retry_after: Duration::from_millis(10),
             trace_path: None,
+            durability_dir: None,
+            wal: WalConfig::default(),
         }
     }
 }
@@ -152,6 +165,9 @@ struct Submission {
     encoding: PayloadEncoding,
     values: Vec<Value>,
     received: Instant,
+    /// Log-wide WAL id of the admission record, when durability is on —
+    /// the id the dispatcher acknowledges after the reply goes out.
+    wal_id: Option<u64>,
 }
 
 /// The write half of one connection. Reader threads (rejects, pongs) and
@@ -208,11 +224,28 @@ impl WireStats {
 /// State shared by every server thread.
 struct Shared {
     stop: AtomicBool,
+    /// Set by [`SortServer::drain`]: new submissions are turned away with
+    /// [`ErrorCode::ServerBusy`] while in-flight ones finish.
+    draining: AtomicBool,
     pending: AtomicUsize,
     wire: WireStats,
     stats: Mutex<StatsInner>,
     device_slots: usize,
     policy_crossover: u64,
+    /// Wall-clock origin of the server's arrival timeline.
+    started: Instant,
+    /// The write-ahead log, when [`ServerConfig::durability_dir`] is set.
+    /// Reader threads append admissions, the dispatcher appends
+    /// acknowledgements; the mutex keeps records whole.
+    wal: Option<Mutex<Wal>>,
+    /// Next log-wide WAL job id (wire echo ids are only per-connection
+    /// unique, so the log mints its own).
+    wal_seq: AtomicU64,
+    /// What startup recovery found, surfaced through every snapshot.
+    recovery: wal::RecoveryStats,
+    /// Write halves of live connections, so a drain can say GOODBYE to
+    /// everyone. Dead entries are pruned on each accept.
+    writers: Mutex<Vec<Weak<ConnWriter>>>,
 }
 
 impl Shared {
@@ -251,6 +284,9 @@ impl Shared {
             device_utilization: ratio(s.device_busy_ms, self.device_slots as f64 * s.makespan_ms),
             wall_ms: s.wall_ms,
             policy_crossover: self.policy_crossover,
+            recovered_jobs: self.recovery.recovered_jobs,
+            replayed_bytes: self.recovery.replayed_bytes,
+            torn_tail_truncated: self.recovery.torn_tail_truncated,
             latency: s.latency_hist.summary(),
             queue_wait: s.queue_hist.summary(),
             execution: s.exec_hist.summary(),
@@ -377,20 +413,44 @@ impl SortServer {
         if trace_path.is_some() {
             TraceSink::global().set_enabled(true);
         }
+
+        // Durability: replay the log *before* the listener accepts
+        // traffic, so every job a previous process life admitted but
+        // never answered is re-run (and acknowledged) ahead of new work.
+        let mut stats_inner = StatsInner::default();
+        let mut wal_state = None;
+        let mut recovery = wal::RecoveryStats::default();
+        if let Some(dir) = &config.durability_dir {
+            let recovered = service
+                .recover(dir, config.wal.clone())
+                .map_err(|e| io::Error::other(format!("wal recovery failed: {e}")))?;
+            if recovered.report.metrics.jobs_submitted > 0 {
+                stats_inner.merge_run(&recovered.report);
+            }
+            recovery = recovered.stats;
+            wal_state = Some(Mutex::new(recovered.wal));
+        }
+
         let shared = Arc::new(Shared {
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             pending: AtomicUsize::new(0),
             wire: WireStats::default(),
-            stats: Mutex::new(StatsInner::default()),
+            stats: Mutex::new(stats_inner),
             device_slots: service.config().device_slots,
             policy_crossover: service.policy().crossover() as u64,
+            started: Instant::now(),
+            wal: wal_state,
+            wal_seq: AtomicU64::new(1),
+            recovery,
+            writers: Mutex::new(Vec::new()),
         });
         let (tx, rx) = mpsc::channel::<Submission>();
 
         let dispatcher = {
             let config = config.clone();
             let shared = shared.clone();
-            let started = Instant::now();
+            let started = shared.started;
             thread::spawn(move || dispatcher_loop(rx, service, config, shared, started))
         };
         let accept = {
@@ -423,6 +483,34 @@ impl SortServer {
     /// Stop accepting, drain the dispatcher queue, join every thread and
     /// return the final stats.
     pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.shared.snapshot()
+    }
+
+    /// Graceful drain: stop admitting (new submissions get a retryable
+    /// [`ErrorCode::ServerBusy`]), let every in-flight job finish and be
+    /// answered, fsync the write-ahead log, send `GOODBYE` on every live
+    /// connection, then shut down and return the final stats.
+    ///
+    /// This is the clean-handoff half of the durability contract: after
+    /// `drain` returns, the log on disk contains an acknowledgement for
+    /// every job any client got an answer for, so the next process life
+    /// recovers nothing (see `docs/DURABILITY.md`).
+    pub fn drain(mut self) -> ServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        while self.shared.pending.load(Ordering::SeqCst) > 0 {
+            thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(wal) = &self.shared.wal {
+            if let Err(err) = lock(wal).sync() {
+                eprintln!("sortsvc: wal fsync on drain failed: {err}");
+            }
+        }
+        for weak in lock(&self.shared.writers).drain(..) {
+            if let Some(writer) = weak.upgrade() {
+                writer.send(FrameType::Goodbye, Vec::new());
+            }
+        }
         self.stop();
         self.shared.snapshot()
     }
@@ -480,6 +568,11 @@ fn accept_loop(
                     stream: Mutex::new(write_half),
                     shared: shared.clone(),
                 });
+                {
+                    let mut writers = lock(&shared.writers);
+                    writers.retain(|w| w.strong_count() > 0);
+                    writers.push(Arc::downgrade(&writer));
+                }
                 let tx = tx.clone();
                 let config = config.clone();
                 let shared = shared.clone();
@@ -615,7 +708,7 @@ fn handle_submit(
         return;
     }
     let decode_started = telemetry::enabled().then(Instant::now);
-    let submit = match SubmitPayload::decode(&payload) {
+    let mut submit = match SubmitPayload::decode(&payload) {
         Ok(s) => s,
         Err(_) => {
             reject(writer, shared, echo_id, ErrorCode::MalformedPayload, 0);
@@ -634,6 +727,14 @@ fn handle_submit(
         reject(writer, shared, submit.job_id, ErrorCode::JobTooLarge, 0);
         return;
     }
+    // A draining server turns new work away with the same retryable
+    // answer as a saturated one; clients with back-off find the restarted
+    // process (or a sibling) on their next attempt.
+    if shared.draining.load(Ordering::SeqCst) {
+        let hint = retry_hint_ms(config, ErrorCode::ServerBusy);
+        reject(writer, shared, submit.job_id, ErrorCode::ServerBusy, hint);
+        return;
+    }
     // Wire-level backpressure: bound the submissions in flight before the
     // service's own admission control ever sees them.
     let admitted = shared
@@ -647,13 +748,43 @@ fn handle_submit(
         reject(writer, shared, submit.job_id, ErrorCode::ServerBusy, hint);
         return;
     }
+    let received = Instant::now();
+    // Durability: the admission record must be in the log *before* the
+    // job can reach the dispatcher — a crash after this append replays
+    // the job, a crash before it means the client never got an answer
+    // and retries. Wire-level rejects above never touch the log because
+    // nothing was admitted.
+    let mut wal_id = None;
+    if let Some(wal) = &shared.wal {
+        let id = shared.wal_seq.fetch_add(1, Ordering::Relaxed);
+        let record = AdmittedJob {
+            job_id: id,
+            tenant: submit.tenant,
+            arrival_ms: received.duration_since(shared.started).as_secs_f64() * 1e3,
+            hint: None,
+            values: std::mem::take(&mut submit.values),
+        };
+        let appended = lock(wal).append_admitted(&record);
+        submit.values = record.values;
+        if let Err(err) = appended {
+            // The job was never admitted durably, so it must not run:
+            // answer with a non-retryable Internal and undo the pending
+            // reservation.
+            eprintln!("sortsvc: wal admission append failed: {err}");
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            reject(writer, shared, submit.job_id, ErrorCode::Internal, 0);
+            return;
+        }
+        wal_id = Some(id);
+    }
     let submission = Submission {
         writer: writer.clone(),
         job_id: submit.job_id,
         tenant: submit.tenant,
         encoding: submit.encoding,
         values: submit.values,
-        received: Instant::now(),
+        received,
+        wal_id,
     };
     if tx.send(submission).is_err() {
         // The dispatcher is gone (shutdown race): still answer.
@@ -768,8 +899,12 @@ fn run_batch(
                     .encode(),
                 );
             }
+            let mut completed_wal_ids = Vec::new();
             for result in report.results {
                 let sub = &batch[result.id as usize];
+                if let Some(id) = sub.wal_id {
+                    completed_wal_ids.push(id);
+                }
                 let reply = ResultPayload {
                     job_id: sub.job_id,
                     encoding: sub.encoding,
@@ -791,10 +926,32 @@ fn run_batch(
                     ),
                 }
             }
+            // Durability: acknowledgements go in *after* the replies are
+            // on the wire, so a crash in between replays the job once
+            // more (at-least-once) instead of losing an admitted job. An
+            // append failure here is logged, not fatal — the worst case
+            // is the same at-least-once replay.
+            if let Some(wal_mutex) = &shared.wal {
+                let mut wal = lock(wal_mutex);
+                for (id, reason) in &report.rejected {
+                    if let Some(wal_id) = batch[*id as usize].wal_id {
+                        if let Err(err) = wal.append_rejected(wal_id, *reason) {
+                            eprintln!("sortsvc: wal ack append failed: {err}");
+                        }
+                    }
+                }
+                for wal_id in completed_wal_ids {
+                    if let Err(err) = wal.append_completed(wal_id) {
+                        eprintln!("sortsvc: wal ack append failed: {err}");
+                    }
+                }
+            }
         }
         Err(_) => {
             // The whole batch failed inside the engine: answer every job
             // so no client hangs, and count them as submitted + rejected.
+            // Their WAL admissions stay unacknowledged on purpose — a
+            // durability-enabled restart replays them (at-least-once).
             shared.stat(|s| {
                 s.jobs_submitted += n;
                 s.jobs_rejected += n;

@@ -29,6 +29,7 @@ use crate::metrics::{ratio, ServiceMetrics};
 use crate::policy::{Engine, PolicyConfig, SortPolicy};
 use crate::queue::{AdmissionController, TenantQueues};
 use crate::shard::{ShardedConfig, ShardedSorter};
+use crate::wal::{self, Wal, WalConfig, WalError};
 use abisort::{GpuAbiSorter, SortConfig};
 use serde::Serialize;
 use stream_arch::telemetry::LogHistogram;
@@ -449,6 +450,9 @@ impl SortService {
             device_utilization: ratio(busy, slots as f64 * makespan_ms),
             wall_ms,
             policy_crossover: self.policy.crossover().try_into().unwrap_or(u64::MAX),
+            recovered_jobs: 0,
+            replayed_bytes: 0,
+            torn_tail_truncated: 0,
             latency: latency_hist.summary(),
             queue_wait: queue_hist.summary(),
             execution: exec_hist.summary(),
@@ -461,6 +465,91 @@ impl SortService {
             metrics,
         }
     }
+
+    /// Open (or create) the write-ahead log in `dir`, replay it, and
+    /// re-run every admitted-but-unacknowledged job through this service.
+    ///
+    /// Recovery is **idempotent and at-least-once**: jobs whose
+    /// `COMPLETED`/`REJECTED` acknowledgement made it to disk are skipped;
+    /// jobs whose admission record is intact but whose acknowledgement is
+    /// missing are re-executed in admission order. A torn tail (a partial
+    /// record left by a crash mid-append) is detected via its checksum and
+    /// physically truncated — never replayed — while corruption in a
+    /// *sealed* segment surfaces as [`WalError::Corrupt`]. After the
+    /// replayed jobs finish, matching acknowledgements are appended and
+    /// the log is fsynced, so a crash loop converges instead of replaying
+    /// the same jobs forever.
+    ///
+    /// The returned [`RecoveredService`] carries the replay's
+    /// [`ServiceReport`] (with the recovery counters stamped into its
+    /// metrics) and the live [`Wal`], positioned to append records for new
+    /// traffic. `docs/DURABILITY.md` documents the full recovery state
+    /// machine.
+    pub fn recover(
+        &self,
+        dir: impl AsRef<std::path::Path>,
+        config: WalConfig,
+    ) -> std::result::Result<RecoveredService, WalError> {
+        let recovery = Wal::open(dir, config)?;
+        let wal::Recovery {
+            mut wal,
+            pending,
+            stats,
+        } = recovery;
+
+        let jobs: Vec<SortJob> = pending
+            .iter()
+            .map(|j| SortJob {
+                id: j.job_id,
+                tenant: j.tenant,
+                arrival_ms: j.arrival_ms,
+                values: j.values.clone(),
+                hint: j.hint,
+            })
+            .collect();
+
+        let mut report = if jobs.is_empty() {
+            ServiceReport {
+                results: Vec::new(),
+                rejected: Vec::new(),
+                batches: Vec::new(),
+                metrics: ServiceMetrics::default(),
+            }
+        } else {
+            self.process(jobs).map_err(|e| {
+                WalError::Io(std::io::Error::other(format!(
+                    "recovery replay failed: {e}"
+                )))
+            })?
+        };
+
+        for result in &report.results {
+            wal.append_completed(result.id)?;
+        }
+        for &(id, reason) in &report.rejected {
+            wal.append_rejected(id, reason)?;
+        }
+        wal.sync()?;
+
+        report.metrics.recovered_jobs = stats.recovered_jobs;
+        report.metrics.replayed_bytes = stats.replayed_bytes;
+        report.metrics.torn_tail_truncated = stats.torn_tail_truncated;
+
+        Ok(RecoveredService { report, wal, stats })
+    }
+}
+
+/// The outcome of [`SortService::recover`]: the replay's report plus the
+/// live write-ahead log, positioned to append records for new traffic.
+pub struct RecoveredService {
+    /// Report of re-running the replayed jobs (empty when the log was
+    /// clean). Its metrics carry `recovered_jobs` / `replayed_bytes` /
+    /// `torn_tail_truncated`.
+    pub report: ServiceReport,
+    /// The open log; the caller keeps appending to it for new jobs.
+    pub wal: Wal,
+    /// Raw recovery statistics from the log scan.
+    pub stats: wal::RecoveryStats,
 }
 
 /// Mutable planning state (phase 1).

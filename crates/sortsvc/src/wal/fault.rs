@@ -1,0 +1,248 @@
+//! Crash-fault injection at the WAL's write points.
+//!
+//! The durability tests need to crash the process (or simulate a crash)
+//! at *exactly defined* byte positions in the log: mid-record during an
+//! append (a torn write), just after a record is fully on disk but before
+//! the caller learns of it, or between the unlinks of a compaction. This
+//! module is the registry those tests arm.
+//!
+//! A [`FaultPlan`] names the [`FaultPoint`], how many occurrences to let
+//! pass ([`FaultPlan::after`]), and the [`FaultMode`] — return a typed
+//! error ([`FaultMode::Stop`], the in-process simulated crash), abort the
+//! process ([`FaultMode::Abort`]), or stall forever after writing a
+//! marker file so a parent test can `kill -9` the process at that precise
+//! point ([`FaultMode::Stall`]). Plans are one-shot: firing disarms the
+//! registry.
+//!
+//! Production code never arms a plan; with the registry empty the checks
+//! are a single mutex-guarded `Option` test on a path that already does
+//! file I/O.
+
+use super::WalError;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Where in the WAL write path an injected fault fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Mid-record during an `ADMITTED` append: only a prefix of the
+    /// record's bytes reach the segment — a torn write.
+    AdmitPrefix,
+    /// Immediately after an `ADMITTED` record is fully written, before
+    /// the append returns to the caller.
+    AdmitFull,
+    /// Mid-record during a `COMPLETED`/`REJECTED` append.
+    AckPrefix,
+    /// After a `COMPLETED`/`REJECTED` record is fully written.
+    AckFull,
+    /// Just before a sealed segment is unlinked during compaction.
+    CompactUnlink,
+}
+
+impl FaultPoint {
+    /// Stable name, used by [`arm_from_env`] specs and stall markers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPoint::AdmitPrefix => "admit-prefix",
+            FaultPoint::AdmitFull => "admit-full",
+            FaultPoint::AckPrefix => "ack-prefix",
+            FaultPoint::AckFull => "ack-full",
+            FaultPoint::CompactUnlink => "compact-unlink",
+        }
+    }
+
+    /// Parse a [`FaultPoint::name`] back into the point.
+    pub fn from_name(name: &str) -> Option<FaultPoint> {
+        match name {
+            "admit-prefix" => Some(FaultPoint::AdmitPrefix),
+            "admit-full" => Some(FaultPoint::AdmitFull),
+            "ack-prefix" => Some(FaultPoint::AckPrefix),
+            "ack-full" => Some(FaultPoint::AckFull),
+            "compact-unlink" => Some(FaultPoint::CompactUnlink),
+            _ => None,
+        }
+    }
+
+    /// Every injectable point, for tests that sweep them all.
+    pub fn all() -> [FaultPoint; 5] {
+        [
+            FaultPoint::AdmitPrefix,
+            FaultPoint::AdmitFull,
+            FaultPoint::AckPrefix,
+            FaultPoint::AckFull,
+            FaultPoint::CompactUnlink,
+        ]
+    }
+}
+
+/// What happens when an armed fault fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Return [`WalError::Injected`] from the append — an in-process
+    /// simulated crash (the caller abandons the WAL as a real server
+    /// would abandon the process).
+    Stop,
+    /// `std::process::abort()` — a real crash, for subprocess tests.
+    Abort,
+    /// Write the plan's marker file, then sleep forever, so the parent
+    /// test can `kill -9` the process while it sits exactly at the fault
+    /// point.
+    Stall,
+}
+
+impl FaultMode {
+    /// Stable name, used by [`arm_from_env`] specs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultMode::Stop => "stop",
+            FaultMode::Abort => "abort",
+            FaultMode::Stall => "stall",
+        }
+    }
+
+    /// Parse a [`FaultMode::name`] back into the mode.
+    pub fn from_name(name: &str) -> Option<FaultMode> {
+        match name {
+            "stop" => Some(FaultMode::Stop),
+            "abort" => Some(FaultMode::Abort),
+            "stall" => Some(FaultMode::Stall),
+            _ => None,
+        }
+    }
+}
+
+/// An armed fault: fire at the `after`-th matching occurrence.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// The write point to fire at.
+    pub point: FaultPoint,
+    /// Matching occurrences to let pass first (0 = fire on the first).
+    pub after: u32,
+    /// What firing does.
+    pub mode: FaultMode,
+    /// Marker file a [`FaultMode::Stall`] fault writes before stalling,
+    /// so the parent process knows the child reached the point.
+    pub marker: Option<PathBuf>,
+}
+
+/// Environment variable [`arm_from_env`] reads:
+/// `point:after:mode[:marker-path]`, e.g. `admit-prefix:3:stall:/tmp/m`.
+pub const FAULT_ENV: &str = "SORTSVC_WAL_FAULT";
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+fn lock() -> std::sync::MutexGuard<'static, Option<FaultPlan>> {
+    match PLAN.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Arm `plan`. Replaces any previously armed plan.
+pub fn arm(plan: FaultPlan) {
+    *lock() = Some(plan);
+}
+
+/// Disarm the registry.
+pub fn disarm() {
+    *lock() = None;
+}
+
+/// Parse a `point:after:mode[:marker]` spec (the [`FAULT_ENV`] format).
+pub fn parse_spec(spec: &str) -> Option<FaultPlan> {
+    let mut parts = spec.splitn(4, ':');
+    let point = FaultPoint::from_name(parts.next()?)?;
+    let after = parts.next()?.parse().ok()?;
+    let mode = FaultMode::from_name(parts.next()?)?;
+    let marker = parts.next().map(PathBuf::from);
+    Some(FaultPlan {
+        point,
+        after,
+        mode,
+        marker,
+    })
+}
+
+/// Arm from the [`FAULT_ENV`] environment variable if it is set and
+/// parses; subprocess kill-and-resume tests use this to arm the child.
+pub fn arm_from_env() {
+    if let Ok(spec) = std::env::var(FAULT_ENV) {
+        if let Some(plan) = parse_spec(&spec) {
+            arm(plan);
+        }
+    }
+}
+
+/// Called by the WAL at each fault point: decides whether this occurrence
+/// fires. Firing consumes the plan (one-shot) and returns the mode to
+/// execute plus the stall marker.
+pub(crate) fn fire(point: FaultPoint) -> Option<(FaultMode, Option<PathBuf>)> {
+    let mut guard = lock();
+    match guard.as_mut() {
+        Some(plan) if plan.point == point => {
+            if plan.after == 0 {
+                let fired = guard.take().expect("plan present");
+                Some((fired.mode, fired.marker))
+            } else {
+                plan.after -= 1;
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Execute a fired fault's mode. [`FaultMode::Stop`] returns the error to
+/// propagate; the other modes never return.
+pub(crate) fn execute(point: FaultPoint, mode: FaultMode, marker: Option<PathBuf>) -> WalError {
+    match mode {
+        FaultMode::Stop => WalError::Injected(point),
+        FaultMode::Abort => std::process::abort(),
+        FaultMode::Stall => {
+            if let Some(marker) = marker {
+                let _ = std::fs::write(&marker, point.name());
+            }
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for point in FaultPoint::all() {
+            assert_eq!(FaultPoint::from_name(point.name()), Some(point));
+        }
+        for mode in [FaultMode::Stop, FaultMode::Abort, FaultMode::Stall] {
+            assert_eq!(FaultMode::from_name(mode.name()), Some(mode));
+        }
+        assert_eq!(FaultPoint::from_name("nope"), None);
+        assert_eq!(FaultMode::from_name("nope"), None);
+    }
+
+    #[test]
+    fn specs_parse_with_and_without_markers() {
+        let plan = parse_spec("admit-prefix:3:stall:/tmp/marker").unwrap();
+        assert_eq!(plan.point, FaultPoint::AdmitPrefix);
+        assert_eq!(plan.after, 3);
+        assert_eq!(plan.mode, FaultMode::Stall);
+        assert_eq!(
+            plan.marker.as_deref(),
+            Some(std::path::Path::new("/tmp/marker"))
+        );
+
+        let plan = parse_spec("ack-full:0:stop").unwrap();
+        assert_eq!(plan.point, FaultPoint::AckFull);
+        assert!(plan.marker.is_none());
+
+        assert!(parse_spec("bogus:0:stop").is_none());
+        assert!(parse_spec("ack-full:x:stop").is_none());
+        assert!(parse_spec("ack-full:0:bogus").is_none());
+        assert!(parse_spec("").is_none());
+    }
+}

@@ -109,7 +109,9 @@ fn stats_json_shape_is_pinned() {
 \"mean_jobs_per_batch\": 0.0,\n    \"cpu_jobs\": 0,\n    \"gpu_jobs\": 0,\n    \
 \"sharded_jobs\": 0,\n    \"tera_jobs\": 0,\n    \"sharded_batches\": 0,\n    \
 \"shard_skew_max\": 0.0,\n    \"device_busy_ms\": 0.0,\n    \"device_utilization\": 0.0,\n    \
-\"wall_ms\": 0.0,\n    \"policy_crossover\": 0,\n    \"latency\": {\n      \"count\": 0,\n      \
+\"wall_ms\": 0.0,\n    \"policy_crossover\": 0,\n    \"recovered_jobs\": 0,\n    \
+\"replayed_bytes\": 0,\n    \"torn_tail_truncated\": 0,\n    \
+\"latency\": {\n      \"count\": 0,\n      \
 \"mean_ms\": 0.0,\n      \"p50_ms\": 0.0,\n      \"p90_ms\": 0.0,\n      \"p99_ms\": 0.0,\n      \
 \"max_ms\": 0.0\n    },\n    \"queue_wait\": {\n      \"count\": 0,\n      \"mean_ms\": 0.0,\n      \
 \"p50_ms\": 0.0,\n      \"p90_ms\": 0.0,\n      \"p99_ms\": 0.0,\n      \"max_ms\": 0.0\n    },\n    \

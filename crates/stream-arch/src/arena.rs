@@ -39,13 +39,25 @@
 //! byte-identical to fresh-allocation runs. [`set_elision_default`] turns
 //! the elision off process-wide (uninit takes then behave exactly like
 //! [`StreamArena::take_vec`]) so the wall-clock harness can measure it.
+//!
+//! # Byte cap
+//!
+//! The per-bin bound caps each class, but a long soak over *mixed* job
+//! sizes populates ever more classes, so the total pooled footprint was
+//! unbounded. [`StreamArena::set_byte_cap`] (or the process-wide
+//! [`set_byte_cap_default`]) bounds it: when a hand-back would push the
+//! pool past the cap, whole classes are evicted coldest-first (a class is
+//! "touched" by every hit and every hand-back) until the pool fits,
+//! counted in [`ArenaStats::evicted_bytes`]. Eviction only frees cached
+//! buffers — results are unaffected, later takes of an evicted class
+//! simply allocate again.
 
 use crate::layout::Layout;
 use crate::stream::Stream;
 use crate::value::StreamElement;
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Upper bound on pooled buffers per (type, capacity class) bin. A sort
 /// run keeps at most a handful of same-class streams alive at once, so a
@@ -54,6 +66,8 @@ const MAX_BUFFERS_PER_CLASS: usize = 8;
 
 static POOLING_DEFAULT: AtomicBool = AtomicBool::new(true);
 static ELISION_DEFAULT: AtomicBool = AtomicBool::new(true);
+/// 0 encodes "unbounded" — the historical behaviour.
+static BYTE_CAP_DEFAULT: AtomicUsize = AtomicUsize::new(0);
 
 /// Set whether newly created arenas pool buffers (default `true`).
 ///
@@ -85,6 +99,26 @@ pub fn elision_default() -> bool {
     ELISION_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Set the default total pooled-byte cap for newly created arenas
+/// (`None` = unbounded, the default).
+///
+/// Long soaks with mixed job sizes populate many (type, capacity class)
+/// bins; without a cap each bin holds up to its per-class bound forever.
+/// The cap bounds the arena's total footprint: when a hand-back would
+/// exceed it, whole least-recently-used classes are evicted (counted in
+/// [`ArenaStats::evicted_bytes`]) until the pool fits again.
+pub fn set_byte_cap_default(cap: Option<usize>) {
+    BYTE_CAP_DEFAULT.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The process-wide pooled-byte cap default for newly created arenas.
+pub fn byte_cap_default() -> Option<usize> {
+    match BYTE_CAP_DEFAULT.load(Ordering::Relaxed) {
+        0 => None,
+        cap => Some(cap),
+    }
+}
+
 /// Cumulative arena behaviour, for reuse assertions and reports.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ArenaStats {
@@ -101,12 +135,16 @@ pub struct ArenaStats {
     /// Elements whose default refill was skipped by uninit takes (served
     /// below a recycled buffer's write watermark).
     pub elided_elements: u64,
+    /// Pooled bytes freed by LRU-class eviction to honour the byte cap.
+    pub evicted_bytes: u64,
 }
 
 /// Type-erased access to one element type's bins.
 trait AnyPool: Send {
     fn class_count(&self) -> usize;
     fn buffer_count(&self) -> usize;
+    /// Drop every buffer of `class`, returning the bytes freed.
+    fn evict_class(&mut self, class: usize) -> u64;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
@@ -130,6 +168,16 @@ impl<T: StreamElement> AnyPool for TypedPool<T> {
     fn buffer_count(&self) -> usize {
         self.bins.values().map(Vec::len).sum()
     }
+    fn evict_class(&mut self, class: usize) -> u64 {
+        self.bins
+            .remove(&class)
+            .map(|bufs| {
+                bufs.iter()
+                    .map(|b| (b.capacity() * std::mem::size_of::<T>()) as u64)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
@@ -141,6 +189,14 @@ pub struct StreamArena {
     pools: HashMap<TypeId, Box<dyn AnyPool>>,
     enabled: bool,
     elision: bool,
+    /// Upper bound on total pooled bytes across every class; `None` is
+    /// unbounded.
+    byte_cap: Option<usize>,
+    /// Running total of pooled bytes (capacity × element size).
+    pooled_bytes: u64,
+    /// Classes in least-recently-used order (front = coldest). A class is
+    /// touched on every hand-back and every pool hit.
+    lru: Vec<(TypeId, usize)>,
     stats: ArenaStats,
 }
 
@@ -158,6 +214,9 @@ impl StreamArena {
             pools: HashMap::new(),
             enabled: pooling_default(),
             elision: elision_default(),
+            byte_cap: byte_cap_default(),
+            pooled_bytes: 0,
+            lru: Vec::new(),
             stats: ArenaStats::default(),
         }
     }
@@ -173,7 +232,27 @@ impl StreamArena {
         self.enabled = enabled;
         if !enabled {
             self.pools.clear();
+            self.lru.clear();
+            self.pooled_bytes = 0;
         }
+    }
+
+    /// The arena's total pooled-byte cap (`None` = unbounded).
+    pub fn byte_cap(&self) -> Option<usize> {
+        self.byte_cap
+    }
+
+    /// Set the total pooled-byte cap. Lowering it below the current
+    /// footprint evicts least-recently-used classes immediately.
+    pub fn set_byte_cap(&mut self, cap: Option<usize>) {
+        self.byte_cap = cap;
+        self.enforce_cap();
+    }
+
+    /// Total bytes currently held by pooled buffers (capacity × element
+    /// size, summed over every bin).
+    pub fn pooled_bytes(&self) -> u64 {
+        self.pooled_bytes
     }
 
     /// Whether uninit takes skip the default refill below the write
@@ -217,10 +296,48 @@ impl StreamArena {
         if !self.enabled {
             return None;
         }
-        self.pools
-            .get_mut(&TypeId::of::<T>())
-            .and_then(|p| p.as_any_mut().downcast_mut::<TypedPool<T>>())
-            .and_then(|pool| pool.bins.get_mut(&class).and_then(Vec::pop))
+        let key = (TypeId::of::<T>(), class);
+        let (popped, emptied) = {
+            let bin = self
+                .pools
+                .get_mut(&key.0)
+                .and_then(|p| p.as_any_mut().downcast_mut::<TypedPool<T>>())
+                .and_then(|pool| pool.bins.get_mut(&class))?;
+            (bin.pop(), bin.is_empty())
+        };
+        let buf = popped?;
+        self.pooled_bytes = self
+            .pooled_bytes
+            .saturating_sub((buf.capacity() * std::mem::size_of::<T>()) as u64);
+        if emptied {
+            self.lru.retain(|&k| k != key);
+        } else {
+            self.touch_lru(key);
+        }
+        Some(buf)
+    }
+
+    /// Mark `key` as the most-recently-used class.
+    fn touch_lru(&mut self, key: (TypeId, usize)) {
+        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+            self.lru.remove(pos);
+        }
+        self.lru.push(key);
+    }
+
+    /// Evict least-recently-used classes until the pool fits the cap.
+    fn enforce_cap(&mut self) {
+        let Some(cap) = self.byte_cap else { return };
+        while self.pooled_bytes > cap as u64 && !self.lru.is_empty() {
+            let (tid, class) = self.lru.remove(0);
+            let freed = self
+                .pools
+                .get_mut(&tid)
+                .map(|p| p.evict_class(class))
+                .unwrap_or(0);
+            self.pooled_bytes = self.pooled_bytes.saturating_sub(freed);
+            self.stats.evicted_bytes += freed;
+        }
     }
 
     /// An empty buffer with capacity for at least `min_capacity` elements —
@@ -324,8 +441,12 @@ impl StreamArena {
             self.stats.dropped += 1;
             return;
         }
+        let bytes = (cap * std::mem::size_of::<T>()) as u64;
         bin.push(v);
         self.stats.recycled += 1;
+        self.pooled_bytes += bytes;
+        self.touch_lru((TypeId::of::<T>(), class));
+        self.enforce_cap();
     }
 
     /// A stream of `len` default-initialized elements backed by a pooled
@@ -517,6 +638,90 @@ mod tests {
             512,
             "a same-class re-take must skip the whole refill"
         );
+    }
+
+    #[test]
+    fn byte_cap_evicts_the_coldest_class_first() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        // Two u32 classes: 64 (256 B per buffer) and 128 (512 B).
+        arena.put_vec(arena_vec::<u32>(64));
+        arena.put_vec(arena_vec::<u32>(128));
+        assert_eq!(arena.pooled_bytes(), 256 + 512);
+        // Touch class 64 so class 128 is the coldest.
+        let v = arena.take_vec::<u32>(64);
+        arena.put_vec(v);
+        // A cap below the current footprint evicts class 128 only.
+        arena.set_byte_cap(Some(300));
+        assert_eq!(arena.pooled_bytes(), 256);
+        assert_eq!(arena.stats().evicted_bytes, 512);
+        assert_eq!(arena.class_count(), 1);
+        let s = arena.stats();
+        // The surviving class still serves hits.
+        let _ = arena.take_vec::<u32>(64);
+        assert_eq!(arena.stats().hits, s.hits + 1);
+        // The evicted class misses (allocates) but works.
+        let big = arena.take_vec::<u32>(128);
+        assert_eq!(big.len(), 128);
+        assert_eq!(arena.stats().misses, s.misses + 1);
+    }
+
+    #[test]
+    fn byte_cap_bounds_a_mixed_size_soak() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_byte_cap(Some(4096));
+        // A "soak" cycling through many capacity classes: without the cap
+        // this pools 8 classes × 8 buffers each, far past 4096 bytes.
+        for round in 0..20 {
+            for log2 in 4..12 {
+                let v = arena.take_vec::<u32>(1 << log2);
+                arena.put_vec(v);
+            }
+            assert!(
+                arena.pooled_bytes() <= 4096,
+                "round {round}: {} bytes pooled",
+                arena.pooled_bytes()
+            );
+        }
+        assert!(arena.stats().evicted_bytes > 0);
+    }
+
+    #[test]
+    fn an_oversized_hand_back_is_evicted_immediately() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.set_byte_cap(Some(100));
+        arena.put_vec(arena_vec::<u32>(256)); // 1024 B > 100 B cap
+        assert_eq!(arena.pooled_bytes(), 0);
+        assert_eq!(arena.stats().evicted_bytes, 1024);
+        assert_eq!(arena.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn uncapped_arena_never_evicts() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        assert_eq!(arena.byte_cap(), None);
+        for log2 in 4..12 {
+            arena.put_vec(arena_vec::<u32>(1 << log2));
+        }
+        assert_eq!(arena.stats().evicted_bytes, 0);
+        assert_eq!(arena.class_count(), 8);
+    }
+
+    #[test]
+    fn pooled_bytes_tracks_takes_and_hand_backs() {
+        let mut arena = StreamArena::new();
+        arena.set_enabled(true);
+        arena.put_vec(arena_vec::<u32>(64));
+        assert_eq!(arena.pooled_bytes(), 256);
+        let v = arena.take_vec::<u32>(64);
+        assert_eq!(arena.pooled_bytes(), 0);
+        arena.put_vec(v);
+        assert_eq!(arena.pooled_bytes(), 256);
+        arena.set_enabled(false);
+        assert_eq!(arena.pooled_bytes(), 0);
     }
 
     #[test]

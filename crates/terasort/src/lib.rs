@@ -24,7 +24,11 @@
 //! * [`external_merge`] — the CPU multi-way merge of the runs;
 //! * [`pipeline`] — the [`pipeline::TeraSorter`] driver that combines the
 //!   stages and accounts time per phase, with or without I/O–compute
-//!   overlap.
+//!   overlap;
+//! * [`manifest`] — checkpointed run manifests: [`pipeline::TeraSorter::sort_durable`]
+//!   persists every sorted run and the merged output (with checksums and
+//!   key ranges) at the pipeline's two phase boundaries, so a crashed sort
+//!   resumes at the last completed level instead of re-sorting.
 //!
 //! ## Quick start
 //!
@@ -48,10 +52,12 @@
 pub mod disk;
 pub mod external_merge;
 pub mod keygen;
+pub mod manifest;
 pub mod pipeline;
 pub mod record;
 pub mod run_formation;
 
 pub use disk::{DiskProfile, DiskStats, FileId, SimulatedDisk};
-pub use pipeline::{CoreSorter, TeraSortConfig, TeraSortReport, TeraSorter};
+pub use manifest::{Manifest, ManifestError, RunEntry, Stage};
+pub use pipeline::{CoreSorter, DurableSortReport, TeraSortConfig, TeraSortReport, TeraSorter};
 pub use record::WideRecord;

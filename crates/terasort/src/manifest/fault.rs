@@ -1,0 +1,89 @@
+//! Crash-fault injection for the checkpoint path.
+//!
+//! A much smaller sibling of `sortsvc::wal::fault`: the recovery tests
+//! arm a one-shot [`FaultPlan`] at one of the defined checkpoint write
+//! points, the pipeline "crashes" there (a typed
+//! [`ManifestError::Injected`](super::ManifestError::Injected) unwinds
+//! the call), and the test then re-runs [`sort_durable`] against the
+//! same directory to prove the resume is byte-identical. Only the
+//! stop-and-unwind mode lives here — the hard `kill -9` variant
+//! exercises the service WAL, which shares the same temp-write/rename
+//! discipline.
+//!
+//! [`sort_durable`]: crate::pipeline::TeraSorter::sort_durable
+
+use std::sync::Mutex;
+
+/// Defined crash points in the checkpoint write path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Mid-write of a run/output data file (a torn data file, no
+    /// manifest referencing it yet).
+    RunData,
+    /// Mid-write of the manifest temp file (torn temp, rename never
+    /// happens).
+    TempWrite,
+    /// After the temp file is durable, before the rename (previous
+    /// manifest still in effect).
+    Rename,
+}
+
+impl FaultPoint {
+    /// Every defined point, for sweep tests.
+    pub fn all() -> [FaultPoint; 3] {
+        [
+            FaultPoint::RunData,
+            FaultPoint::TempWrite,
+            FaultPoint::Rename,
+        ]
+    }
+
+    /// Stable name for messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPoint::RunData => "run-data",
+            FaultPoint::TempWrite => "manifest-temp-write",
+            FaultPoint::Rename => "manifest-rename",
+        }
+    }
+}
+
+/// A one-shot armed crash: fire at the `after`-th hit of `point`
+/// (0 = the first).
+#[derive(Copy, Clone, Debug)]
+pub struct FaultPlan {
+    /// Where to crash.
+    pub point: FaultPoint,
+    /// How many hits of `point` to let through first.
+    pub after: u32,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Arm a one-shot plan. Replaces any armed plan.
+pub fn arm(plan: FaultPlan) {
+    *PLAN.lock().unwrap_or_else(|p| p.into_inner()) = Some(plan);
+}
+
+/// Disarm whatever is armed (tests call this in cleanup paths).
+pub fn disarm() {
+    *PLAN.lock().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+/// Should the checkpoint path crash at `point` right now? One-shot:
+/// returns `true` at most once per [`arm`].
+pub(crate) fn fire(point: FaultPoint) -> bool {
+    let mut guard = PLAN.lock().unwrap_or_else(|p| p.into_inner());
+    match guard.as_mut() {
+        Some(plan) if plan.point == point => {
+            if plan.after == 0 {
+                *guard = None;
+                true
+            } else {
+                plan.after -= 1;
+                false
+            }
+        }
+        _ => false,
+    }
+}
