@@ -46,5 +46,5 @@ pub mod verify;
 
 pub use config::{LayoutChoice, SortConfig};
 pub use sequential::{adaptive_bitonic_merge, adaptive_bitonic_sort, MergeVariant, SortStats};
-pub use stream_sort::sort::{GpuAbiSorter, SegmentedRun, SortRun};
+pub use stream_sort::sort::{GpuAbiSorter, SegmentedRun, SortRun, TopKRun};
 pub use tree::BitonicTree;

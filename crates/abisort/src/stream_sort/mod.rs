@@ -28,4 +28,4 @@ pub mod plan;
 pub mod sort;
 
 pub use plan::{BufferId, BufferRef, Op, PlanBuffers, PlanKey, SortPlan};
-pub use sort::{GpuAbiSorter, SegmentedRun, SortRun};
+pub use sort::{GpuAbiSorter, SegmentedRun, SortRun, TopKRun};

@@ -65,6 +65,30 @@ pub struct SegmentedRun {
     pub segments: usize,
 }
 
+/// The outcome of one top-k run: the `k` smallest values plus the
+/// cost-accounting artefacts (see [`GpuAbiSorter::top_k_run`]).
+#[derive(Clone, Debug)]
+pub struct TopKRun {
+    /// The `k` smallest values, ascending (fewer if the input was
+    /// shorter than `k`).
+    pub output: Vec<Value>,
+    /// Event counters accumulated by this run (the processor is reset at
+    /// the start of the run).
+    pub counters: Counters,
+    /// Simulated running time under the processor's hardware profile.
+    pub sim_time: SimTime,
+    /// Host wall-clock time spent executing the run.
+    pub wall_time: std::time::Duration,
+    /// The block size the bitonic recursion stopped at. Equal to
+    /// [`TopKRun::padded_len`] when the run degenerated to a full sort;
+    /// strictly smaller — skipping the merge levels above it — whenever
+    /// `2 · k` rounded up to a power of two is below the padded length.
+    pub block_len: usize,
+    /// The padded power-of-two problem size the stream program operated
+    /// on.
+    pub padded_len: usize,
+}
+
 impl GpuAbiSorter {
     /// Create a sorter with the given configuration.
     pub fn new(config: SortConfig) -> Self {
@@ -257,6 +281,117 @@ impl GpuAbiSorter {
             wall_time: started.elapsed(),
             segment_len,
             segments,
+        })
+    }
+
+    /// Return the `k` smallest values ascending, returning just the data.
+    pub fn top_k(
+        &self,
+        proc: &mut StreamProcessor,
+        values: &[Value],
+        k: usize,
+    ) -> Result<Vec<Value>> {
+        Ok(self.top_k_run(proc, values, k)?.output)
+    }
+
+    /// Return the `k` smallest values ascending, stopping the bitonic
+    /// recursion early, and return the full [`TopKRun`] record.
+    ///
+    /// The recursion of Listing 2 runs only up to level `log₂ b` where
+    /// `b = max(16, 2·k rounded up to a power of two)`: every
+    /// `b`-aligned block ends up sorted on its own (alternating
+    /// directions, Listings 3/4) while the merge levels *above* `b` —
+    /// which a full sort would still have to run — are skipped entirely.
+    /// The `k` smallest of the whole input are necessarily among the `k`
+    /// extremal elements of each sorted block, so the host-side readback
+    /// filters `k` candidates per block (the prefix of ascending blocks,
+    /// the reversed suffix of descending ones) and merges them by a
+    /// `k`-way selection.
+    ///
+    /// Because the skipped merge levels cost at least one stream
+    /// operation each (the workspace's `merge_blocks_is_the_tail_of_the_
+    /// full_recursion` test shows level costs are additive), the kernel
+    /// step count is *strictly* below a full sort's whenever `b` is
+    /// smaller than the padded input length.
+    pub fn top_k_run(
+        &self,
+        proc: &mut StreamProcessor,
+        values: &[Value],
+        k: usize,
+    ) -> Result<TopKRun> {
+        let started = std::time::Instant::now();
+        proc.reset();
+
+        let original_len = values.len();
+        let k = k.min(original_len);
+        if original_len <= 1 || k == 0 {
+            let mut output = values[..k].to_vec();
+            output.sort();
+            return Ok(TopKRun {
+                output,
+                counters: proc.counters(),
+                sim_time: proc.simulated_time(),
+                wall_time: started.elapsed(),
+                block_len: original_len,
+                padded_len: original_len,
+            });
+        }
+
+        let n = original_len.next_power_of_two();
+        // Stop the recursion at blocks of 2·k (min 16 so the Section 7
+        // optimizations stay applicable, max n when k is no longer small).
+        let block = (2 * k.next_power_of_two()).max(16).min(n);
+
+        let mut padded = proc.arena().take_capacity::<Value>(n);
+        padded.extend_from_slice(values);
+        for i in 0..(n - original_len) {
+            padded.push(Value::padding_sentinel(i));
+        }
+        let blocks = self.run_stream_program(proc, &padded, block.trailing_zeros())?;
+        proc.arena().put_vec(padded);
+
+        // Candidate runs: the k smallest of each block, ascending. Even
+        // blocks are sorted ascending (take the prefix), odd blocks
+        // descending (take the suffix, reversed) — the Listing 3/4
+        // alternating-direction convention. Padding sentinels are the
+        // maximum keys, so with k ≤ original_len they never make the cut.
+        let take = k.min(block);
+        let runs: Vec<Vec<Value>> = blocks
+            .chunks(block)
+            .enumerate()
+            .map(|(t, chunk)| {
+                if t % 2 == 0 {
+                    chunk[..take].to_vec()
+                } else {
+                    chunk[chunk.len() - take..].iter().rev().copied().collect()
+                }
+            })
+            .collect();
+
+        // Host-side k-way selection merge over the candidate runs.
+        let mut heap = std::collections::BinaryHeap::with_capacity(runs.len());
+        for (r, run) in runs.iter().enumerate() {
+            if let Some(&head) = run.first() {
+                heap.push(std::cmp::Reverse((head, r, 0usize)));
+            }
+        }
+        let mut output = Vec::with_capacity(k);
+        while output.len() < k {
+            let std::cmp::Reverse((value, r, i)) = heap.pop().expect("k candidates exist");
+            output.push(value);
+            if let Some(&next) = runs[r].get(i + 1) {
+                heap.push(std::cmp::Reverse((next, r, i + 1)));
+            }
+        }
+
+        let counters = proc.counters();
+        Ok(TopKRun {
+            output,
+            sim_time: proc.simulated_time(),
+            counters,
+            wall_time: started.elapsed(),
+            block_len: block,
+            padded_len: n,
         })
     }
 
@@ -869,6 +1004,76 @@ mod tests {
                 .output,
             expected
         );
+    }
+
+    #[test]
+    fn top_k_matches_the_sorted_prefix() {
+        for &(n, k) in &[
+            (1000usize, 10usize),
+            (1024, 1),
+            (1023, 16),
+            (256, 256),
+            (100, 200), // k > n clamps to n
+            (17, 5),
+            (2, 1),
+            (1, 1),
+            (0, 3),
+            (64, 0),
+        ] {
+            let input = workloads::uniform(n, (n + k) as u64);
+            let mut expected = input.clone();
+            expected.sort();
+            expected.truncate(k.min(n));
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .top_k_run(&mut proc, &input, k)
+                .expect("top-k failed");
+            assert_eq!(run.output, expected, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn top_k_matches_the_sorted_prefix_on_adversarial_distributions() {
+        for dist in Distribution::all_for_data_dependence() {
+            let input = workloads::generate(dist, 512, 13);
+            let mut expected = input.clone();
+            expected.sort();
+            expected.truncate(20);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+            let run = GpuAbiSorter::new(SortConfig::default())
+                .top_k_run(&mut proc, &input, 20)
+                .expect("top-k failed");
+            assert_eq!(run.output, expected, "{}", dist.name());
+        }
+    }
+
+    #[test]
+    fn top_k_does_strictly_fewer_kernel_steps_than_a_full_sort() {
+        // The acceptance claim: stopping the recursion at blocks of ~2k
+        // skips every merge level above them, so for k ≪ n the kernel
+        // step count is strictly below the full sort of the same input.
+        let n = 4096;
+        let input = workloads::uniform(n, 23);
+        let sorter = GpuAbiSorter::new(SortConfig::default());
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_6800());
+
+        let full = sorter.sort_run(&mut proc, &input).unwrap();
+        for k in [1usize, 8, 64] {
+            let top = sorter.top_k_run(&mut proc, &input, k).unwrap();
+            assert!(top.block_len < top.padded_len, "k={k} must stop early");
+            assert!(
+                top.counters.steps < full.counters.steps,
+                "k={k}: top-k ran {} steps, full sort {}",
+                top.counters.steps,
+                full.counters.steps
+            );
+            assert!(top.sim_time.total_ms < full.sim_time.total_ms);
+        }
+
+        // Once k stops being small the run degenerates to the full sort.
+        let large = sorter.top_k_run(&mut proc, &input, n).unwrap();
+        assert_eq!(large.block_len, large.padded_len);
+        assert_eq!(large.counters.steps, full.counters.steps);
     }
 
     #[test]

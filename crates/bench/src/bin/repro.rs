@@ -10,7 +10,7 @@
 //!   --experiment NAME     data-dependence | transfer | stream-ops | work |
 //!                         scaling | ablation | pram | terasort | padding |
 //!                         service | sharded | wallclock | netsoak |
-//!                         crashsoak
+//!                         crashsoak | typed
 //!   --scenario NAME       alias of --experiment (e.g. --scenario service)
 //!   --max-log-n K         cap the table sizes at 2^K (default 20; use 16
 //!                         for a quick run)
@@ -349,6 +349,15 @@ fn main() {
             overhead_jobs,
         )];
         println!("{}", bench::crashsoak::render_crashsoak(&report.crashsoak));
+    }
+
+    if wants("typed") {
+        eprintln!(
+            "running typed-query scenario E24 (codec layer: sorts, top-k, order-by, \
+             percentiles) …"
+        );
+        report.typed = bench::typed::typed_scenario(opts.max_log_n);
+        println!("{}", bench::typed::render_typed(&report.typed));
     }
 
     if let Some(path) = &opts.json {

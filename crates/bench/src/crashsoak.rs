@@ -181,6 +181,7 @@ pub fn crash_soak(rounds: usize, jobs_per_round: usize, overhead_jobs: usize) ->
             arrival_ms: 0.0,
             values: workloads::uniform(64, round as u64),
             hint: None,
+            kind: sortsvc::JobKind::Sort,
         };
         let torn = admit(&mut wal, &mut victim);
         assert!(

@@ -8,6 +8,7 @@ use crate::extended::{PaddingRow, PramRow, TeraSortRow};
 use crate::netsoak::NetSoakRow;
 use crate::service::ServiceRow;
 use crate::sharded::ShardedRow;
+use crate::typed::TypedRow;
 use crate::wallclock::WallClockRow;
 use serde::Serialize;
 
@@ -91,6 +92,8 @@ pub struct Report {
     pub netsoak: Vec<NetSoakRow>,
     /// Crash-soak rows (E23), if run.
     pub crashsoak: Vec<CrashSoakRow>,
+    /// Typed-query rows (E24), if run.
+    pub typed: Vec<TypedRow>,
 }
 
 fn fmt_ms(ms: f64) -> String {

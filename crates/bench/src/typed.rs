@@ -1,0 +1,205 @@
+//! E24 — typed query scenario (typed): drive the `sortsvc::keys` codec
+//! layer end-to-end through the service. Every row is one typed query —
+//! full sorts over `f32`/`i64` keys, a top-k with `k ≪ n`, an order-by
+//! over a generated columnar batch, and a percentile probe answered from
+//! the histogram — with its engine, simulated latency and dedup factor.
+//!
+//! The top-k rows additionally run the stream sorter directly (full sort
+//! versus early-exit top-k on the same input) and record both kernel-step
+//! counts; the scenario asserts the early exit does strictly fewer steps,
+//! which is the device-work saving the `TopK` job kind exists for.
+
+use abisort::{GpuAbiSorter, SortConfig};
+use serde::Serialize;
+use sortsvc::{ServiceConfig, TypedSortClient};
+use stream_arch::{GpuProfile, StreamProcessor};
+use workloads::ColumnBatch;
+
+/// One typed-scenario result row.
+#[derive(Clone, Debug, Serialize)]
+pub struct TypedRow {
+    /// The typed operation (`sort f32`, `top-k f32`, `order-by price`, …).
+    pub op: String,
+    /// Keys submitted.
+    pub n: usize,
+    /// `k` for top-k rows, 0 otherwise.
+    pub k: usize,
+    /// Engine the service dispatched the job to.
+    pub engine: String,
+    /// Simulated end-to-end latency (ms).
+    pub sim_ms: f64,
+    /// Distinct encoded keys the engines actually sorted (the codec layer
+    /// deduplicates; percentile rows keep the full multiset).
+    pub distinct: usize,
+    /// Kernel steps of the early-exit top-k run (top-k rows only).
+    pub topk_steps: u64,
+    /// Kernel steps of the full sort on the same input (top-k rows only).
+    pub full_steps: u64,
+}
+
+/// The deterministic seed the typed scenario uses.
+pub const TYPED_SEED: u64 = 2006;
+
+/// The `k` every top-k row fetches (small against every scenario size, so
+/// the early exit always has merge levels to skip).
+pub const TOP_K: usize = 16;
+
+fn row(op: &str, n: usize, k: usize, report: &sortsvc::TypedReport) -> TypedRow {
+    TypedRow {
+        op: op.into(),
+        n,
+        k,
+        engine: report.engine.name().into(),
+        sim_ms: report.latency_ms,
+        distinct: report.distinct,
+        topk_steps: 0,
+        full_steps: 0,
+    }
+}
+
+/// Run the typed scenario at one size: five typed queries through one
+/// shared client (one calibration), plus the direct step-count comparison
+/// for the top-k row.
+fn typed_at(client: &TypedSortClient, n: usize) -> Vec<TypedRow> {
+    let seed = TYPED_SEED ^ n as u64;
+    let base = workloads::uniform(n, seed);
+    let f32s: Vec<f32> = base.iter().map(|v| v.key).collect();
+    let i64s: Vec<i64> = base
+        .iter()
+        .map(|v| (v.key.to_bits() as i64).wrapping_mul(37) - (1 << 40))
+        .collect();
+
+    let mut rows = Vec::new();
+
+    let sorted = client.submit_keys(&f32s).expect("typed f32 sort");
+    assert!(
+        sorted
+            .keys
+            .windows(2)
+            .all(|w| w[0].total_cmp(&w[1]).is_le()),
+        "typed f32 sort must come back in total order"
+    );
+    rows.push(row("sort f32", n, 0, &sorted.report));
+
+    let sorted = client.submit_keys(&i64s).expect("typed i64 sort");
+    assert!(sorted.keys.windows(2).all(|w| w[0] <= w[1]));
+    rows.push(row("sort i64", n, 0, &sorted.report));
+
+    // Top-k through the service, plus the step-count comparison on the
+    // stream sorter itself: same input, full sort versus early exit.
+    let top = client.submit_top_k(&f32s, TOP_K).expect("typed top-k");
+    assert_eq!(top.keys.len(), TOP_K.min(n));
+    let mut trow = row("top-k f32", n, TOP_K, &top.report);
+    let sorter = GpuAbiSorter::new(SortConfig::default());
+    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+    let full = sorter.sort_run(&mut proc, &base).expect("full sort run");
+    let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+    let early = sorter
+        .top_k_run(&mut proc, &base, TOP_K)
+        .expect("top-k run");
+    assert!(
+        early.counters.steps < full.counters.steps,
+        "top-k (k = {TOP_K} ≪ n = {n}) must take strictly fewer kernel steps \
+         than the full sort ({} vs {})",
+        early.counters.steps,
+        full.counters.steps
+    );
+    trow.topk_steps = early.counters.steps;
+    trow.full_steps = full.counters.steps;
+    rows.push(trow);
+
+    let batch = ColumnBatch::generate(n, seed);
+    let order = client.order_by(&batch, "price").expect("typed order-by");
+    assert_eq!(order.permutation.len(), n);
+    rows.push(row("order-by price", n, 0, &order.report));
+
+    let pct = client
+        .submit_percentiles(&f32s, &[0.5, 0.99])
+        .expect("typed percentiles");
+    assert_eq!(pct.keys.len(), 2);
+    rows.push(row("percentile p50/p99", n, 0, &pct.report));
+
+    rows
+}
+
+/// Run the typed scenario at a small and a large size (the large one
+/// capped by `max_log_n`); one shared calibration across every row.
+pub fn typed_scenario(max_log_n: u32) -> Vec<TypedRow> {
+    let client = TypedSortClient::new(ServiceConfig::default());
+    let mut rows = typed_at(&client, 1 << 10);
+    let large = max_log_n.clamp(11, 16);
+    rows.extend(typed_at(&client, 1 << large));
+    rows
+}
+
+/// Render the typed rows as a report table.
+pub fn render_typed(rows: &[TypedRow]) -> String {
+    let mut out =
+        String::from("E24 — typed queries through the key-codec layer (simulated latency)\n");
+    out.push_str(&format!(
+        "{:>20} | {:>8} | {:>4} | {:>13} | {:>10} | {:>8} | {:>11} | {:>10}\n",
+        "op", "n", "k", "engine", "sim [ms]", "distinct", "top-k steps", "full steps"
+    ));
+    for row in rows {
+        let steps = |s: u64| {
+            if s == 0 {
+                "—".to_string()
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&format!(
+            "{:>20} | {:>8} | {:>4} | {:>13} | {:>10.3} | {:>8} | {:>11} | {:>10}\n",
+            row.op,
+            row.n,
+            if row.k == 0 {
+                "—".to_string()
+            } else {
+                row.k.to_string()
+            },
+            row.engine,
+            row.sim_ms,
+            row.distinct,
+            steps(row.topk_steps),
+            steps(row.full_steps),
+        ));
+    }
+    out.push_str(
+        "(top-k rows also run the stream sorter directly on the same input; the scenario \
+         asserts the early-exit run takes strictly fewer kernel steps than the full sort)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_scenario_covers_every_op_and_wins_on_steps() {
+        let rows = typed_scenario(11);
+        assert_eq!(rows.len(), 10, "five ops at two sizes");
+        for op in [
+            "sort f32",
+            "sort i64",
+            "top-k f32",
+            "order-by price",
+            "percentile p50/p99",
+        ] {
+            assert_eq!(rows.iter().filter(|r| r.op == op).count(), 2, "{op}");
+        }
+        for row in &rows {
+            assert!(row.sim_ms.is_finite() && row.sim_ms >= 0.0);
+            assert!(row.distinct > 0);
+            if row.op.starts_with("top-k") {
+                assert!(row.topk_steps > 0 && row.topk_steps < row.full_steps);
+            }
+            if row.op.starts_with("percentile") {
+                assert_eq!(row.engine, "cpu-quicksort");
+            }
+        }
+        let rendered = render_typed(&rows);
+        assert!(rendered.contains("typed queries"));
+        assert!(rendered.contains("order-by price"));
+    }
+}

@@ -10,13 +10,14 @@
 //! sorted output is unique under the total order — which the workspace's
 //! property tests assert.
 
-use crate::job::SortJob;
+use crate::job::{JobKind, SortJob};
+use crate::keys::{encoded_to_record, encoded_to_value, record_to_encoded, value_to_encoded};
 use crate::policy::{Engine, SortPolicy};
 use crate::shard::ShardedSorter;
 use abisort::GpuAbiSorter;
 use baselines::{CpuSortModel, CpuSorter};
-use stream_arch::{Counters, Result, StreamProcessor, Value};
-use terasort::{record::KEY_BYTES, SimulatedDisk, TeraSortConfig, TeraSorter, WideRecord};
+use stream_arch::{Counters, LogHistogram, Result, StreamProcessor, Value};
+use terasort::{SimulatedDisk, TeraSortConfig, TeraSorter, WideRecord};
 
 /// Smallest segment the coalescer uses. 16 keeps the Section 7
 /// optimizations (8-element local sort, 16-element fixed merge) applicable
@@ -163,6 +164,9 @@ pub fn execute(
     policy: &SortPolicy,
     tera: &TeraSortConfig,
 ) -> Result<BatchOutcome> {
+    if let Some(outcome) = execute_query(plan, proc, sorter, policy, tera)? {
+        return Ok(outcome);
+    }
     if plan.engine == Engine::ShardedGpu {
         return execute_sharded(plan, std::slice::from_mut(proc), sharder);
     }
@@ -182,6 +186,93 @@ pub fn execute(
         shard_skew: 0.0,
         outputs,
     })
+}
+
+/// Execute the solo query kinds (top-k, percentile) that bypass the plain
+/// segmented sort. Returns `None` for sort/order-by plans (and for
+/// coalesced multi-job batches, which by construction carry only
+/// coalescing kinds), which fall through to the engine dispatch in
+/// [`execute`].
+fn execute_query(
+    plan: &BatchPlan,
+    proc: &mut StreamProcessor,
+    sorter: &GpuAbiSorter,
+    policy: &SortPolicy,
+    tera: &TeraSortConfig,
+) -> Result<Option<BatchOutcome>> {
+    let kind = match plan.jobs.as_slice() {
+        [job] => job.kind.clone(),
+        _ => return Ok(None),
+    };
+    let started = std::time::Instant::now();
+    let (duration_ms, counters, outputs) = match kind {
+        JobKind::Sort | JobKind::OrderBy => return Ok(None),
+        JobKind::TopK(k) => execute_top_k(plan, proc, sorter, policy, tera, k)?,
+        JobKind::Percentile(qs) => execute_percentile(plan, policy, &qs),
+    };
+    Ok(Some(BatchOutcome {
+        id: plan.id,
+        duration_ms,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+        counters,
+        shards: 0,
+        shard_skew: 0.0,
+        outputs,
+    }))
+}
+
+/// Top-k execution. On the GPU engine the bitonic recursion stops early
+/// via [`GpuAbiSorter::top_k_run`] — strictly fewer kernel steps than a
+/// full sort whenever `2 * k.next_power_of_two() < n` (asserted by the
+/// abisort tests). Any other engine the planner picked (e.g. terasort for
+/// an out-of-core job) sorts fully and truncates.
+fn execute_top_k(
+    plan: &BatchPlan,
+    proc: &mut StreamProcessor,
+    sorter: &GpuAbiSorter,
+    policy: &SortPolicy,
+    tera: &TeraSortConfig,
+    k: usize,
+) -> Result<(f64, Counters, Vec<Vec<Value>>)> {
+    let job = &plan.jobs[0];
+    match plan.engine {
+        Engine::GpuAbiSort | Engine::ShardedGpu => {
+            let run = sorter.top_k_run(proc, &job.values, k)?;
+            let counters = proc.take_counters();
+            Ok((run.sim_time.total_ms, counters, vec![run.output]))
+        }
+        Engine::CpuQuicksort => {
+            let (duration_ms, counters, mut outputs) = execute_cpu(plan, policy.cpu_model());
+            outputs[0].truncate(k);
+            Ok((duration_ms, counters, outputs))
+        }
+        Engine::TeraSort => {
+            let (duration_ms, counters, mut outputs) = execute_tera(plan, tera, policy)?;
+            outputs[0].truncate(k);
+            Ok((duration_ms, counters, outputs))
+        }
+    }
+}
+
+/// Percentile execution: one streaming pass folds the encoded keys into a
+/// [`LogHistogram`], then each requested quantile decodes back into the
+/// `Value` domain through [`encoded_to_value`]. No engine sorts anything;
+/// the simulated duration is the policy's linear scan estimate.
+fn execute_percentile(
+    plan: &BatchPlan,
+    policy: &SortPolicy,
+    quantiles: &[f64],
+) -> (f64, Counters, Vec<Vec<Value>>) {
+    let job = &plan.jobs[0];
+    let mut hist = LogHistogram::new();
+    for v in &job.values {
+        hist.record(value_to_encoded(v) as f64);
+    }
+    let output = quantiles
+        .iter()
+        .map(|&q| encoded_to_value(hist.quantile(q) as u64))
+        .collect();
+    (policy.est_scan_ms(job.len()), Counters::new(), vec![output])
 }
 
 /// Execute a sharded batch over the pooled processors backing its reserved
@@ -276,54 +367,39 @@ fn execute_tera(
         }
         let mut disk = SimulatedDisk::new(*policy.tera_disk());
         let input = disk.create(&format!("job-{}", job.id));
-        let records: Vec<WideRecord> = job.values.iter().map(value_to_record).collect();
+        let records: Vec<WideRecord> = job
+            .values
+            .iter()
+            .map(|v| encoded_to_record(value_to_encoded(v), v.id as u64))
+            .collect();
         disk.append(input, &records);
         let report = TeraSorter::new(tera.clone()).sort(&mut disk, input)?;
         duration_ms += report.total_ms;
         outputs.push(
             disk.read_all(report.output)
                 .iter()
-                .map(record_to_value)
+                .map(|r| encoded_to_value(record_to_encoded(r)))
                 .collect(),
         );
     }
     Ok((duration_ms, Counters::new(), outputs))
 }
 
-/// Monotone bijection from `f32` under `total_cmp` to `u32` under integer
-/// order (the standard sign-flip trick), so wide keys sort records exactly
-/// like [`Value::total_cmp`] sorts values.
-fn total_order_bits(key: f32) -> u32 {
-    let b = key.to_bits();
-    if b & 0x8000_0000 != 0 {
-        !b
-    } else {
-        b | 0x8000_0000
-    }
-}
-
 /// Embed a [`Value`] into a [`WideRecord`] whose wide key preserves the
-/// total order (used by the terasort route; public so differential tests
-/// can drive the out-of-core pipeline with `Value` inputs).
+/// total order. Superseded by the codec layer: this is exactly
+/// [`crate::keys::encoded_to_record`] over [`crate::keys::value_to_encoded`]
+/// (the sign-flip trick now lives in the `f32` [`crate::keys::SortKey`]
+/// impl), kept as a shim for one release so downstream code migrates.
+#[deprecated(note = "use sortsvc::keys::{value_to_encoded, encoded_to_record}")]
 pub fn value_to_record(v: &Value) -> WideRecord {
-    let mut key = [0u8; KEY_BYTES];
-    key[..4].copy_from_slice(&total_order_bits(v.key).to_be_bytes());
-    key[4..8].copy_from_slice(&v.id.to_be_bytes());
-    WideRecord::new(key, v.id as u64)
+    encoded_to_record(value_to_encoded(v), v.id as u64)
 }
 
-/// Invert [`value_to_record`].
+/// Invert [`value_to_record`]. Superseded by
+/// [`crate::keys::record_to_encoded`] + [`crate::keys::encoded_to_value`].
+#[deprecated(note = "use sortsvc::keys::{record_to_encoded, encoded_to_value}")]
 pub fn record_to_value(r: &WideRecord) -> Value {
-    let bits = u32::from_be_bytes(r.key[..4].try_into().expect("4 key bytes"));
-    let raw = if bits & 0x8000_0000 != 0 {
-        bits & 0x7FFF_FFFF
-    } else {
-        !bits
-    };
-    Value::new(
-        f32::from_bits(raw),
-        u32::from_be_bytes(r.key[4..8].try_into().expect("4 id bytes")),
-    )
+    encoded_to_value(record_to_encoded(r))
 }
 
 #[cfg(test)]
@@ -494,9 +570,89 @@ mod tests {
         values.push(Value::new(f32::INFINITY, 303));
         let mut by_value = values.clone();
         by_value.sort();
-        let mut by_record: Vec<WideRecord> = values.iter().map(value_to_record).collect();
+        let mut by_record: Vec<WideRecord> = values
+            .iter()
+            .map(|v| encoded_to_record(value_to_encoded(v), v.id as u64))
+            .collect();
         by_record.sort();
-        let back: Vec<Value> = by_record.iter().map(record_to_value).collect();
+        let back: Vec<Value> = by_record
+            .iter()
+            .map(|r| encoded_to_value(record_to_encoded(r)))
+            .collect();
         assert_eq!(back, by_value);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_codec_layer_bit_for_bit() {
+        let mut values = workloads::uniform(128, 11);
+        values.push(Value::new(f32::NEG_INFINITY, 200));
+        values.push(Value::new(-0.0, 201));
+        values.push(Value::new(0.0, 202));
+        for v in &values {
+            let via_keys = encoded_to_record(value_to_encoded(v), v.id as u64);
+            assert_eq!(value_to_record(v), via_keys);
+            assert_eq!(record_to_value(&via_keys), *v);
+        }
+    }
+
+    #[test]
+    fn top_k_plan_returns_the_k_smallest_on_gpu_and_fallback_engines() {
+        let k = 7;
+        for engine in [Engine::GpuAbiSort, Engine::CpuQuicksort, Engine::TeraSort] {
+            let job = SortJob::new(0, 0, workloads::uniform(300, 13))
+                .with_kind(crate::job::JobKind::TopK(k));
+            let mut expected = job.values.clone();
+            expected.sort();
+            expected.truncate(k);
+            let plan = plan(vec![job], engine);
+            let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+            let out = execute(
+                &plan,
+                &mut proc,
+                &GpuAbiSorter::new(SortConfig::default()),
+                &ShardedSorter::default(),
+                shared_policy(),
+                &TeraSortConfig {
+                    run_size: 128,
+                    ..TeraSortConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(out.outputs, vec![expected.clone()], "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn percentile_plan_answers_from_the_histogram_without_sorting() {
+        let job = SortJob::new(0, 0, workloads::uniform(4096, 21))
+            .with_kind(crate::job::JobKind::Percentile(vec![0.25, 0.5, 0.99]));
+        let mut sorted = job.values.clone();
+        sorted.sort();
+        let plan = plan(vec![job], Engine::CpuQuicksort);
+        let mut proc = StreamProcessor::new(GpuProfile::geforce_7800());
+        let out = execute(
+            &plan,
+            &mut proc,
+            &GpuAbiSorter::new(SortConfig::default()),
+            &ShardedSorter::default(),
+            shared_policy(),
+            &TeraSortConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.counters.launches, 0, "no device work");
+        let answers = &out.outputs[0];
+        assert_eq!(answers.len(), 3);
+        // The log-histogram is approximate: each answer must land within
+        // its bucket's relative-error bound of the exact quantile key.
+        for (&q, approx) in [0.25, 0.5, 0.99].iter().zip(answers) {
+            let exact = sorted[((q * sorted.len() as f64).ceil() as usize).max(1) - 1];
+            let e = value_to_encoded(&exact) as f64;
+            let a = value_to_encoded(approx) as f64;
+            assert!(
+                (a - e).abs() <= 0.05 * e.abs().max(1.0),
+                "q={q}: approx {a} too far from exact {e}"
+            );
+        }
     }
 }

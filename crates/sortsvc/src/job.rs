@@ -10,6 +10,51 @@ pub type JobId = u64;
 /// Identifier of a tenant (client) of the service.
 pub type TenantId = u32;
 
+/// What a job asks the service to compute over its records.
+///
+/// Plain sorts coalesce into segmented batches as before. The typed
+/// query kinds ride the same admission → planner → engine pipeline but
+/// are dispatched solo (their outputs are not full sorted segments, so
+/// they cannot share a device submission with plain sorts).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum JobKind {
+    /// Sort the records ascending (the classic service workload).
+    #[default]
+    Sort,
+    /// Return only the `k` smallest records, ascending. On the GPU
+    /// engine the bitonic recursion stops early (see
+    /// `GpuAbiSorter::top_k_run`), doing strictly fewer kernel steps
+    /// than a full sort when `k` is small relative to the job.
+    TopK(usize),
+    /// Sort a `(column key, row index)` encoding and return the row
+    /// permutation; execution is a plain sort, but results are counted
+    /// separately and the ids carry the permutation.
+    OrderBy,
+    /// Approximate rank/percentile queries served from a
+    /// `LogHistogram` over the encoded keys instead of a sort; one
+    /// output record per requested quantile in `(0, 1]`.
+    Percentile(Vec<f64>),
+}
+
+impl JobKind {
+    /// Short name for metrics and diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Sort => "sort",
+            JobKind::TopK(_) => "top-k",
+            JobKind::OrderBy => "order-by",
+            JobKind::Percentile(_) => "percentile",
+        }
+    }
+
+    /// Whether jobs of this kind may share a coalesced batch with other
+    /// jobs. Only full sorts (including order-by, which *is* a full
+    /// sort) produce per-segment sorted output, so only they coalesce.
+    pub fn coalesces(&self) -> bool {
+        matches!(self, JobKind::Sort | JobKind::OrderBy)
+    }
+}
+
 /// One client sort request: a batch of value/pointer records plus the
 /// metadata the admission queue and policy engine act on.
 ///
@@ -38,6 +83,8 @@ pub struct SortJob {
     /// data dependent, so the hint shifts the CPU-cost estimate; the GPU
     /// engines are data independent).
     pub hint: Option<Distribution>,
+    /// What to compute over the records (defaults to a full sort).
+    pub kind: JobKind,
 }
 
 impl SortJob {
@@ -49,6 +96,7 @@ impl SortJob {
             arrival_ms: 0.0,
             values,
             hint: None,
+            kind: JobKind::Sort,
         }
     }
 
@@ -64,6 +112,12 @@ impl SortJob {
         self
     }
 
+    /// Builder-style: set the job kind (top-k, order-by, percentile).
+    pub fn with_kind(mut self, kind: JobKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
     /// Convert a generated [`workloads::Request`] into a job. The request's
     /// distribution becomes the policy hint.
     pub fn from_request(id: JobId, request: Request) -> Self {
@@ -73,6 +127,7 @@ impl SortJob {
             arrival_ms: request.arrival_ms,
             values: request.values,
             hint: Some(request.dist),
+            kind: JobKind::Sort,
         }
     }
 
@@ -110,7 +165,13 @@ pub struct JobResult {
     pub id: JobId,
     /// The job's tenant.
     pub tenant: TenantId,
-    /// The sorted records (ascending; same multiset as the input).
+    /// What the job computed (sort, top-k, order-by, percentile).
+    pub kind: JobKind,
+    /// The job's output records. For [`JobKind::Sort`] and
+    /// [`JobKind::OrderBy`] this is the full sorted input (ascending,
+    /// same multiset); for [`JobKind::TopK`] the `k` smallest records
+    /// ascending; for [`JobKind::Percentile`] one record per requested
+    /// quantile.
     pub output: Vec<Value>,
     /// Which engine sorted the job.
     pub engine: Engine,
@@ -147,7 +208,20 @@ mod tests {
         assert_eq!(job.bytes(), 80);
         assert_eq!(job.arrival_ms, 2.5);
         assert_eq!(job.hint, Some(Distribution::Sorted));
+        assert_eq!(job.kind, JobKind::Sort);
         assert!(SortJob::new(0, 0, vec![]).is_empty());
+    }
+
+    #[test]
+    fn job_kinds_route_and_name() {
+        let job = SortJob::new(0, 0, workloads::uniform(8, 1)).with_kind(JobKind::TopK(3));
+        assert_eq!(job.kind, JobKind::TopK(3));
+        assert!(!job.kind.coalesces());
+        assert!(JobKind::Sort.coalesces());
+        assert!(JobKind::OrderBy.coalesces());
+        assert!(!JobKind::Percentile(vec![0.5]).coalesces());
+        assert_eq!(JobKind::TopK(1).name(), "top-k");
+        assert_eq!(JobKind::default(), JobKind::Sort);
     }
 
     #[test]

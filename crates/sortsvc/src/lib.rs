@@ -16,6 +16,12 @@
 //! * [`batch`] — the coalescer: many small jobs become one *segmented*
 //!   device submission via [`abisort::GpuAbiSorter::sort_segments_run`],
 //!   paying the stream operations of a single segment for the whole batch;
+//! * [`keys`] — the [`SortKey`] codec layer: order-preserving encodings of
+//!   floats, signed ints, composite tuples, and bounded strings into the
+//!   u64 / `WideRecord` domain the engines sort natively (`docs/KEYS.md`);
+//! * [`typed`] — the typed submission surface built on those codecs:
+//!   [`TypedSortClient::submit_keys`], top-k, order-by over columnar
+//!   batches, and percentile queries;
 //! * [`policy`] — the engine-selection policy with a crossover calibrated
 //!   against the service's [`stream_arch::GpuProfile`];
 //! * [`shard`] — the [`ShardedSorter`] multi-device engine: splitter
@@ -60,6 +66,7 @@
 
 pub mod batch;
 pub mod job;
+pub mod keys;
 pub mod metrics;
 pub mod net;
 pub mod policy;
@@ -67,10 +74,12 @@ pub mod queue;
 pub mod service;
 pub mod shard;
 pub mod telemetry;
+pub mod typed;
 pub mod wal;
 
 pub use batch::{BatchOutcome, BatchPlan};
-pub use job::{JobId, JobResult, RejectReason, SortJob, TenantId};
+pub use job::{JobId, JobKind, JobResult, RejectReason, SortJob, TenantId};
+pub use keys::{EncodedBatch, KeyError, SortKey, StrKey, StringDictionary, WideKey};
 pub use metrics::ServiceMetrics;
 pub use net::{
     ClientConfig, RetryPolicy, RetryingClient, ServerConfig, ServerStats, SortClient, SortServer,
@@ -79,4 +88,5 @@ pub use policy::{Engine, PolicyConfig, SortPolicy};
 pub use queue::{AdmissionController, TenantQueues};
 pub use service::{BatchSummary, RecoveredService, ServiceConfig, ServiceReport, SortService};
 pub use shard::{ShardedConfig, ShardedRun, ShardedSorter};
+pub use typed::{order_by, OrderByResult, TypedReport, TypedResult, TypedSortClient};
 pub use wal::{AdmittedJob, Wal, WalConfig, WalError};

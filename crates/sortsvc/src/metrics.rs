@@ -63,6 +63,12 @@ pub struct ServiceMetrics {
     pub sharded_jobs: usize,
     /// Jobs executed by the out-of-core terasort engine.
     pub tera_jobs: usize,
+    /// Top-k query jobs completed (early-exit bitonic recursion).
+    pub topk_jobs: usize,
+    /// Order-by jobs completed (typed permutation sorts).
+    pub orderby_jobs: usize,
+    /// Percentile query jobs completed (histogram pass, no sort).
+    pub percentile_jobs: usize,
     /// Batches that spread over several device slots.
     pub sharded_batches: usize,
     /// Worst splitter skew observed across sharded batches (largest

@@ -58,6 +58,54 @@ impl Default for ClientConfig {
     }
 }
 
+/// Builder-style setters (the workspace-wide `with_*` convention).
+///
+/// ```
+/// use sortsvc::net::{ClientConfig, PayloadEncoding};
+///
+/// let config = ClientConfig::default()
+///     .with_tenant(7)
+///     .with_encoding(PayloadEncoding::Json);
+/// assert_eq!(config.tenant, 7);
+/// ```
+impl ClientConfig {
+    /// Set the tenant id stamped on submissions.
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Set the payload encoding.
+    pub fn with_encoding(mut self, encoding: PayloadEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Set the job-count auto-flush threshold.
+    pub fn with_flush_jobs(mut self, jobs: usize) -> Self {
+        self.flush_jobs = jobs;
+        self
+    }
+
+    /// Set the byte-size auto-flush threshold.
+    pub fn with_flush_bytes(mut self, bytes: usize) -> Self {
+        self.flush_bytes = bytes;
+        self
+    }
+
+    /// Set the maximum frame payload the client will read.
+    pub fn with_max_frame_bytes(mut self, bytes: u32) -> Self {
+        self.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Set the response thread's socket read timeout.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+}
+
 /// The server's answer to one job.
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobReply {
@@ -179,6 +227,71 @@ impl JobTicket {
     }
 }
 
+/// The typed counterpart of [`JobReply`]: decoded keys or a rejection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypedReply<K: crate::keys::SortKey> {
+    /// The job completed; the sorted keys with duplicate multiplicities
+    /// restored.
+    Sorted(Vec<K>),
+    /// The job was turned away (same semantics as
+    /// [`JobReply::Rejected`]).
+    Rejected {
+        /// Why the server refused the job.
+        code: ErrorCode,
+        /// Advisory back-off before a retry, milliseconds (0 = no hint).
+        retry_after_ms: u32,
+    },
+}
+
+impl<K: crate::keys::SortKey> TypedReply<K> {
+    /// The sorted keys, if the job completed.
+    pub fn sorted(self) -> Option<Vec<K>> {
+        match self {
+            TypedReply::Sorted(keys) => Some(keys),
+            TypedReply::Rejected { .. } => None,
+        }
+    }
+}
+
+/// A [`JobTicket`] for a typed submission: holds the duplicate
+/// multiplicities recorded at encode time so the wire reply can be
+/// decoded back into the caller's key domain.
+pub struct TypedTicket<K: crate::keys::SortKey> {
+    ticket: JobTicket,
+    batch: crate::keys::EncodedBatch<K>,
+}
+
+impl<K: crate::keys::SortKey> TypedTicket<K> {
+    /// The wire job id of the submission.
+    pub fn job_id(&self) -> u64 {
+        self.ticket.job_id()
+    }
+
+    /// Non-blocking: the decoded reply if the server has answered.
+    pub fn poll(&self) -> Option<TypedReply<K>> {
+        self.ticket.poll().map(|r| self.decode(r))
+    }
+
+    /// Block until the reply arrives (or `timeout` passes / the
+    /// connection dies) and decode it.
+    pub fn wait_timeout(&self, timeout: Duration) -> io::Result<TypedReply<K>> {
+        Ok(self.decode(self.ticket.wait_timeout(timeout)?))
+    }
+
+    fn decode(&self, reply: JobReply) -> TypedReply<K> {
+        match reply {
+            JobReply::Sorted(values) => TypedReply::Sorted(self.batch.decode_sorted(&values)),
+            JobReply::Rejected {
+                code,
+                retry_after_ms,
+            } => TypedReply::Rejected {
+                code,
+                retry_after_ms,
+            },
+        }
+    }
+}
+
 /// A buffering client for the framed-TCP sorting protocol.
 ///
 /// ```no_run
@@ -280,6 +393,25 @@ impl SortClient {
             shared: self.shared.clone(),
             job_id,
         })
+    }
+
+    /// Submit typed keys over the wire. The order-preserving encodings
+    /// ride the existing SUBMIT frame as raw [`Value`] bit patterns —
+    /// [`PayloadEncoding::RawLe`] is forced regardless of the configured
+    /// default, because the NaN-keyed values typed codecs produce only
+    /// survive a bit-exact encoding. Duplicate keys are deduplicated
+    /// before transmission (the engines need distinct elements) and
+    /// re-expanded when the reply is decoded by
+    /// [`TypedTicket::wait_timeout`].
+    pub fn submit_keys<K: crate::keys::SortKey>(
+        &mut self,
+        keys: &[K],
+    ) -> io::Result<TypedTicket<K>> {
+        let mut batch = crate::keys::EncodedBatch::new(keys);
+        let values = batch.take_values();
+        let tenant = self.config.tenant;
+        let ticket = self.submit_with(values, tenant, PayloadEncoding::RawLe)?;
+        Ok(TypedTicket { ticket, batch })
     }
 
     /// Write every buffered submission to the socket.

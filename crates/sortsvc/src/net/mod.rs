@@ -53,7 +53,7 @@ pub mod frame;
 pub mod retry;
 pub mod server;
 
-pub use client::{ClientConfig, JobReply, JobTicket, SortClient};
+pub use client::{ClientConfig, JobReply, JobTicket, SortClient, TypedReply, TypedTicket};
 pub use error::ErrorCode;
 pub use frame::{
     ErrorPayload, Frame, FrameError, FramePoll, FrameReader, FrameType, PayloadEncoding,

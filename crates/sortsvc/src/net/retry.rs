@@ -62,6 +62,49 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Builder-style setters (the workspace-wide `with_*` convention).
+///
+/// ```
+/// use sortsvc::net::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let policy = RetryPolicy::default()
+///     .with_max_attempts(3)
+///     .with_base(Duration::from_millis(5));
+/// assert_eq!(policy.max_attempts, 3);
+/// ```
+impl RetryPolicy {
+    /// Set the first-retry backoff.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Set the backoff cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Set the attempts per job before giving up.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Set the per-attempt reply timeout.
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Set the deterministic jitter seed.
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+}
+
 impl RetryPolicy {
     /// The delay before retry number `attempt` (0-based) when the server
     /// hinted `retry_after_ms` (0 = no hint): the jittered, capped

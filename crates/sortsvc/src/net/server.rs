@@ -126,6 +126,66 @@ impl Default for ServerConfig {
     }
 }
 
+/// Builder-style setters (the workspace-wide `with_*` convention).
+///
+/// ```
+/// use sortsvc::net::ServerConfig;
+///
+/// let config = ServerConfig::default()
+///     .with_max_pending_jobs(64)
+///     .with_max_batch_jobs(16);
+/// assert_eq!(config.max_pending_jobs, 64);
+/// ```
+impl ServerConfig {
+    /// Set the in-process service configuration.
+    pub fn with_service(mut self, service: ServiceConfig) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Set the micro-batch window.
+    pub fn with_batch_window(mut self, window: Duration) -> Self {
+        self.batch_window = window;
+        self
+    }
+
+    /// Set the maximum submissions per micro-batch.
+    pub fn with_max_batch_jobs(mut self, jobs: usize) -> Self {
+        self.max_batch_jobs = jobs;
+        self
+    }
+
+    /// Set the wire-level backpressure bound.
+    pub fn with_max_pending_jobs(mut self, jobs: usize) -> Self {
+        self.max_pending_jobs = jobs;
+        self
+    }
+
+    /// Set the maximum records per job.
+    pub fn with_max_job_elements(mut self, elements: usize) -> Self {
+        self.max_job_elements = elements;
+        self
+    }
+
+    /// Enable Chrome-trace export to `path` at shutdown.
+    pub fn with_trace_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Enable the durability tier in `dir`.
+    pub fn with_durability_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.durability_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the WAL tuning used with [`ServerConfig::durability_dir`].
+    pub fn with_wal(mut self, wal: WalConfig) -> Self {
+        self.wal = wal;
+        self
+    }
+}
+
 /// A point-in-time snapshot of a running server.
 #[derive(Clone, Debug, Serialize)]
 pub struct ServerStats {
@@ -278,6 +338,9 @@ impl Shared {
             gpu_jobs: s.gpu_jobs,
             sharded_jobs: s.sharded_jobs,
             tera_jobs: s.tera_jobs,
+            topk_jobs: s.topk_jobs,
+            orderby_jobs: s.orderby_jobs,
+            percentile_jobs: s.percentile_jobs,
             sharded_batches: s.sharded_batches,
             shard_skew_max: s.shard_skew_max,
             device_busy_ms: s.device_busy_ms,
@@ -326,6 +389,9 @@ struct StatsInner {
     gpu_jobs: usize,
     sharded_jobs: usize,
     tera_jobs: usize,
+    topk_jobs: usize,
+    orderby_jobs: usize,
+    percentile_jobs: usize,
     sharded_batches: usize,
     shard_skew_max: f64,
     // Streaming distributions over every completed job. Unlike the
@@ -354,6 +420,9 @@ impl StatsInner {
         self.gpu_jobs += m.gpu_jobs;
         self.sharded_jobs += m.sharded_jobs;
         self.tera_jobs += m.tera_jobs;
+        self.topk_jobs += m.topk_jobs;
+        self.orderby_jobs += m.orderby_jobs;
+        self.percentile_jobs += m.percentile_jobs;
         self.sharded_batches += m.sharded_batches;
         self.shard_skew_max = self.shard_skew_max.max(m.shard_skew_max);
         for b in &report.batches {
@@ -880,6 +949,9 @@ fn run_batch(
             arrival_ms: sub.received.duration_since(started).as_secs_f64() * 1e3,
             values: std::mem::take(&mut sub.values),
             hint: None,
+            // The SUBMIT payload carries no kind; wire jobs are plain
+            // sorts (typed clients encode/decode around them).
+            kind: crate::job::JobKind::Sort,
         })
         .collect();
 

@@ -369,6 +369,29 @@ impl SortPolicy {
         &self.tera_disk
     }
 
+    /// Estimated simulated time of a GPU top-k over `len` elements: the
+    /// early-exit recursion (`GpuAbiSorter::top_k_run`) sorts
+    /// `padded / block` independent blocks of `block` elements — exactly
+    /// the segmented-batch shape, priced by the same fitted model as
+    /// [`Self::est_gpu_batch_ms`]. The block size mirrors the sorter:
+    /// `min(max(2·2^⌈log₂k⌉, 16), padded)`.
+    pub fn est_top_k_ms(&self, len: usize, k: usize) -> f64 {
+        if len < 2 {
+            return 0.0;
+        }
+        let padded = len.next_power_of_two();
+        let k = k.clamp(1, len);
+        let block = (2 * k.next_power_of_two()).max(16).min(padded);
+        self.est_gpu_batch_ms(block, padded / block)
+    }
+
+    /// Estimated (and charged) duration of one linear streaming pass over
+    /// `len` elements — the percentile histogram fold. Priced as the CPU
+    /// sort model with the `log n` comparison factor stripped.
+    pub fn est_scan_ms(&self, len: usize) -> f64 {
+        self.cpu_ms_per_elem_log * len as f64
+    }
+
     /// The same calibration with the crossover forced to `n`: engine
     /// selection then uses the size rule alone (`Some(0)` pins everything
     /// to the GPU — the coalescing-ablation knob).
@@ -515,6 +538,19 @@ mod tests {
         assert_eq!(a.crossover(), b.crossover());
         assert_eq!(a.est_cpu_ms(1000, None), b.est_cpu_ms(1000, None));
         assert_eq!(a.est_gpu_batch_ms(256, 8), b.est_gpu_batch_ms(256, 8));
+    }
+
+    #[test]
+    fn top_k_and_scan_estimates_undercut_the_full_sort() {
+        let p = policy();
+        let n = 1 << 16;
+        // Early-exit top-k stops at small blocks: far fewer fitted steps
+        // and a much smaller per-element L² body than the full recursion.
+        assert!(p.est_top_k_ms(n, 8) < p.est_gpu_batch_ms(n, 1));
+        // A histogram pass is one linear scan — cheaper than any sort.
+        assert!(p.est_scan_ms(n) < p.est_cpu_ms(n, None));
+        assert_eq!(p.est_top_k_ms(1, 5), 0.0);
+        assert_eq!(p.est_scan_ms(0), 0.0);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! phases 2–3 charge *measured* simulated durations.
 
 use crate::batch::{self, BatchBuilder, BatchOutcome, BatchPlan};
-use crate::job::{JobId, JobResult, RejectReason, SortJob};
+use crate::job::{JobId, JobKind, JobResult, RejectReason, SortJob};
 use crate::metrics::{ratio, ServiceMetrics};
 use crate::policy::{Engine, PolicyConfig, SortPolicy};
 use crate::queue::{AdmissionController, TenantQueues};
@@ -92,6 +92,67 @@ impl Default for ServiceConfig {
             shard_slots: 0,
             shard_oversample: 8,
         }
+    }
+}
+
+/// Builder-style setters (the workspace-wide `with_*` convention; every
+/// config type in the facade prelude offers the same shape).
+///
+/// ```
+/// use sortsvc::ServiceConfig;
+///
+/// let config = ServiceConfig::default()
+///     .with_device_slots(4)
+///     .with_coalescing(false);
+/// assert_eq!(config.device_slots, 4);
+/// ```
+impl ServiceConfig {
+    /// Set the hardware profile of every device slot.
+    pub fn with_profile(mut self, profile: GpuProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Set the number of device slots.
+    pub fn with_device_slots(mut self, slots: usize) -> Self {
+        self.device_slots = slots;
+        self
+    }
+
+    /// Enable or disable coalescing.
+    pub fn with_coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
+    /// Set the maximum padded elements per coalesced batch.
+    pub fn with_max_batch_elements(mut self, elements: usize) -> Self {
+        self.max_batch_elements = elements;
+        self
+    }
+
+    /// Set the batch window (simulated milliseconds).
+    pub fn with_batch_window_ms(mut self, ms: f64) -> Self {
+        self.batch_window_ms = ms;
+        self
+    }
+
+    /// Set the solo-dispatch cutoff (elements).
+    pub fn with_large_job_cutoff(mut self, elements: usize) -> Self {
+        self.large_job_cutoff = elements;
+        self
+    }
+
+    /// Set the policy calibration knobs.
+    pub fn with_policy_config(mut self, policy: PolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the slots one sharded batch may reserve.
+    pub fn with_shard_slots(mut self, slots: usize) -> Self {
+        self.shard_slots = slots;
+        self
     }
 }
 
@@ -340,6 +401,7 @@ impl SortService {
         let mut capacity_total = 0.0f64;
         let (mut cpu_jobs, mut gpu_jobs, mut sharded_jobs, mut tera_jobs) =
             (0usize, 0usize, 0usize, 0usize);
+        let (mut topk_jobs, mut orderby_jobs, mut percentile_jobs) = (0usize, 0usize, 0usize);
         let mut sharded_batches = 0usize;
         let mut shard_skew_max = 0.0f64;
 
@@ -387,9 +449,16 @@ impl SortService {
                     Engine::ShardedGpu => sharded_jobs += 1,
                     Engine::TeraSort => tera_jobs += 1,
                 }
+                match job.kind {
+                    JobKind::Sort => {}
+                    JobKind::TopK(_) => topk_jobs += 1,
+                    JobKind::OrderBy => orderby_jobs += 1,
+                    JobKind::Percentile(_) => percentile_jobs += 1,
+                }
                 results.push(JobResult {
                     id: job.id,
                     tenant: job.tenant,
+                    kind: job.kind.clone(),
                     output,
                     engine: plan.engine,
                     batch: plan.id,
@@ -444,6 +513,9 @@ impl SortService {
             gpu_jobs,
             sharded_jobs,
             tera_jobs,
+            topk_jobs,
+            orderby_jobs,
+            percentile_jobs,
             sharded_batches,
             shard_skew_max,
             device_busy_ms: busy,
@@ -505,6 +577,9 @@ impl SortService {
                 arrival_ms: j.arrival_ms,
                 values: j.values.clone(),
                 hint: j.hint,
+                // The wire/WAL record format predates job kinds; everything
+                // recovered replays as a plain sort.
+                kind: JobKind::Sort,
             })
             .collect();
 
@@ -634,8 +709,10 @@ impl Planner<'_> {
         let class = batch::segment_for(job.len());
         // A job whose padded segment alone exceeds the batch bound cannot
         // be coalesced without violating it — it goes solo like any large
-        // job.
+        // job. Non-coalescing kinds (top-k, percentile) always go solo:
+        // their outputs are not full sorted segments.
         if !self.config.coalescing
+            || !job.kind.coalesces()
             || job.len() >= self.solo_cutoff
             || class > self.config.max_batch_elements
         {
@@ -699,10 +776,31 @@ impl Planner<'_> {
     fn schedule(&mut self, jobs: Vec<SortJob>, segment_len: usize, segments: usize, now: f64) {
         let lens_hints: Vec<(usize, Option<Distribution>)> =
             jobs.iter().map(|j| (j.len(), j.hint)).collect();
-        let engine = self.policy.select_batch(&lens_hints, segment_len, segments);
-        let est_ms = self
-            .policy
-            .est_batch_ms(engine, &lens_hints, segment_len, segments);
+        // Query kinds always dispatch solo (see `on_arrival`), so the
+        // kind of the first job decides for the whole batch. Top-k needs
+        // the early-exit bitonic recursion only the single-device GPU
+        // engine implements (out-of-core jobs still fall back to terasort
+        // + truncate); percentiles are a host histogram pass, labelled as
+        // CPU work.
+        let engine = match jobs.first().map(|j| &j.kind) {
+            Some(JobKind::TopK(_)) => {
+                match self.policy.select_single(jobs[0].len(), jobs[0].hint) {
+                    Engine::TeraSort => Engine::TeraSort,
+                    _ => Engine::GpuAbiSort,
+                }
+            }
+            Some(JobKind::Percentile(_)) => Engine::CpuQuicksort,
+            _ => self.policy.select_batch(&lens_hints, segment_len, segments),
+        };
+        let est_ms = match jobs.first().map(|j| &j.kind) {
+            Some(&JobKind::TopK(k)) if engine == Engine::GpuAbiSort => {
+                self.policy.est_top_k_ms(jobs[0].len(), k)
+            }
+            Some(JobKind::Percentile(_)) => self.policy.est_scan_ms(jobs[0].len()),
+            _ => self
+                .policy
+                .est_batch_ms(engine, &lens_hints, segment_len, segments),
+        };
 
         // A sharded batch reserves one slot per shard; everything else
         // pins to the single slot with the earliest estimated free time.

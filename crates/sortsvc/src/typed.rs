@@ -1,0 +1,368 @@
+//! The typed submission surface: sort anything with a [`SortKey`] codec.
+//!
+//! [`TypedSortClient`] is the redesigned front door of the service. Where
+//! [`crate::SortService`] speaks raw [`Value`] records, the typed client
+//! accepts domain keys — floats, signed integers, composite tuples,
+//! bounded strings — encodes them through the order-preserving codecs in
+//! [`crate::keys`], runs them through the same admission → coalescer →
+//! engine pipeline, and decodes the results back into the caller's
+//! domain. On top of plain sorts it exposes the query kinds of
+//! [`JobKind`]:
+//!
+//! * [`TypedSortClient::submit_keys`] — a full typed sort;
+//! * [`TypedSortClient::submit_top_k`] — the `k` smallest keys via the
+//!   early-exit bitonic recursion (strictly fewer kernel steps than a
+//!   full sort for small `k`);
+//! * [`TypedSortClient::submit_percentiles`] — approximate quantiles from
+//!   a histogram pass, no sort at all;
+//! * [`TypedSortClient::order_by`] — the row permutation that sorts one
+//!   column of a [`workloads::ColumnBatch`].
+//!
+//! Duplicate keys are legal everywhere: the adaptive bitonic engines
+//! require *distinct* elements (Section 4 of the paper), so the client
+//! dedups duplicate encodings on the way in ([`EncodedBatch`]) and
+//! re-expands multiplicities on the way out.
+
+use crate::job::{JobKind, SortJob};
+use crate::keys::{key_to_value, value_to_key, EncodedBatch, SortKey};
+use crate::metrics::ServiceMetrics;
+use crate::policy::Engine;
+use crate::service::{ServiceConfig, SortService};
+use stream_arch::{Result, StreamElement, StreamError, Value};
+use workloads::{Column, ColumnBatch};
+
+/// Per-submission metadata the typed surface reports alongside the
+/// decoded keys.
+#[derive(Clone, Debug)]
+pub struct TypedReport {
+    /// What the job computed.
+    pub kind: JobKind,
+    /// Which engine executed it.
+    pub engine: Engine,
+    /// Simulated end-to-end latency of the job.
+    pub latency_ms: f64,
+    /// Distinct encoded keys the engines actually sorted.
+    pub distinct: usize,
+    /// Keys submitted (including duplicates).
+    pub total: usize,
+    /// Full metrics of the service run that carried the job.
+    pub metrics: ServiceMetrics,
+}
+
+/// The decoded outcome of one typed submission.
+#[derive(Clone, Debug)]
+pub struct TypedResult<K: SortKey> {
+    /// The decoded keys: the full sorted multiset for a sort, the `k`
+    /// smallest for a top-k, one approximate key per quantile for a
+    /// percentile query.
+    pub keys: Vec<K>,
+    /// Submission metadata.
+    pub report: TypedReport,
+}
+
+/// The outcome of an order-by query: a row permutation, not key data.
+#[derive(Clone, Debug)]
+pub struct OrderByResult {
+    /// Row indices in ascending key order: `permutation[0]` is the row
+    /// with the smallest key. Applying it to every column of the batch
+    /// yields the table sorted by the queried column.
+    pub permutation: Vec<u32>,
+    /// Submission metadata.
+    pub report: TypedReport,
+}
+
+/// The typed front door of the sorting service.
+///
+/// ```
+/// use sortsvc::{ServiceConfig, TypedSortClient};
+///
+/// let client = TypedSortClient::new(ServiceConfig::default());
+/// let result = client
+///     .submit_keys(&[3.5f32, f32::NAN, -0.0, 0.0, -3.5])
+///     .unwrap();
+/// // IEEE total order: -3.5 < -0.0 < 0.0 < 3.5 < NaN.
+/// assert_eq!(&result.keys[..3], &[-3.5, -0.0, 0.0]);
+/// assert_eq!(result.keys[3], 3.5);
+/// assert!(result.keys[4].is_nan());
+/// ```
+pub struct TypedSortClient {
+    service: SortService,
+}
+
+impl TypedSortClient {
+    /// Build a client around a freshly calibrated service.
+    pub fn new(config: ServiceConfig) -> Self {
+        TypedSortClient {
+            service: SortService::new(config),
+        }
+    }
+
+    /// Build a client around an existing service (shares its calibration).
+    pub fn with_service(service: SortService) -> Self {
+        TypedSortClient { service }
+    }
+
+    /// The underlying service.
+    pub fn service(&self) -> &SortService {
+        &self.service
+    }
+
+    /// Sort typed keys ascending in their native order. Returns the full
+    /// multiset — duplicates come back with their multiplicities.
+    pub fn submit_keys<K: SortKey>(&self, keys: &[K]) -> Result<TypedResult<K>> {
+        let mut batch = EncodedBatch::new(keys);
+        let (distinct, total) = (batch.distinct(), batch.total());
+        let job = SortJob::new(0, 0, batch.take_values());
+        let (output, report) = self.run_solo(job, distinct, total)?;
+        Ok(TypedResult {
+            keys: batch.decode_sorted(&output),
+            report,
+        })
+    }
+
+    /// The `k` smallest keys, ascending (with duplicate multiplicities;
+    /// `k` is clamped to the input length). On the GPU engine this stops
+    /// the bitonic recursion early instead of sorting everything.
+    pub fn submit_top_k<K: SortKey>(&self, keys: &[K], k: usize) -> Result<TypedResult<K>> {
+        let k = k.min(keys.len());
+        let mut batch = EncodedBatch::new(keys);
+        let (distinct, total) = (batch.distinct(), batch.total());
+        // k distinct encodings always expand to >= k keys, so the device
+        // never fetches more candidates than the answer needs.
+        let device_k = batch.distinct_for_top_k(k);
+        let job = SortJob::new(0, 0, batch.take_values()).with_kind(JobKind::TopK(device_k));
+        let (output, report) = self.run_solo(job, distinct, total)?;
+        Ok(TypedResult {
+            keys: batch.decode_prefix(&output, k),
+            report,
+        })
+    }
+
+    /// Approximate quantiles (`0 < q <= 1`) of the typed keys, one
+    /// decoded key per requested quantile, served from a streaming
+    /// histogram over the encodings — no sort happens. The answer's
+    /// encoding is within the histogram's bucket resolution (~1.6%
+    /// relative error on the encoded value) of the exact quantile.
+    pub fn submit_percentiles<K: SortKey>(
+        &self,
+        keys: &[K],
+        quantiles: &[f64],
+    ) -> Result<TypedResult<K>> {
+        // No engine sorts anything, so duplicates go straight through —
+        // the histogram wants the true multiset.
+        let values: Vec<Value> = keys.iter().map(key_to_value).collect();
+        let total = values.len();
+        let job = SortJob::new(0, 0, values).with_kind(JobKind::Percentile(quantiles.to_vec()));
+        let (output, report) = self.run_solo(job, total, total)?;
+        Ok(TypedResult {
+            keys: output.iter().map(value_to_key).collect(),
+            report,
+        })
+    }
+
+    /// The row permutation sorting `batch` by the named column
+    /// (ascending, ties broken by row index — a stable order-by).
+    pub fn order_by(&self, batch: &ColumnBatch, column: &str) -> Result<OrderByResult> {
+        let col = batch
+            .column(column)
+            .ok_or_else(|| StreamError::IrregularAccessPattern {
+                detail: format!("order-by column {column:?} not in batch"),
+            })?;
+        match col {
+            Column::F32(keys) => order_by(&self.service, keys),
+            Column::I32(keys) => order_by(&self.service, keys),
+            Column::U32(keys) => order_by(&self.service, keys),
+        }
+    }
+
+    /// Run one job through the service and unpack its single result.
+    fn run_solo(
+        &self,
+        job: SortJob,
+        distinct: usize,
+        total: usize,
+    ) -> Result<(Vec<Value>, TypedReport)> {
+        let kind = job.kind.clone();
+        let len = job.len();
+        let report = self.service.process(vec![job])?;
+        let result = match report.results.into_iter().next() {
+            Some(r) => r,
+            // A solo job is only ever turned away for memory pressure;
+            // surface that as the nearest stream-capacity error.
+            None => {
+                return Err(StreamError::StreamTooLarge {
+                    elements: len,
+                    max_elements: self.service.config().max_inflight_bytes / Value::BYTES,
+                })
+            }
+        };
+        debug_assert_eq!(result.kind, kind);
+        Ok((
+            result.output,
+            TypedReport {
+                kind,
+                engine: result.engine,
+                latency_ms: result.latency_ms,
+                distinct,
+                total,
+                metrics: report.metrics,
+            },
+        ))
+    }
+}
+
+/// The permutation core of the order-by path, usable with any 32-bit-or-
+/// narrower [`SortKey`]: each row becomes the composite key
+/// `(key, row index)` — the codec packs the key into the high bits and
+/// the index into the low bits, so the encodings are all distinct (no
+/// dedup pass) and ties sort stably by row. The returned report counts
+/// the submission as one [`JobKind::OrderBy`] job.
+pub fn order_by<K: SortKey>(service: &SortService, keys: &[K]) -> Result<OrderByResult> {
+    assert!(
+        keys.len() <= u32::MAX as usize,
+        "order-by rows must fit a u32 index"
+    );
+    let values: Vec<Value> = keys
+        .iter()
+        .enumerate()
+        .map(|(row, k)| key_to_value(&(*k, row as u32)))
+        .collect();
+    let total = values.len();
+    let job = SortJob::new(0, 0, values).with_kind(JobKind::OrderBy);
+    let len = job.len();
+    let report = service.process(vec![job])?;
+    let result = match report.results.into_iter().next() {
+        Some(r) => r,
+        None => {
+            return Err(StreamError::StreamTooLarge {
+                elements: len,
+                max_elements: service.config().max_inflight_bytes / Value::BYTES,
+            })
+        }
+    };
+    let permutation = result
+        .output
+        .iter()
+        .map(|v| value_to_key::<(K, u32)>(v).1)
+        .collect();
+    Ok(OrderByResult {
+        permutation,
+        report: TypedReport {
+            kind: JobKind::OrderBy,
+            engine: result.engine,
+            latency_ms: result.latency_ms,
+            distinct: total,
+            total,
+            metrics: report.metrics,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::StrKey;
+
+    fn client() -> TypedSortClient {
+        TypedSortClient::new(ServiceConfig::default())
+    }
+
+    #[test]
+    fn typed_sort_handles_duplicates_and_special_floats() {
+        let client = client();
+        let keys = [2.5f32, f32::NAN, 2.5, -0.0, 0.0, f32::NEG_INFINITY, 2.5];
+        let result = client.submit_keys(&keys).unwrap();
+        assert_eq!(result.keys.len(), keys.len());
+        assert!(result.keys[0] == f32::NEG_INFINITY);
+        // total_cmp order, NaN last, duplicates preserved.
+        let mut expected = keys.to_vec();
+        expected.sort_by(|a, b| a.total_cmp(b));
+        let cmp: Vec<u32> = result.keys.iter().map(|k| k.to_bits()).collect();
+        let exp: Vec<u32> = expected.iter().map(|k| k.to_bits()).collect();
+        assert_eq!(cmp, exp);
+        assert_eq!(result.report.total, 7);
+        assert_eq!(result.report.distinct, 5);
+        assert_eq!(result.report.kind, JobKind::Sort);
+    }
+
+    #[test]
+    fn typed_top_k_returns_the_k_smallest_signed_ints() {
+        let client = client();
+        let keys: Vec<i64> = (0..500)
+            .map(|i| ((i * 2_654_435_761_u64 as i64) % 1000) - 500)
+            .collect();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        expected.truncate(10);
+        let result = client.submit_top_k(&keys, 10).unwrap();
+        assert_eq!(result.keys, expected);
+        assert_eq!(result.report.kind, JobKind::TopK(10));
+        assert_eq!(result.report.metrics.topk_jobs, 1);
+    }
+
+    #[test]
+    fn typed_percentiles_come_from_the_histogram() {
+        let client = client();
+        let keys: Vec<u32> = (1..=10_000).collect();
+        let result = client.submit_percentiles(&keys, &[0.1, 0.5, 0.9]).unwrap();
+        assert_eq!(result.keys.len(), 3);
+        for (q, &approx) in [0.1f64, 0.5, 0.9].iter().zip(&result.keys) {
+            let exact = q * 10_000.0;
+            assert!(
+                (approx as f64 - exact).abs() <= 0.05 * exact,
+                "q={q}: {approx} vs {exact}"
+            );
+        }
+        assert_eq!(result.report.metrics.percentile_jobs, 1);
+        assert_eq!(result.report.engine, Engine::CpuQuicksort);
+    }
+
+    #[test]
+    fn order_by_returns_a_stable_permutation_per_column() {
+        let client = client();
+        let batch = ColumnBatch::generate(300, 17);
+        for column in ["price", "delta", "ts"] {
+            let result = client.order_by(&batch, column).unwrap();
+            let perm = &result.permutation;
+            // It is a permutation...
+            let mut seen = perm.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..300).collect::<Vec<u32>>(), "{column}");
+            // ...that sorts the column stably.
+            match batch.column(column).unwrap() {
+                Column::F32(v) => assert_stable_sorted(perm, v, |a, b| a.total_cmp(b)),
+                Column::I32(v) => assert_stable_sorted(perm, v, |a, b| a.cmp(b)),
+                Column::U32(v) => assert_stable_sorted(perm, v, |a, b| a.cmp(b)),
+            }
+            assert_eq!(result.report.metrics.orderby_jobs, 1);
+        }
+        assert!(client.order_by(&batch, "nope").is_err());
+    }
+
+    fn assert_stable_sorted<T: Copy>(
+        perm: &[u32],
+        col: &[T],
+        cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+    ) {
+        for w in perm.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ord = cmp(&col[a as usize], &col[b as usize]);
+            assert!(
+                ord == std::cmp::Ordering::Less || (ord == std::cmp::Ordering::Equal && a < b),
+                "rows {a},{b} out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn typed_strings_sort_lexicographically() {
+        let client = client();
+        let words = ["pear", "apple", "", "zz", "apples!", "Apple"];
+        let keys: Vec<StrKey> = words.iter().map(|w| StrKey::new(w).unwrap()).collect();
+        let result = client.submit_keys(&keys).unwrap();
+        let sorted: Vec<&str> = result.keys.iter().map(|k| k.as_str()).collect();
+        let mut expected = words.to_vec();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+}

@@ -107,7 +107,8 @@ fn stats_json_shape_is_pinned() {
 \"latency_mean_ms\": 0.0,\n    \"latency_p50_ms\": 1.25,\n    \"latency_p99_ms\": 0.0,\n    \
 \"queue_mean_ms\": 0.0,\n    \"mean_batch_occupancy\": 0.0,\n    \
 \"mean_jobs_per_batch\": 0.0,\n    \"cpu_jobs\": 0,\n    \"gpu_jobs\": 0,\n    \
-\"sharded_jobs\": 0,\n    \"tera_jobs\": 0,\n    \"sharded_batches\": 0,\n    \
+\"sharded_jobs\": 0,\n    \"tera_jobs\": 0,\n    \"topk_jobs\": 0,\n    \
+\"orderby_jobs\": 0,\n    \"percentile_jobs\": 0,\n    \"sharded_batches\": 0,\n    \
 \"shard_skew_max\": 0.0,\n    \"device_busy_ms\": 0.0,\n    \"device_utilization\": 0.0,\n    \
 \"wall_ms\": 0.0,\n    \"policy_crossover\": 0,\n    \"recovered_jobs\": 0,\n    \
 \"replayed_bytes\": 0,\n    \"torn_tail_truncated\": 0,\n    \

@@ -21,9 +21,11 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use stream_arch::Value;
 
+pub mod columnar;
 pub mod mix;
 pub mod records;
 
+pub use columnar::{Column, ColumnBatch};
 pub use mix::{Request, RequestMix, SizeClass};
 
 /// The input distributions used by the experiments.

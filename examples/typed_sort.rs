@@ -1,0 +1,115 @@
+//! Typed-sort quick-start: submit native-typed keys — floats with NaN,
+//! signed integers, composite tuples, short strings — through the
+//! order-preserving codec layer, and run the query-shaped job kinds the
+//! typed API adds: top-k, order-by over a columnar batch, and percentile
+//! probes answered from a histogram instead of a sort.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example typed_sort [-- <n>]
+//! ```
+
+use gpu_abisort::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
+
+    // One service (calibrated once) behind the typed client.
+    let client = TypedSortClient::new(ServiceConfig::default());
+
+    // --- floats, including the values plain `sort_by(partial_cmp)` chokes on
+    let mut floats: Vec<f32> = workloads::uniform(n, 42).iter().map(|v| v.key).collect();
+    floats.extend([f32::NAN, -0.0, 0.0, f32::NEG_INFINITY]);
+    let sorted = client.submit_keys(&floats).expect("f32 sort");
+    println!(
+        "sorted {} f32 keys ({} distinct) on {} in {:.3} ms (simulated); first = {}, last = {:?}",
+        sorted.report.total,
+        sorted.report.distinct,
+        sorted.report.engine.name(),
+        sorted.report.latency_ms,
+        sorted.keys[0],
+        sorted.keys.last().unwrap(), // NaN sorts above +inf in IEEE total order
+    );
+
+    // --- signed integers: the sign-flip codec keeps negatives first
+    let ints: Vec<i64> = floats
+        .iter()
+        .take(n)
+        .map(|f| (f.to_bits() as i64) - (1 << 31))
+        .collect();
+    let sorted = client.submit_keys(&ints).expect("i64 sort");
+    println!(
+        "sorted {} i64 keys: min = {}, max = {}",
+        sorted.report.total,
+        sorted.keys[0],
+        sorted.keys.last().unwrap()
+    );
+
+    // --- composite keys: lexicographic (bucket, score) without a comparator
+    let pairs: Vec<(i32, u32)> = ints
+        .iter()
+        .map(|&i| ((i % 7) as i32, (i.unsigned_abs() % 1_000) as u32))
+        .collect();
+    let sorted = client.submit_keys(&pairs).expect("tuple sort");
+    println!(
+        "sorted {} (i32, u32) tuples: first bucket = {}, last bucket = {}",
+        sorted.report.total,
+        sorted.keys[0].0,
+        sorted.keys.last().unwrap().0
+    );
+
+    // --- strings: the 8-byte prefix codec rides the same engines
+    let words = ["pear", "apple", "quince", "fig", "apple", "banana"];
+    let keys: Vec<StrKey> = words
+        .iter()
+        .map(|w| StrKey::new(w).expect("short ASCII"))
+        .collect();
+    let sorted = client.submit_keys(&keys).expect("string sort");
+    let sorted_words: Vec<&str> = sorted.keys.iter().map(StrKey::as_str).collect();
+    println!("sorted strings: {sorted_words:?}");
+
+    // --- top-k: the bitonic recursion stops early instead of sorting n
+    let k = 8;
+    let top = client.submit_top_k(&floats, k).expect("top-k");
+    println!(
+        "top-{k} of {} floats on {} in {:.3} ms (simulated): {:?}",
+        top.report.total,
+        top.report.engine.name(),
+        top.report.latency_ms,
+        top.keys
+    );
+
+    // --- order-by: a permutation over a columnar batch, ties kept stable
+    let batch = workloads::ColumnBatch::generate(n, 7);
+    let order = client.order_by(&batch, "price").expect("order-by");
+    println!(
+        "order-by \"price\" over {} rows: first row index = {}, metrics: {} order-by jobs",
+        batch.rows(),
+        order.permutation[0],
+        order.report.metrics.orderby_jobs
+    );
+
+    // --- percentiles: answered from a streaming histogram, no sort at all.
+    // The log-bucketed histogram resolves keys that span decades (counts,
+    // latencies, prices in cents — see docs/KEYS.md for the resolution
+    // guarantee), so probe a latency-shaped integer domain.
+    let micros: Vec<u32> = floats
+        .iter()
+        .take(n)
+        .map(|f| (f * f * f * 1_000_000.0) as u32 + 50)
+        .collect();
+    let pct = client
+        .submit_percentiles(&micros, &[0.5, 0.99])
+        .expect("percentiles");
+    println!(
+        "latency p50 ≈ {} µs, p99 ≈ {} µs on {} (histogram pass, {:.3} ms simulated)",
+        pct.keys[0],
+        pct.keys[1],
+        pct.report.engine.name(),
+        pct.report.latency_ms
+    );
+}

@@ -50,14 +50,18 @@ pub use workloads;
 
 /// The most commonly used types, importable with a single `use`.
 pub mod prelude {
+    pub use abisort::TopKRun;
     pub use abisort::{
         adaptive_bitonic_sort, BitonicTree, GpuAbiSorter, LayoutChoice, MergeVariant, SortConfig,
     };
     pub use baselines::{CpuSorter, GpuSortBaseline, OddEvenMergeSort, PeriodicBalancedSort};
     pub use pram::{PramModel, PramStats};
     pub use sortsvc::{
-        ClientConfig, Engine, ServerConfig, ServiceConfig, ShardedConfig, ShardedSorter,
-        SortClient, SortJob, SortPolicy, SortServer, SortService,
+        ClientConfig, EncodedBatch, Engine, JobKind, JobResult, KeyError, OrderByResult,
+        PolicyConfig, RetryPolicy, RetryingClient, ServerConfig, ServiceConfig, ServiceMetrics,
+        ShardedConfig, ShardedSorter, SortClient, SortJob, SortKey, SortPolicy, SortServer,
+        SortService, StrKey, StringDictionary, TypedReport, TypedResult, TypedSortClient,
+        WalConfig, WideKey,
     };
     pub use stream_arch::{
         ExecMode, GpuProfile, Layout, Node, StreamProcessor, TransferModel, Value,

@@ -20,8 +20,11 @@
 //! and reproducible.
 
 use gpu_abisort::prelude::*;
-use gpu_abisort::sortsvc::batch::{record_to_value, value_to_record};
+use gpu_abisort::sortsvc::keys::{
+    encoded_to_record, encoded_to_value, record_to_encoded, value_to_encoded,
+};
 use gpu_abisort::{abisort, pram, terasort};
+use std::cmp::Ordering;
 
 /// A named engine adapter. `max_len` bounds the sizes an engine is asked
 /// to sort so the debug-mode suite stays fast: the O(n log² n) networks
@@ -155,7 +158,10 @@ fn engines() -> Vec<EngineCase> {
                 }
                 let mut disk = SimulatedDisk::new(terasort::DiskProfile::hdd_2006());
                 let input = disk.create("conformance-input");
-                let records: Vec<terasort::WideRecord> = v.iter().map(value_to_record).collect();
+                let records: Vec<terasort::WideRecord> = v
+                    .iter()
+                    .map(|v| encoded_to_record(value_to_encoded(v), v.id as u64))
+                    .collect();
                 disk.append(input, &records);
                 let report = TeraSorter::new(TeraSortConfig {
                     run_size: 2048,
@@ -165,7 +171,7 @@ fn engines() -> Vec<EngineCase> {
                 .expect("terasort failed");
                 disk.read_all(report.output)
                     .iter()
-                    .map(record_to_value)
+                    .map(|r| encoded_to_value(record_to_encoded(r)))
                     .collect()
             }),
         ),
@@ -261,4 +267,155 @@ fn all_engines_agree_on_non_power_of_two_inputs() {
 #[test]
 fn uncapped_engines_agree_at_ten_k() {
     run_matrix(&[10_000]);
+}
+
+// ---------------------------------------------------------------------------
+// Typed conformance: every `SortKey` codec, sorted through the service, must
+// agree with `std` sorting the *decoded* domain under the type's native total
+// order. Divergence here means the codec broke order-isomorphism somewhere
+// between encode, the engines, and decode.
+// ---------------------------------------------------------------------------
+
+/// Sizes for the typed matrix: empty, singleton, pair, odd, and a size that
+/// exercises real bitonic recursion depth.
+const TYPED_SIZES: [usize; 5] = [0, 1, 2, 37, 1000];
+
+fn typed_matrix<K, D, C>(client: &TypedSortClient, name: &str, derive: D, native: C)
+where
+    K: SortKey + Clone + std::fmt::Debug,
+    D: Fn(&Value) -> K,
+    C: Fn(&K, &K) -> Ordering + Copy,
+{
+    for (d, dist) in distributions().into_iter().enumerate() {
+        for &n in &TYPED_SIZES {
+            let cell_seed = base_seed()
+                .wrapping_mul(999_983)
+                .wrapping_add((d as u64) << 32)
+                .wrapping_add(n as u64);
+            let keys: Vec<K> = workloads::generate(dist, n, cell_seed)
+                .iter()
+                .map(&derive)
+                .collect();
+
+            let mut expected = keys.clone();
+            expected.sort_by(|a, b| native(a, b));
+            // Equal keys decode identically, so comparing encodings is exact
+            // even for duplicate-heavy inputs (and sidesteps NaN != NaN).
+            let want: Vec<u64> = expected.iter().map(SortKey::encode).collect();
+
+            let result = client.submit_keys(&keys).expect("typed sort");
+            let got: Vec<u64> = result.keys.iter().map(SortKey::encode).collect();
+            assert_eq!(
+                got, want,
+                "typed `{name}` diverges from std sort on {dist:?} n={n}"
+            );
+
+            if n > 1 {
+                let k = (n / 3).max(1);
+                let top = client.submit_top_k(&keys, k).expect("typed top-k");
+                let got_k: Vec<u64> = top.keys.iter().map(SortKey::encode).collect();
+                assert_eq!(
+                    got_k,
+                    want[..k],
+                    "typed `{name}` top-{k} != sorted prefix on {dist:?} n={n}"
+                );
+            }
+        }
+    }
+}
+
+fn str_key_from_bits(bits: u32) -> StrKey {
+    let len = (bits % 9) as usize; // 0..=8 covers empty through max-length.
+    let s: String = (0..len)
+        .map(|i| (b'a' + ((bits >> (3 * i)) & 0x0f) as u8) as char)
+        .collect();
+    StrKey::new(&s).expect("generated string fits the inline prefix")
+}
+
+#[test]
+fn typed_sorts_agree_with_std_sort_on_the_decoded_domain() {
+    let client = TypedSortClient::new(ServiceConfig::default());
+
+    typed_matrix(
+        &client,
+        "u64",
+        |v| v.key.to_bits() as u64,
+        |a: &u64, b| a.cmp(b),
+    );
+    typed_matrix(&client, "u32", |v| v.key.to_bits(), |a: &u32, b| a.cmp(b));
+    typed_matrix(
+        &client,
+        "i64",
+        |v| (v.key.to_bits() as i64).wrapping_mul(37) - (1 << 40),
+        |a: &i64, b| a.cmp(b),
+    );
+    typed_matrix(&client, "f32", |v| v.key, |a: &f32, b| a.total_cmp(b));
+    typed_matrix(
+        &client,
+        "f64",
+        |v| v.key as f64,
+        |a: &f64, b| a.total_cmp(b),
+    );
+    typed_matrix(
+        &client,
+        "(u16,i32)",
+        |v| ((v.key.to_bits() >> 16) as u16, v.id as i32 - 500),
+        |a: &(u16, i32), b| a.cmp(b),
+    );
+    typed_matrix(
+        &client,
+        "strkey",
+        |v| str_key_from_bits(v.key.to_bits()),
+        |a: &StrKey, b| a.as_str().cmp(b.as_str()),
+    );
+}
+
+#[test]
+fn typed_float_specials_sort_in_ieee_total_order() {
+    let client = TypedSortClient::new(ServiceConfig::default());
+
+    let f32s = vec![
+        f32::NAN,
+        f32::NEG_INFINITY,
+        f32::INFINITY,
+        -0.0_f32,
+        0.0_f32,
+        -f32::NAN,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        1.5,
+        -1.5,
+        f32::MAX,
+        f32::MIN,
+    ];
+    let result = client.submit_keys(&f32s).expect("f32 specials");
+    let mut want = f32s.clone();
+    want.sort_by(|a, b| a.total_cmp(b));
+    assert_eq!(
+        result.keys.iter().map(|k| k.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|k| k.to_bits()).collect::<Vec<_>>(),
+        "f32 specials out of IEEE total order"
+    );
+
+    let f64s = vec![
+        f64::NAN,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        -0.0_f64,
+        0.0_f64,
+        -f64::NAN,
+        f64::MIN_POSITIVE,
+        1e-300,
+        -1e300,
+        f64::MAX,
+        f64::MIN,
+    ];
+    let result = client.submit_keys(&f64s).expect("f64 specials");
+    let mut want = f64s.clone();
+    want.sort_by(|a, b| a.total_cmp(b));
+    assert_eq!(
+        result.keys.iter().map(|k| k.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|k| k.to_bits()).collect::<Vec<_>>(),
+        "f64 specials out of IEEE total order"
+    );
 }

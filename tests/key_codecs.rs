@@ -1,0 +1,301 @@
+//! Property tests for the `sortsvc::keys` codec laws.
+//!
+//! Every [`SortKey`] (and [`WideKey`]) codec must satisfy two laws:
+//!
+//! * **round-trip** — `decode(encode(k)) == k` for every key `k`;
+//! * **order-isomorphism** — `a < b ⇔ encode(a) < encode(b)` under the
+//!   type's documented total order (native `Ord` for integers, strings
+//!   and tuples; IEEE-754 `total_cmp` for floats).
+//!
+//! The suites below hammer both laws across the full domains, with the
+//! edge cases the codecs exist for weighted in explicitly: `MIN`/`MAX`
+//! integers, `NaN`/`-NaN`/`±0.0`/`±∞`/subnormal floats, and empty and
+//! maximum-length strings.
+
+use gpu_abisort::prelude::*;
+use gpu_abisort::sortsvc::keys::{
+    encoded_to_value, key_to_record, key_to_value, record_to_key, record_to_wide_key,
+    value_to_encoded, value_to_key, wide_key_to_record, WIDE_KEY_BITS,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// Full-domain integer strategy: the half-open range misses `MAX`, so the
+/// extremes are welded back in as explicit arms.
+macro_rules! int_strategy {
+    ($name:ident, $t:ty) => {
+        fn $name() -> impl Strategy<Value = $t> {
+            prop_oneof![
+                8 => <$t>::MIN..<$t>::MAX,
+                1 => Just(<$t>::MIN),
+                1 => Just(<$t>::MAX),
+            ]
+        }
+    };
+}
+
+int_strategy!(any_u8, u8);
+int_strategy!(any_u16, u16);
+int_strategy!(any_u32, u32);
+int_strategy!(any_u64, u64);
+int_strategy!(any_i8, i8);
+int_strategy!(any_i16, i16);
+int_strategy!(any_i32, i32);
+int_strategy!(any_i64, i64);
+
+fn any_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        8 => -1.0e38f32..1.0e38f32,
+        1 => Just(0.0f32),
+        1 => Just(-0.0f32),
+        1 => Just(f32::INFINITY),
+        1 => Just(f32::NEG_INFINITY),
+        1 => Just(f32::NAN),
+        1 => Just(-f32::NAN),
+        1 => Just(f32::MIN_POSITIVE),
+        1 => Just(-f32::MIN_POSITIVE),
+        1 => Just(1.0e-42f32), // subnormal
+        1 => Just(f32::MAX),
+        1 => Just(f32::MIN),
+    ]
+}
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -1.0e300f64..1.0e300f64,
+        1 => Just(0.0f64),
+        1 => Just(-0.0f64),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(f64::NAN),
+        1 => Just(-f64::NAN),
+        1 => Just(f64::MIN_POSITIVE),
+        1 => Just(5.0e-324f64), // subnormal
+        1 => Just(f64::MAX),
+        1 => Just(f64::MIN),
+    ]
+}
+
+fn any_str_key() -> impl Strategy<Value = StrKey> {
+    prop_oneof![
+        1 => Just(StrKey::new("").unwrap()),
+        1 => Just(StrKey::new("zzzzzzzz").unwrap()),
+        1 => Just(StrKey::new("\u{1}").unwrap()),
+        6 => vec(1u8..128, 0..9).prop_map(|bytes| {
+            let s: String = bytes.into_iter().map(char::from).collect();
+            StrKey::new(&s).expect("ASCII, NUL-free, at most 8 bytes")
+        }),
+    ]
+}
+
+/// Total order on floats for the law checks (native `<` is not total).
+fn tc32(a: &f32, b: &f32) -> std::cmp::Ordering {
+    a.total_cmp(b)
+}
+fn tc64(a: &f64, b: &f64) -> std::cmp::Ordering {
+    a.total_cmp(b)
+}
+
+/// Bit-exact equality for float round-trips (`NaN != NaN` under `==`).
+fn same_f32(a: f32, b: f32) -> bool {
+    a.to_bits() == b.to_bits()
+}
+fn same_f64(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+// ---------------------------------------------------------------------------
+// Integer and bool codec laws
+// ---------------------------------------------------------------------------
+
+macro_rules! int_codec_laws {
+    ($($test:ident => $strat:ident, $t:ty);+ $(;)?) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            $(
+                #[test]
+                fn $test(a in $strat(), b in $strat()) {
+                    prop_assert_eq!(<$t as SortKey>::decode(a.encode()), a);
+                    prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+                }
+            )+
+        }
+    };
+}
+
+int_codec_laws! {
+    u8_codec_laws  => any_u8,  u8;
+    u16_codec_laws => any_u16, u16;
+    u32_codec_laws => any_u32, u32;
+    u64_codec_laws => any_u64, u64;
+    i8_codec_laws  => any_i8,  i8;
+    i16_codec_laws => any_i16, i16;
+    i32_codec_laws => any_i32, i32;
+    i64_codec_laws => any_i64, i64;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bool_codec_laws(a in proptest::bool::ANY, b in proptest::bool::ANY) {
+        prop_assert_eq!(bool::decode(a.encode()), a);
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Float codec laws (IEEE total order, including NaN payload round-trips)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn f32_codec_laws(a in any_f32(), b in any_f32()) {
+        prop_assert!(same_f32(f32::decode(a.encode()), a),
+            "f32 round-trip lost bits: {a:?}");
+        prop_assert_eq!(a.encode().cmp(&b.encode()), tc32(&a, &b));
+    }
+
+    #[test]
+    fn f64_codec_laws(a in any_f64(), b in any_f64()) {
+        prop_assert!(same_f64(f64::decode(a.encode()), a),
+            "f64 round-trip lost bits: {a:?}");
+        prop_assert_eq!(a.encode().cmp(&b.encode()), tc64(&a, &b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite tuple codec laws (lexicographic)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pair_codec_laws(a in (any_i32(), any_u32()), b in (any_i32(), any_u32())) {
+        prop_assert_eq!(<(i32, u32)>::decode(a.encode()), a);
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+    }
+
+    #[test]
+    fn float_pair_codec_laws(a in (any_f32(), any_u16()), b in (any_f32(), any_u16())) {
+        let ra = <(f32, u16)>::decode(a.encode());
+        prop_assert!(same_f32(ra.0, a.0) && ra.1 == a.1);
+        let native = tc32(&a.0, &b.0).then(a.1.cmp(&b.1));
+        prop_assert_eq!(a.encode().cmp(&b.encode()), native);
+    }
+
+    #[test]
+    fn triple_codec_laws(
+        a in (any_u8(), any_i16(), any_u32()),
+        b in (any_u8(), any_i16(), any_u32()),
+    ) {
+        prop_assert_eq!(<(u8, i16, u32)>::decode(a.encode()), a);
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String codec laws (prefix codec + dictionary fallback)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn str_key_codec_laws(a in any_str_key(), b in any_str_key()) {
+        prop_assert_eq!(StrKey::decode(a.encode()), a);
+        prop_assert_eq!(a.encode().cmp(&b.encode()), a.as_str().cmp(b.as_str()));
+    }
+
+    #[test]
+    fn string_dictionary_laws(strings in vec(vec(1u8..128, 0..24), 0..32)) {
+        let strings: Vec<String> = strings
+            .into_iter()
+            .map(|b| b.into_iter().map(char::from).collect())
+            .collect();
+        let dict = StringDictionary::build(strings.iter().cloned());
+        // Round-trip: every member encodes, and its code decodes back.
+        for s in &strings {
+            let code = dict.encode(s).expect("member must encode");
+            prop_assert_eq!(dict.decode(code), Some(s.as_str()));
+        }
+        // Order-isomorphism within the closed set.
+        for a in &strings {
+            for b in &strings {
+                let (ca, cb) = (dict.encode(a).unwrap(), dict.encode(b).unwrap());
+                prop_assert_eq!(ca.cmp(&cb), a.cmp(b));
+            }
+        }
+        // Non-members are rejected, not mis-ranked ('\u{0}' never occurs).
+        prop_assert_eq!(dict.encode("\u{0}"), None);
+        prop_assert_eq!(dict.decode(dict.len() as u64), None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wide (> 64-bit) composite keys and the WideRecord packing
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wide_key_codec_laws(
+        a in (any_f64(), any_u16()), b in (any_f64(), any_u16()),
+        pa in any_u64(), pb in any_u64(),
+    ) {
+        type W = (f64, u16);
+        prop_assert_eq!(<W as WideKey>::WIDE_BITS, WIDE_KEY_BITS);
+        let ra = W::decode_wide(a.encode_wide());
+        prop_assert!(same_f64(ra.0, a.0) && ra.1 == a.1);
+        let native = tc64(&a.0, &b.0).then(a.1.cmp(&b.1));
+        prop_assert_eq!(a.encode_wide().cmp(&b.encode_wide()), native);
+
+        // Packing into WideRecord keeps the order: lexicographic byte
+        // order on the 10-byte key equals numeric order on the encoding.
+        let (rec_a, rec_b) = (wide_key_to_record(&a, pa), wide_key_to_record(&b, pb));
+        prop_assert_eq!(rec_a.key.cmp(&rec_b.key), native);
+        let back: W = record_to_wide_key(&rec_a);
+        prop_assert!(same_f64(back.0, a.0) && back.1 == a.1);
+        prop_assert_eq!(rec_a.payload, pa);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine bridges: the codecs must survive the Value and WideRecord domains
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_bridge_laws(a in any_u64(), b in any_u64()) {
+        prop_assert_eq!(value_to_encoded(&encoded_to_value(a)), a);
+        let (va, vb) = (encoded_to_value(a), encoded_to_value(b));
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn typed_value_bridge_laws(a in any_i64(), b in any_i64()) {
+        prop_assert_eq!(value_to_key::<i64>(&key_to_value(&a)), a);
+        let (va, vb) = (key_to_value(&a), key_to_value(&b));
+        prop_assert_eq!(va.cmp(&vb), a.cmp(&b));
+    }
+
+    #[test]
+    fn record_bridge_laws(a in any_i64(), b in any_i64(), payload in any_u64()) {
+        let rec = key_to_record(&a, payload);
+        prop_assert_eq!(record_to_key::<i64>(&rec), a);
+        prop_assert_eq!(rec.payload, payload);
+        // Lexicographic record-key order equals the native key order.
+        let rec_b = key_to_record(&b, payload);
+        prop_assert_eq!(rec.key.cmp(&rec_b.key), a.cmp(&b));
+    }
+}
